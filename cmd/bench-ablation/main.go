@@ -1,0 +1,34 @@
+// Command bench-ablation quantifies the design choices discussed in
+// Section IV.A.b of the paper: the dedicated fault-detector process with
+// one-sided pings (the paper's choice) versus the rejected alternatives —
+// all-to-all ping and neighbor-ring ping — in failure-free overhead and
+// fabric load, plus the serial-versus-threaded FD scan on three
+// simultaneous failures (the threaded scan detects them for the cost of
+// one).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var cfg experiment.AblationConfig
+	flag.IntVar(&cfg.Workers, "workers", 16, "worker processes")
+	flag.IntVar(&cfg.Iters, "iters", 150, "Lanczos iterations for the workload")
+	flag.IntVar(&cfg.Nx, "nx", 64, "graphene cells in x")
+	flag.IntVar(&cfg.Ny, "ny", 32, "graphene cells in y")
+	flag.Float64Var(&cfg.TimeScale, "timescale", experiment.DefaultTimeScale, "time compression factor")
+	flag.Int64Var(&cfg.Seed, "seed", 17, "seed")
+	flag.Parse()
+
+	res, err := experiment.RunAblation(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-ablation:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+}

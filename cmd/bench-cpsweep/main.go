@@ -1,0 +1,46 @@
+// Command bench-cpsweep runs the checkpoint study motivated by the paper's
+// discussion: (1) the §IV.E strategy comparison — the paper's neighbor
+// node-level checkpointing versus the classic global PFS-level checkpoint
+// it replaces — and (2) the checkpoint-interval sweep behind the §VI remark
+// that the cheap checkpoints allow a higher frequency and thereby less
+// redo-work, compared against the Young/Daly optimum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var cfg experiment.CPSweepConfig
+	intervals := flag.String("intervals", "10,20,40,80,160", "checkpoint intervals to sweep")
+	flag.IntVar(&cfg.Workers, "workers", 16, "worker processes")
+	flag.IntVar(&cfg.Spares, "spares", 2, "spare processes")
+	flag.IntVar(&cfg.Iters, "iters", 240, "Lanczos iterations")
+	flag.IntVar(&cfg.Nx, "nx", 64, "graphene cells in x")
+	flag.IntVar(&cfg.Ny, "ny", 32, "graphene cells in y")
+	flag.Float64Var(&cfg.TimeScale, "timescale", experiment.DefaultTimeScale, "time compression factor")
+	flag.Int64Var(&cfg.Seed, "seed", 23, "seed")
+	flag.Parse()
+
+	for _, s := range strings.Split(*intervals, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -intervals:", err)
+			os.Exit(2)
+		}
+		cfg.Intervals = append(cfg.Intervals, v)
+	}
+
+	res, err := experiment.RunCPSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-cpsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+}

@@ -1,0 +1,39 @@
+// Command bench-fig4 regenerates Figure 4 of the paper: the runtime of the
+// fault-tolerant Lanczos application under seven scenarios — both baselines
+// (without health check, with/without checkpointing), the full
+// fault-tolerant configuration, and 1/2/3 sequential plus 3 simultaneous
+// failure recoveries — decomposed into computation, redo-work,
+// re-initialization and fault-detection time.
+//
+// The defaults are a scaled-down configuration; pass -workers 256 -iters
+// 3500 -cp-every 500 for the paper-scale run (slow but exact in shape).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var cfg experiment.Fig4Config
+	flag.IntVar(&cfg.Workers, "workers", 32, "worker processes (paper: 256)")
+	flag.IntVar(&cfg.Spares, "spares", 4, "idle spare processes (paper: 4)")
+	flag.IntVar(&cfg.Iters, "iters", 350, "Lanczos iterations (paper: 3500)")
+	flag.Int64Var(&cfg.CheckpointEvery, "cp-every", 50, "checkpoint interval (paper: 500)")
+	flag.IntVar(&cfg.Nx, "nx", 128, "graphene cells in x")
+	flag.IntVar(&cfg.Ny, "ny", 64, "graphene cells in y")
+	flag.Float64Var(&cfg.TimeScale, "timescale", experiment.DefaultTimeScale, "time compression factor")
+	flag.IntVar(&cfg.Threads, "fd-threads", 8, "FD scan threads (paper: 8)")
+	flag.Int64Var(&cfg.Seed, "seed", 42, "seed")
+	flag.Parse()
+
+	res, err := experiment.RunFig4(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-fig4:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+}

@@ -1,0 +1,42 @@
+// Command bench-table1 regenerates Table I of the paper: the fault
+// detector's average ping-scan time and the failure detection +
+// acknowledgment time (mean ± stddev over repeated runs with one random
+// kill -9 at a random instant), as a function of the node count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var cfg experiment.Table1Config
+	nodes := flag.String("nodes", "8,16,32,64,128,256", "comma-separated node counts")
+	flag.IntVar(&cfg.Runs, "runs", 10, "repetitions per node count (paper: 10)")
+	flag.IntVar(&cfg.CleanScans, "clean-scans", 5, "failure-free scans averaged for the scan column")
+	flag.Float64Var(&cfg.TimeScale, "timescale", experiment.DefaultTimeScale, "time compression factor")
+	flag.IntVar(&cfg.Threads, "fd-threads", 1, "FD scan threads (Table I uses a serial scan)")
+	flag.Int64Var(&cfg.Seed, "seed", 7, "seed")
+	flag.Parse()
+
+	for _, s := range strings.Split(*nodes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -nodes:", err)
+			os.Exit(2)
+		}
+		cfg.NodeCounts = append(cfg.NodeCounts, n)
+	}
+
+	res, err := experiment.RunTable1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-table1:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces "Building a fault tolerant application using
+// the GASPI communication layer" (Shahzad et al., IEEE CLUSTER 2015,
+// arXiv:1505.04628) as a pure-Go system: a GASPI/GPI-2 communication layer
+// with the paper's fault-tolerance extensions running on a simulated
+// cluster fabric, the dedicated fault-detector / spare-process /
+// neighbor-checkpoint recovery machinery, and the fault-tolerant Lanczos
+// application used for the paper's evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment mapping, and EXPERIMENTS.md for the
+// paper-versus-measured comparison. The benchmarks in bench_test.go
+// regenerate the paper's Figure 4 and Table I; the cmd/ binaries run the
+// full-scale versions.
+package repro

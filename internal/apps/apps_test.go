@@ -1,0 +1,191 @@
+package apps_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+	"repro/internal/lanczos"
+	"repro/internal/matrix"
+)
+
+func testClusterCfg(nodes int) cluster.Config {
+	return cluster.Config{
+		Nodes: nodes,
+		Gaspi: gaspi.Config{
+			Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
+			Seed:    9,
+		},
+	}
+}
+
+func testFT() ft.Config {
+	return ft.Config{
+		ScanInterval: 5 * time.Millisecond,
+		PingTimeout:  10 * time.Millisecond,
+		CommTimeout:  10 * time.Millisecond,
+		Threads:      4,
+		StallLimit:   5 * time.Second,
+	}
+}
+
+func TestHeatAnalyticHelpers(t *testing.T) {
+	h := apps.NewHeat(apps.HeatConfig{N: 9, R: 0.25, Steps: 10})
+	// Amplitude(0) = 1; decays monotonically for r·λ1 < 1.
+	if h.Amplitude(0) != 1 {
+		t.Fatalf("amp(0) = %v", h.Amplitude(0))
+	}
+	if !(h.Amplitude(5) < 1 && h.Amplitude(10) < h.Amplitude(5)) {
+		t.Fatal("amplitude must decay")
+	}
+	// Exact is the separable product.
+	got := h.Exact(4, 3)
+	want := h.Amplitude(3) * math.Sin(math.Pi*5/10)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("exact: %v vs %v", got, want)
+	}
+}
+
+func TestHeatFailureFreeMatchesClosedForm(t *testing.T) {
+	const (
+		n     = 40
+		steps = 30
+		r     = 0.3
+	)
+	var mu sync.Mutex
+	var insts []*apps.Heat
+	cfg := core.Config{
+		Spares: 1, FT: testFT(), EnableHC: true, EnableCP: true, CheckpointEvery: 10,
+	}
+	job := core.Launch(testClusterCfg(1+1+3), cfg, func() core.App {
+		a := apps.NewHeat(apps.HeatConfig{N: n, R: r, Steps: steps})
+		mu.Lock()
+		insts = append(insts, a)
+		mu.Unlock()
+		return a
+	})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(60 * time.Second)
+	if !ok {
+		t.Fatal("hung")
+	}
+	for _, rr := range res {
+		if rr.Err != nil {
+			t.Fatalf("rank %d: %v", rr.Rank, rr.Err)
+		}
+	}
+	// Compare every chunk entry against the closed form by locating each
+	// instance's offset through the known block distribution: instances
+	// are created per worker in rank order, but order of creation is not
+	// guaranteed — instead match by chunk length + peak position check:
+	// simply verify each value equals Exact(i,steps) for SOME consistent
+	// offset. With equal-size blocks the offset is determined by matching
+	// the first entry.
+	mu.Lock()
+	defer mu.Unlock()
+	verified := 0
+	for _, a := range insts {
+		u := a.U()
+		if u == nil || a.Iter() != steps {
+			continue
+		}
+		// Find the block offset whose exact solution matches entry 0.
+		matched := false
+		for _, w := range []int{3} {
+			for part := 0; part < w; part++ {
+				lo, hi := matrix.BlockRange(n, w, part)
+				if int(hi-lo) != len(u) {
+					continue
+				}
+				ok := true
+				for i := range u {
+					if math.Abs(u[i]-a.Exact(lo+int64(i), steps)) > 1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			t.Fatalf("chunk does not match the closed-form solution")
+		}
+		verified++
+	}
+	if verified == 0 {
+		t.Fatal("no finished instance")
+	}
+}
+
+func TestLanczosAppRejectsRestoreWithoutCP(t *testing.T) {
+	// A rescue process cannot adopt an identity without the plan
+	// checkpoint; Init(restore=true) must fail loudly, not deadlock.
+	cfg := core.Config{
+		Spares: 1, FT: testFT(), EnableHC: true, EnableCP: false, CheckpointEvery: 10,
+		FailPlan: map[int64][]int{10: {0}},
+	}
+	cfg.FT.StallLimit = 300 * time.Millisecond
+	lay := ft.Layout{Procs: 1 + 1 + 3, Spares: 1}
+	job := core.Launch(testClusterCfg(lay.Procs), cfg, func() core.App {
+		return apps.NewLanczos(apps.LanczosConfig{
+			Gen:       matrix.DefaultGraphene(4, 4, 1),
+			Opts:      lanczos.Options{MaxIters: 40, NumEigs: 1, Seed: 2},
+			StepDelay: time.Millisecond,
+		})
+	})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(60 * time.Second)
+	if !ok {
+		t.Fatal("hung")
+	}
+	sawInitError := false
+	for _, r := range res {
+		if r.Err != nil && r.Rank == 1 { // the rescue spare
+			sawInitError = true
+		}
+	}
+	if !sawInitError {
+		for _, r := range res {
+			t.Logf("rank %d err=%v death=%+v", r.Rank, r.Err, r.Death)
+		}
+		t.Fatal("rescue without checkpointing should fail its init")
+	}
+}
+
+func TestLanczosAppStepDelayApplied(t *testing.T) {
+	const delay = 5 * time.Millisecond
+	const iters = 10
+	cfg := core.Config{
+		Spares: 0, FT: testFT(), EnableHC: false, EnableCP: false, CheckpointEvery: 100,
+	}
+	start := time.Now()
+	job := core.Launch(testClusterCfg(1+2), cfg, func() core.App {
+		return apps.NewLanczos(apps.LanczosConfig{
+			Gen:       matrix.DefaultGraphene(4, 4, 1),
+			Opts:      lanczos.Options{MaxIters: iters, NumEigs: 1, Seed: 2},
+			StepDelay: delay,
+		})
+	})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(60 * time.Second)
+	if !ok {
+		t.Fatal("hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < iters*delay {
+		t.Fatalf("run took %v, want ≥ %v (StepDelay not applied)", elapsed, iters*delay)
+	}
+}

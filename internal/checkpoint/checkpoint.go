@@ -1,0 +1,454 @@
+// Package checkpoint implements the paper's neighbor node-level
+// checkpoint/restart library for GASPI applications (Section IV.C,
+// Figure 2):
+//
+//   - The application writes a checkpoint to its node-local store and
+//     signals the library thread (a goroutine here), which asynchronously
+//     copies it to the neighboring node — so a full node failure cannot
+//     destroy the only copy.
+//   - Optionally, every k-th checkpoint is also written to the (slow,
+//     shared) parallel file system for a higher degree of reliability.
+//   - The library is fault aware: after a failure recovery the application
+//     hands it the surviving worker nodes and the neighbor ring is
+//     recomputed (the paper: "the C/R library refreshes its list of
+//     neighboring processes based on the failed processes list provided by
+//     the application").
+//
+// Checkpoints are identified by (name, logical rank, version), CRC-checked,
+// and versioned; Fetch transparently falls back from the local copy to any
+// surviving replica (neighbor copy or PFS), which is exactly what a rescue
+// process restoring a failed process's state needs.
+package checkpoint
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// Errors returned by the library.
+var (
+	// ErrNoCheckpoint reports that no (intact) checkpoint exists.
+	ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
+	// ErrCorrupt reports a checkpoint failing its integrity check.
+	ErrCorrupt = errors.New("checkpoint: corrupt data")
+	// ErrStopped reports use of a stopped library.
+	ErrStopped = errors.New("checkpoint: library stopped")
+)
+
+// Mode selects the checkpoint placement strategy (the paper's §IV.E names
+// the two kinds: "a global PFS-level checkpoint, and a neighbor level
+// checkpoint").
+type Mode int
+
+// Checkpoint modes.
+const (
+	// ModeNeighbor is the paper's library: synchronous node-local write,
+	// asynchronous copy to the neighbor node (plus optional periodic PFS
+	// copies via PFSEvery).
+	ModeNeighbor Mode = iota
+	// ModeGlobalPFS is the classic expensive baseline the paper's library
+	// replaces: every checkpoint is written synchronously to the shared
+	// parallel file system. Used by the checkpoint-strategy ablation.
+	ModeGlobalPFS
+)
+
+// Config parameterizes a Library.
+type Config struct {
+	// Mode selects neighbor-level (default) or global PFS checkpointing.
+	Mode Mode
+	// PFSEvery writes every k-th version also to the PFS (0 = never;
+	// ModeNeighbor only).
+	PFSEvery int
+	// KeepVersions prunes checkpoint versions older than the newest K
+	// (0 = keep everything). Must be ≥2 for crash consistency: a failure
+	// during the version-k checkpoint wave forces a restart from k-1.
+	KeepVersions int
+	// Compress gzips checkpoint payloads before framing. Worthwhile for
+	// highly compressible state; the Lanczos vectors are dense doubles, so
+	// the default is off.
+	Compress bool
+	// Name is the default checkpoint family name.
+	Name string
+}
+
+// Library is one process's handle to the C/R machinery. The background
+// copier goroutine is the paper's "library thread".
+type Library struct {
+	cl     *cluster.Cluster
+	nodeID int
+	cfg    Config
+
+	mu       sync.Mutex
+	neighbor int // neighboring node id; -1 when none
+	stopped  bool
+
+	reqCh chan copyReq
+	wg    sync.WaitGroup // outstanding async copies
+	done  chan struct{}
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+type copyReq struct {
+	key     string
+	blob    []byte
+	version int64
+	logical int
+	name    string
+	toPFS   bool
+}
+
+// New creates a library for the process on the given node and starts its
+// copier thread. Call SetWorkerNodes before the first Write so a neighbor
+// is known.
+func New(cl *cluster.Cluster, nodeID int, cfg Config) *Library {
+	if cfg.Name == "" {
+		cfg.Name = "cp"
+	}
+	l := &Library{
+		cl:       cl,
+		nodeID:   nodeID,
+		cfg:      cfg,
+		neighbor: -1,
+		reqCh:    make(chan copyReq, 64),
+		done:     make(chan struct{}),
+	}
+	go l.copier()
+	return l
+}
+
+// SetWorkerNodes informs the library of the current set of worker nodes;
+// the neighbor is the next node in the sorted ring. This is the fault-aware
+// refresh hook called after every recovery.
+func (l *Library) SetWorkerNodes(nodes []int) {
+	sorted := append([]int(nil), nodes...)
+	sort.Ints(sorted)
+	nb := -1
+	for _, n := range sorted { // first node above mine
+		if n > l.nodeID {
+			nb = n
+			break
+		}
+	}
+	if nb == -1 && len(sorted) > 0 && sorted[0] != l.nodeID {
+		nb = sorted[0] // wrap around
+	}
+	if nb == l.nodeID {
+		nb = -1
+	}
+	l.mu.Lock()
+	l.neighbor = nb
+	l.mu.Unlock()
+}
+
+// Neighbor returns the current neighbor node (-1 when none).
+func (l *Library) Neighbor() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.neighbor
+}
+
+// Key builds the storage key of a checkpoint.
+func Key(name string, logical int, version int64) string {
+	return fmt.Sprintf("cp/%s/%d/v%d", name, logical, version)
+}
+
+// parseKey inverts Key; ok is false for foreign keys.
+func parseKey(key string) (name string, logical int, version int64, ok bool) {
+	parts := strings.Split(key, "/")
+	if len(parts) != 4 || parts[0] != "cp" || !strings.HasPrefix(parts[3], "v") {
+		return "", 0, 0, false
+	}
+	lr, err1 := strconv.Atoi(parts[2])
+	v, err2 := strconv.ParseInt(parts[3][1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, false
+	}
+	return parts[1], lr, v, true
+}
+
+// Write checkpoints payload as (name, logical, version).
+//
+// In ModeNeighbor (the paper's library) it commits the local copy
+// synchronously — the application-visible checkpoint cost — then signals
+// the copier thread, which replicates to the neighbor node (and, every
+// PFSEvery-th version, to the PFS) in the background.
+//
+// In ModeGlobalPFS the whole write goes synchronously to the shared file
+// system: the classic global checkpoint whose cost motivates the paper's
+// neighbor-level design.
+func (l *Library) Write(name string, logical int, version int64, payload []byte) error {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return ErrStopped
+	}
+	l.mu.Unlock()
+	blob, err := encode(logical, version, payload, l.cfg.Compress)
+	if err != nil {
+		return err
+	}
+	key := Key(name, logical, version)
+	if l.cfg.Mode == ModeGlobalPFS {
+		if err := l.cl.PFS().Put(key, blob); err != nil {
+			return fmt.Errorf("checkpoint: PFS write: %w", err)
+		}
+		return nil
+	}
+	if err := l.cl.Node(l.nodeID).Put(key, blob, l.storage()); err != nil {
+		return fmt.Errorf("checkpoint: local write: %w", err)
+	}
+	toPFS := l.cfg.PFSEvery > 0 && version%int64(l.cfg.PFSEvery) == 0
+	l.wg.Add(1)
+	select {
+	case l.reqCh <- copyReq{key: key, blob: blob, version: version, logical: logical, name: name, toPFS: toPFS}:
+	case <-l.done:
+		l.wg.Done()
+		return ErrStopped
+	}
+	return nil
+}
+
+// copier is the library thread of Figure 2: it waits for the application's
+// signal and copies fresh local checkpoints to the neighbor node (and PFS).
+func (l *Library) copier() {
+	for {
+		select {
+		case req := <-l.reqCh:
+			l.doCopy(req)
+			l.wg.Done()
+		case <-l.done:
+			// Drain what is already queued, then exit.
+			for {
+				select {
+				case req := <-l.reqCh:
+					l.doCopy(req)
+					l.wg.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (l *Library) doCopy(req copyReq) {
+	l.mu.Lock()
+	nb := l.neighbor
+	l.mu.Unlock()
+	if nb >= 0 {
+		if err := l.cl.Transfer(l.nodeID, nb, req.key, req.blob); err != nil {
+			l.setErr(fmt.Errorf("checkpoint: neighbor copy of %s to node %d: %w", req.key, nb, err))
+		}
+	}
+	if req.toPFS {
+		if err := l.cl.PFS().Put(req.key, req.blob); err != nil {
+			l.setErr(fmt.Errorf("checkpoint: PFS copy of %s: %w", req.key, err))
+		}
+	}
+	if l.cfg.KeepVersions > 0 {
+		l.prune(req.name, req.logical, req.version, nb)
+	}
+}
+
+// prune removes versions older than the newest KeepVersions from the local
+// node and the current neighbor.
+func (l *Library) prune(name string, logical int, newest int64, nb int) {
+	limit := newest - int64(l.cfg.KeepVersions) + 1
+	for _, nodeID := range []int{l.nodeID, nb} {
+		if nodeID < 0 {
+			continue
+		}
+		node := l.cl.Node(nodeID)
+		for _, k := range node.Keys() {
+			kn, kl, kv, ok := parseKey(k)
+			if ok && kn == name && kl == logical && kv < limit {
+				node.Delete(k)
+			}
+		}
+	}
+}
+
+// WaitIdle blocks until all queued background copies have completed. Tests
+// and orderly shutdown use it; the application itself never has to.
+func (l *Library) WaitIdle() { l.wg.Wait() }
+
+// Stop shuts the copier down after draining queued copies.
+func (l *Library) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	l.mu.Unlock()
+	close(l.done)
+}
+
+// Err returns the last background-copy error, if any.
+func (l *Library) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.lastErr
+}
+
+func (l *Library) setErr(err error) {
+	l.errMu.Lock()
+	l.lastErr = err
+	l.errMu.Unlock()
+}
+
+// FindLatest returns the newest version of (name, logical) that is
+// fetchable from any alive node or the PFS. ok is false when none exists
+// anywhere.
+func (l *Library) FindLatest(name string, logical int) (int64, bool) {
+	best := int64(-1)
+	found := false
+	consider := func(k string) {
+		kn, kl, kv, ok := parseKey(k)
+		if ok && kn == name && kl == logical && kv > best {
+			best = kv
+			found = true
+		}
+	}
+	for nodeID := 0; nodeID < l.cl.NumNodes(); nodeID++ {
+		if !l.cl.NodeAlive(nodeID) {
+			continue
+		}
+		for _, k := range l.cl.Node(nodeID).Keys() {
+			consider(k)
+		}
+	}
+	for _, k := range l.cl.PFS().Keys() {
+		consider(k)
+	}
+	if !found {
+		return 0, false
+	}
+	return best, true
+}
+
+// Fetch retrieves and verifies checkpoint (name, logical, version). It
+// tries the local node first, then every other alive node (the neighbor
+// copy of a failed process lives on the failed process's neighbor), and
+// finally the PFS. Corrupt replicas are skipped — a damaged local copy
+// falls back to the neighbor's.
+func (l *Library) Fetch(name string, logical int, version int64) ([]byte, error) {
+	key := Key(name, logical, version)
+	tryNode := func(nodeID int) ([]byte, bool) {
+		blob, err := l.cl.Node(nodeID).Get(key, l.storage())
+		if err != nil {
+			return nil, false
+		}
+		payload, lr, v, err := decode(blob)
+		if err != nil || lr != logical || v != version {
+			return nil, false
+		}
+		return payload, true
+	}
+	if l.cl.NodeAlive(l.nodeID) {
+		if p, ok := tryNode(l.nodeID); ok {
+			return p, nil
+		}
+	}
+	for nodeID := 0; nodeID < l.cl.NumNodes(); nodeID++ {
+		if nodeID == l.nodeID || !l.cl.NodeAlive(nodeID) {
+			continue
+		}
+		if p, ok := tryNode(nodeID); ok {
+			return p, nil
+		}
+	}
+	if blob, err := l.cl.PFS().Get(key); err == nil {
+		if payload, lr, v, derr := decode(blob); derr == nil && lr == logical && v == version {
+			return payload, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, key)
+}
+
+func (l *Library) storage() cluster.StorageModel { return l.cl.Storage() }
+
+// --- wire format -------------------------------------------------------------
+
+const (
+	magic     = uint32(0x31504347) // "GCP1": raw payload
+	magicGzip = uint32(0x32504347) // "GCP2": gzip-compressed payload
+	headerLen = 4 + 4 + 8 + 8 + 4
+)
+
+// encode frames a checkpoint payload with its identity and a CRC32
+// covering both the identity header and the (possibly compressed) payload.
+func encode(logical int, version int64, payload []byte, compress bool) ([]byte, error) {
+	m := magic
+	if compress {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(payload); err != nil {
+			return nil, fmt.Errorf("checkpoint: compress: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("checkpoint: compress: %w", err)
+		}
+		payload = buf.Bytes()
+		m = magicGzip
+	}
+	blob := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(blob[0:], m)
+	binary.LittleEndian.PutUint32(blob[4:], uint32(logical))
+	binary.LittleEndian.PutUint64(blob[8:], uint64(version))
+	binary.LittleEndian.PutUint64(blob[16:], uint64(len(payload)))
+	copy(blob[headerLen:], payload)
+	crc := crc32.ChecksumIEEE(blob[:24])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(blob[24:], crc)
+	return blob, nil
+}
+
+// decode validates a framed checkpoint and returns its payload and
+// identity; compression is detected from the frame magic.
+func decode(blob []byte) (payload []byte, logical int, version int64, err error) {
+	if len(blob) < headerLen {
+		return nil, 0, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	m := binary.LittleEndian.Uint32(blob[0:])
+	if m != magic && m != magicGzip {
+		return nil, 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	logical = int(int32(binary.LittleEndian.Uint32(blob[4:])))
+	version = int64(binary.LittleEndian.Uint64(blob[8:]))
+	n := binary.LittleEndian.Uint64(blob[16:])
+	if uint64(len(blob)-headerLen) != n {
+		return nil, 0, 0, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+	payload = blob[headerLen:]
+	crc := crc32.ChecksumIEEE(blob[:24])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != binary.LittleEndian.Uint32(blob[24:]) {
+		return nil, 0, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	if m == magicGzip {
+		zr, err := gzip.NewReader(bytes.NewReader(payload))
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		out, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		payload = out
+	}
+	return payload, logical, version, nil
+}

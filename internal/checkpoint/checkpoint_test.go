@@ -1,0 +1,457 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/gaspi"
+)
+
+func testCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	cl := cluster.New(cluster.Config{
+		Nodes: nodes,
+		Gaspi: gaspi.Config{Latency: fabric.LatencyModel{Base: time.Microsecond}},
+	}, func(ctx *cluster.ProcCtx) error { return nil })
+	t.Cleanup(cl.Close)
+	if _, ok := cl.WaitTimeout(10 * time.Second); !ok {
+		t.Fatal("cluster hung")
+	}
+	return cl
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	payload := []byte("lanczos vectors + alpha + beta")
+	blob, err2 := encode(7, 42, payload, false)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	got, logical, version, err := decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logical != 7 || version != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("logical=%d version=%d payload=%q", logical, version, got)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(logical uint16, version uint32, payload []byte) bool {
+		blob, eerr := encode(int(logical), int64(version), payload, false)
+		if eerr != nil {
+			return false
+		}
+		got, lr, v, err := decode(blob)
+		return err == nil && lr == int(logical) && v == int64(version) && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	blob, _ := encode(1, 1, []byte("data-data-data"), false)
+	for _, i := range []int{0, 5, 10, headerLen, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0xFF
+		if _, _, _, err := decode(bad); err == nil {
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+	if _, _, _, err := decode(blob[:10]); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, _, _, err := decode(blob[:len(blob)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestKeyRoundtrip(t *testing.T) {
+	k := Key("lanczos", 12, 500)
+	name, lr, v, ok := parseKey(k)
+	if !ok || name != "lanczos" || lr != 12 || v != 500 {
+		t.Fatalf("parse %q: %v %v %v %v", k, name, lr, v, ok)
+	}
+	for _, bad := range []string{"", "x/y", "cp/a/b/vv", "cp/a/1/7", "other/a/1/v7"} {
+		if _, _, _, ok := parseKey(bad); ok {
+			t.Fatalf("parsed garbage key %q", bad)
+		}
+	}
+}
+
+func TestWriteFetchLocal(t *testing.T) {
+	cl := testCluster(t, 3)
+	lib := New(cl, 0, Config{})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1, 2})
+	if err := lib.Write("state", 0, 1, []byte("v1-data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Fetch("state", 0, 1)
+	if err != nil || string(got) != "v1-data" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+}
+
+func TestNeighborRing(t *testing.T) {
+	cl := testCluster(t, 5)
+	lib := New(cl, 2, Config{})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 2, 4})
+	if nb := lib.Neighbor(); nb != 4 {
+		t.Fatalf("neighbor = %d, want 4", nb)
+	}
+	// Wrap-around.
+	lib4 := New(cl, 4, Config{})
+	defer lib4.Stop()
+	lib4.SetWorkerNodes([]int{0, 2, 4})
+	if nb := lib4.Neighbor(); nb != 0 {
+		t.Fatalf("neighbor = %d, want 0", nb)
+	}
+	// Fault-aware refresh: node 4 fails.
+	lib.SetWorkerNodes([]int{0, 2})
+	if nb := lib.Neighbor(); nb != 0 {
+		t.Fatalf("refreshed neighbor = %d, want 0", nb)
+	}
+	// Single survivor: no neighbor.
+	lib.SetWorkerNodes([]int{2})
+	if nb := lib.Neighbor(); nb != -1 {
+		t.Fatalf("lone neighbor = %d, want -1", nb)
+	}
+}
+
+func TestNeighborCopySurvivesNodeDeath(t *testing.T) {
+	cl := testCluster(t, 3)
+	lib := New(cl, 0, Config{})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1, 2})
+	if err := lib.Write("state", 0, 5, []byte("critical")); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	// Node 0 (the writer, holding the local copy) dies; the neighbor copy
+	// on node 1 must still be fetchable — by a rescue process on node 2.
+	cl.KillNode(0)
+	rescue := New(cl, 2, Config{})
+	defer rescue.Stop()
+	rescue.SetWorkerNodes([]int{1, 2})
+	got, err := rescue.Fetch("state", 0, 5)
+	if err != nil || string(got) != "critical" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	v, ok := rescue.FindLatest("state", 0)
+	if !ok || v != 5 {
+		t.Fatalf("FindLatest = %d ok=%v", v, ok)
+	}
+}
+
+func TestFindLatestAcrossVersions(t *testing.T) {
+	cl := testCluster(t, 2)
+	lib := New(cl, 0, Config{})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	for v := int64(1); v <= 3; v++ {
+		if err := lib.Write("state", 4, v, []byte{byte(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.WaitIdle()
+	v, ok := lib.FindLatest("state", 4)
+	if !ok || v != 3 {
+		t.Fatalf("latest = %d ok=%v", v, ok)
+	}
+	if _, ok := lib.FindLatest("state", 99); ok {
+		t.Fatal("found checkpoint for unknown rank")
+	}
+}
+
+func TestCorruptLocalFallsBackToNeighbor(t *testing.T) {
+	cl := testCluster(t, 2)
+	lib := New(cl, 0, Config{})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	if err := lib.Write("state", 0, 1, []byte("good-data")); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	// Corrupt the local copy in place.
+	key := Key("state", 0, 1)
+	blob, err := cl.Node(0).Get(key, cl.Storage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[headerLen] ^= 0xFF
+	if err := cl.Node(0).Put(key, blob, cl.Storage()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.Fetch("state", 0, 1)
+	if err != nil || string(got) != "good-data" {
+		t.Fatalf("got %q err=%v (must fall back to neighbor copy)", got, err)
+	}
+}
+
+func TestPFSCopy(t *testing.T) {
+	cl := testCluster(t, 2)
+	lib := New(cl, 0, Config{PFSEvery: 2})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	for v := int64(1); v <= 4; v++ {
+		if err := lib.Write("state", 0, v, []byte{byte(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.WaitIdle()
+	// Versions 2 and 4 are on the PFS; both nodes die, PFS survives.
+	cl.KillNode(0)
+	cl.KillNode(1)
+	if _, err := cl.PFS().Get(Key("state", 0, 4)); err != nil {
+		t.Fatalf("PFS copy missing: %v", err)
+	}
+	if _, err := cl.PFS().Get(Key("state", 0, 3)); err == nil {
+		t.Fatal("version 3 should not be on the PFS")
+	}
+}
+
+func TestPruneKeepVersions(t *testing.T) {
+	cl := testCluster(t, 2)
+	lib := New(cl, 0, Config{KeepVersions: 2})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	for v := int64(1); v <= 5; v++ {
+		if err := lib.Write("state", 0, v, []byte{byte(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.WaitIdle()
+	if _, err := lib.Fetch("state", 0, 3); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("version 3 should be pruned, got %v", err)
+	}
+	for _, v := range []int64{4, 5} {
+		if _, err := lib.Fetch("state", 0, v); err != nil {
+			t.Fatalf("version %d missing: %v", v, err)
+		}
+	}
+}
+
+func TestStopRejectsWrites(t *testing.T) {
+	cl := testCluster(t, 2)
+	lib := New(cl, 0, Config{})
+	lib.SetWorkerNodes([]int{0, 1})
+	lib.Stop()
+	lib.Stop() // idempotent
+	if err := lib.Write("state", 0, 1, []byte("x")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+}
+
+func TestNeighborCopyErrorIsRecorded(t *testing.T) {
+	cl := testCluster(t, 2)
+	lib := New(cl, 0, Config{})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	cl.KillNode(1) // neighbor down before the copy
+	if err := lib.Write("state", 0, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	if lib.Err() == nil {
+		t.Fatal("copy error not recorded")
+	}
+	// The local copy is still fine.
+	if _, err := lib.Fetch("state", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleLogicalRanksCoexist(t *testing.T) {
+	cl := testCluster(t, 2)
+	lib := New(cl, 0, Config{})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	for lr := 0; lr < 3; lr++ {
+		if err := lib.Write("state", lr, 1, []byte{byte(lr + 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.WaitIdle()
+	for lr := 0; lr < 3; lr++ {
+		got, err := lib.Fetch("state", lr, 1)
+		if err != nil || got[0] != byte(lr+10) {
+			t.Fatalf("lr %d: got %v err=%v", lr, got, err)
+		}
+	}
+}
+
+func TestFetchFallsBackToPFS(t *testing.T) {
+	// Both the writer's node and its neighbor die: only the PFS copy
+	// survives, and Fetch must find it.
+	cl := testCluster(t, 3)
+	lib := New(cl, 0, Config{PFSEvery: 1})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1, 2})
+	if err := lib.Write("state", 0, 1, []byte("pfs-survivor")); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	cl.KillNode(0)
+	cl.KillNode(1)
+	rescue := New(cl, 2, Config{})
+	defer rescue.Stop()
+	rescue.SetWorkerNodes([]int{2})
+	got, err := rescue.Fetch("state", 0, 1)
+	if err != nil || string(got) != "pfs-survivor" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+}
+
+func TestWriteAfterNeighborRefresh(t *testing.T) {
+	// After a fault-aware refresh, new copies must go to the new neighbor.
+	cl := testCluster(t, 4)
+	lib := New(cl, 0, Config{})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1, 2, 3})
+	if err := lib.Write("state", 0, 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	// Node 1 (the neighbor) fails; refresh to the survivors.
+	cl.KillNode(1)
+	lib.SetWorkerNodes([]int{0, 2, 3})
+	if err := lib.Write("state", 0, 2, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	if lib.Neighbor() != 2 {
+		t.Fatalf("neighbor = %d", lib.Neighbor())
+	}
+	// The v2 copy must exist on node 2.
+	if _, err := cl.Node(2).Get(Key("state", 0, 2), cl.Storage()); err != nil {
+		t.Fatalf("new neighbor lacks the copy: %v", err)
+	}
+}
+
+func TestGlobalPFSMode(t *testing.T) {
+	cl := testCluster(t, 3)
+	lib := New(cl, 0, Config{Mode: ModeGlobalPFS})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1, 2})
+	if err := lib.Write("state", 0, 1, []byte("global")); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing on any node-local store.
+	for n := 0; n < 3; n++ {
+		if len(cl.Node(n).Keys()) != 0 {
+			t.Fatalf("node %d has local copies in PFS mode", n)
+		}
+	}
+	// FindLatest must see the PFS copy; Fetch must return it even after
+	// every node died.
+	v, ok := lib.FindLatest("state", 0)
+	if !ok || v != 1 {
+		t.Fatalf("FindLatest = %d, %v", v, ok)
+	}
+	cl.KillNode(0)
+	cl.KillNode(1)
+	rescue := New(cl, 2, Config{Mode: ModeGlobalPFS})
+	defer rescue.Stop()
+	got, err := rescue.Fetch("state", 0, 1)
+	if err != nil || string(got) != "global" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+}
+
+func TestCompressedRoundtripAndFallback(t *testing.T) {
+	cl := testCluster(t, 2)
+	lib := New(cl, 0, Config{Compress: true})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	payload := bytes.Repeat([]byte("compressible! "), 1000)
+	if err := lib.Write("state", 0, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	// The stored blob must actually be smaller than the payload.
+	blob, err := cl.Node(0).Get(Key("state", 0, 1), cl.Storage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) >= len(payload) {
+		t.Fatalf("blob %d not smaller than payload %d", len(blob), len(payload))
+	}
+	got, err := lib.Fetch("state", 0, 1)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("roundtrip failed: %d bytes err=%v", len(got), err)
+	}
+	// A plain library can read compressed frames (magic-based detection).
+	plain := New(cl, 1, Config{})
+	defer plain.Stop()
+	got, err = plain.Fetch("state", 0, 1)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("cross-config fetch failed: err=%v", err)
+	}
+}
+
+func TestCompressedCorruptionDetected(t *testing.T) {
+	blob, err := encode(1, 2, bytes.Repeat([]byte("abc"), 100), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, _, _, err := decode(bad); err == nil {
+		t.Fatal("corrupted compressed frame accepted")
+	}
+	got, lr, v, err := decode(blob)
+	if err != nil || lr != 1 || v != 2 || len(got) != 300 {
+		t.Fatalf("roundtrip: lr=%d v=%d len=%d err=%v", lr, v, len(got), err)
+	}
+}
+
+func TestPFSModeCostsMoreThanNeighbor(t *testing.T) {
+	// Under a controlled storage model (PFS latency far above scheduler
+	// noise), the app-visible cost of a global PFS checkpoint must exceed
+	// the neighbor-level write — the asymmetry that motivates the paper's
+	// library design.
+	cl := cluster.New(cluster.Config{
+		Nodes: 2,
+		Gaspi: gaspi.Config{Latency: fabric.LatencyModel{Base: time.Microsecond}},
+		Storage: cluster.StorageModel{
+			PFSLatency: 20 * time.Millisecond,
+			PFSWidth:   1,
+		},
+	}, func(ctx *cluster.ProcCtx) error { return nil })
+	t.Cleanup(cl.Close)
+	cl.Wait()
+
+	payload := bytes.Repeat([]byte{7}, 1<<14)
+
+	neighbor := New(cl, 0, Config{})
+	defer neighbor.Stop()
+	neighbor.SetWorkerNodes([]int{0, 1})
+	start := time.Now()
+	if err := neighbor.Write("a", 0, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	neighborCost := time.Since(start)
+	neighbor.WaitIdle()
+
+	pfs := New(cl, 0, Config{Mode: ModeGlobalPFS})
+	defer pfs.Stop()
+	start = time.Now()
+	if err := pfs.Write("b", 0, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	pfsCost := time.Since(start)
+
+	if pfsCost < 20*time.Millisecond {
+		t.Fatalf("PFS write cost %v below the modeled latency", pfsCost)
+	}
+	if pfsCost <= 2*neighborCost {
+		t.Fatalf("PFS write %v not clearly above neighbor-level %v", pfsCost, neighborCost)
+	}
+}

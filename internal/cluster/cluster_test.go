@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/gaspi"
+)
+
+func testCfg(nodes, ppn int) Config {
+	return Config{
+		Nodes:        nodes,
+		ProcsPerNode: ppn,
+		Gaspi: gaspi.Config{
+			Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
+			Seed:    5,
+		},
+	}
+}
+
+func TestTopologyMapping(t *testing.T) {
+	cl := New(testCfg(4, 3), func(ctx *ProcCtx) error {
+		want := int(ctx.Rank()) / 3
+		if ctx.NodeID != want {
+			return fmt.Errorf("rank %d on node %d, want %d", ctx.Rank(), ctx.NodeID, want)
+		}
+		return nil
+	})
+	defer cl.Close()
+	for _, r := range mustWait(t, cl) {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+	if cl.NumNodes() != 4 || cl.NumProcs() != 12 {
+		t.Fatalf("nodes=%d procs=%d", cl.NumNodes(), cl.NumProcs())
+	}
+	if got := cl.RanksOf(2); len(got) != 3 || got[0] != 6 || got[2] != 8 {
+		t.Fatalf("RanksOf(2) = %v", got)
+	}
+	if cl.NodeOf(7) != 2 {
+		t.Fatalf("NodeOf(7) = %d", cl.NodeOf(7))
+	}
+}
+
+func mustWait(t *testing.T, cl *Cluster) []gaspi.Result {
+	t.Helper()
+	res, ok := cl.WaitTimeout(30 * time.Second)
+	if !ok {
+		t.Fatal("cluster hung")
+	}
+	return res
+}
+
+func TestNodeStorePutGet(t *testing.T) {
+	cl := New(testCfg(2, 1), func(ctx *ProcCtx) error { return nil })
+	defer cl.Close()
+	mustWait(t, cl)
+	n := cl.Node(0)
+	var m StorageModel
+	if err := n.Put("cp/1", []byte("data-1"), m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Get("cp/1", m)
+	if err != nil || string(got) != "data-1" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	if _, err := n.Get("missing", m); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	// Returned slice is a copy: mutations must not leak into the store.
+	got[0] = 'X'
+	got2, _ := n.Get("cp/1", m)
+	if string(got2) != "data-1" {
+		t.Fatalf("store mutated: %q", got2)
+	}
+	n.Delete("cp/1")
+	if _, err := n.Get("cp/1", m); !errors.Is(err, ErrNotFound) {
+		t.Fatal("delete did not remove key")
+	}
+}
+
+func TestKillNodeWipesStoreAndProcs(t *testing.T) {
+	ready := make(chan struct{}, 4)
+	cl := New(testCfg(4, 1), func(ctx *ProcCtx) error {
+		if err := ctx.SegmentCreate(1, 8); err != nil {
+			return err
+		}
+		ready <- struct{}{}
+		_, err := ctx.NotifyWaitsome(1, 0, 1, gaspi.Block)
+		return err
+	})
+	defer cl.Close()
+	for i := 0; i < 4; i++ {
+		<-ready
+	}
+	var m StorageModel
+	if err := cl.Node(1).Put("cp", []byte("x"), m); err != nil {
+		t.Fatal(err)
+	}
+	cl.KillNode(1)
+	if cl.NodeAlive(1) {
+		t.Fatal("node still alive")
+	}
+	if _, err := cl.Node(1).Get("cp", m); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown, got %v", err)
+	}
+	if err := cl.Node(1).Put("new", []byte("y"), m); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown on put, got %v", err)
+	}
+	// All other procs still blocked; shut down.
+	for i := 0; i < 3; i++ {
+		// drain nothing; the dead rank's result must show a kill
+	}
+	res := cl.Shutdown()
+	if res[1].Death == nil || !res[1].Death.Killed {
+		t.Fatalf("rank 1: %+v err=%v", res[1].Death, res[1].Err)
+	}
+}
+
+func TestTransferBetweenNodes(t *testing.T) {
+	cl := New(testCfg(3, 1), func(ctx *ProcCtx) error { return nil })
+	defer cl.Close()
+	mustWait(t, cl)
+	if err := cl.Transfer(0, 2, "cp/v1", []byte("neighbor-copy")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Node(2).Get("cp/v1", StorageModel{})
+	if err != nil || string(got) != "neighbor-copy" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+}
+
+func TestTransferToDeadNodeFails(t *testing.T) {
+	cl := New(testCfg(2, 1), func(ctx *ProcCtx) error { return nil })
+	defer cl.Close()
+	mustWait(t, cl)
+	cl.KillNode(1)
+	if err := cl.Transfer(0, 1, "k", []byte("x")); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown, got %v", err)
+	}
+	if err := cl.Transfer(1, 0, "k", []byte("x")); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("want ErrNodeDown from dead source, got %v", err)
+	}
+}
+
+func TestPFSPutGetDurable(t *testing.T) {
+	cfg := testCfg(2, 1)
+	cl := New(cfg, func(ctx *ProcCtx) error { return nil })
+	defer cl.Close()
+	mustWait(t, cl)
+	if err := cl.PFS().Put("global/cp", []byte("pfs-data")); err != nil {
+		t.Fatal(err)
+	}
+	cl.KillNode(0)
+	cl.KillNode(1)
+	got, err := cl.PFS().Get("global/cp")
+	if err != nil || string(got) != "pfs-data" {
+		t.Fatalf("got %q err=%v (PFS must survive node failures)", got, err)
+	}
+	if _, err := cl.PFS().Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestPFSContention(t *testing.T) {
+	cfg := testCfg(1, 1)
+	cfg.Storage.PFSLatency = 20 * time.Millisecond
+	cfg.Storage.PFSWidth = 1
+	cl := New(cfg, func(ctx *ProcCtx) error { return nil })
+	defer cl.Close()
+	mustWait(t, cl)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl.PFS().Put(fmt.Sprintf("k%d", i), []byte("x"))
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("4 serialized 20ms PFS writes finished in %v; contention not modelled", elapsed)
+	}
+}
+
+func TestStorageCostModel(t *testing.T) {
+	cl := New(testCfg(2, 1), func(ctx *ProcCtx) error { return nil })
+	defer cl.Close()
+	mustWait(t, cl)
+	m := StorageModel{LocalLatency: 10 * time.Millisecond}
+	start := time.Now()
+	if err := cl.Node(0).Put("k", []byte("x"), m); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("local latency not applied")
+	}
+}
+
+func TestPartitionNodeKeepsProcAlive(t *testing.T) {
+	ready := make(chan struct{}, 2)
+	cl := New(testCfg(2, 1), func(ctx *ProcCtx) error {
+		ready <- struct{}{}
+		if ctx.Rank() == 0 {
+			time.Sleep(30 * time.Millisecond)
+			err := ctx.ProcPing(1, 20*time.Millisecond)
+			if !errors.Is(err, gaspi.ErrTimeout) {
+				return fmt.Errorf("want timeout through partition, got %v", err)
+			}
+		} else {
+			time.Sleep(100 * time.Millisecond) // stays alive
+		}
+		return nil
+	})
+	defer cl.Close()
+	<-ready
+	<-ready
+	cl.PartitionNode(1, true)
+	for _, r := range mustWait(t, cl) {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package core is the fault-tolerant application framework that ties the
+// pieces of the paper together (the application flow of Figure 3): role
+// assignment (one dedicated fault detector, pre-allocated idle spares,
+// workers), the iterate–checkpoint loop, failure acknowledgment handling,
+// recovery (identity takeover, group reconstruction, communication
+// rebuild), and data re-initialization from the last globally consistent
+// neighbor-level checkpoint.
+//
+// Applications implement the App interface; the framework drives them.
+// The Lanczos eigensolver of the paper and the heat-equation example are
+// both Apps, demonstrating the paper's claim that "the concept can be
+// applied to other applications".
+package core
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+	"repro/internal/spmvm"
+	"repro/internal/trace"
+)
+
+// App is a checkpointable iterative application driven by the framework.
+//
+// Collective alignment contract: Init(restore=false) may communicate (it
+// runs pre-processing among the initial workers); Init(restore=true) runs
+// on a rescue process after a recovery and must NOT communicate (it loads
+// the pre-processing state from the failed process's checkpoint instead —
+// the paper's trick to avoid repeating pre-processing). Rebuild runs on
+// every group member after Init and after every recovery and may
+// communicate; it recreates the communication structures (halo segments).
+type App interface {
+	// Init prepares the application: pre-processing on a fresh start, or
+	// loading the plan checkpoint on a rescue process (restore=true).
+	Init(ctx *Ctx, restore bool) error
+	// Rebuild (re)creates communication structures on the current worker
+	// group. Called once after Init and again after every recovery.
+	Rebuild(ctx *Ctx) error
+	// Checkpoint serializes the application state at the current iteration.
+	Checkpoint(ctx *Ctx) ([]byte, error)
+	// Restore resets the application state to a checkpoint taken at
+	// iteration iter. A nil payload resets to the initial state (iter 0).
+	Restore(ctx *Ctx, payload []byte, iter int64) error
+	// Step executes iteration iter (computation + communication through
+	// ctx.Comm).
+	Step(ctx *Ctx, iter int64) error
+	// Finished reports whether the computation is complete after iter
+	// completed iterations.
+	Finished(iter int64) bool
+}
+
+// Ctx is the per-process context handed to the App.
+type Ctx struct {
+	// Proc is the GASPI process.
+	Proc *gaspi.Proc
+	// Comm is the fault-tolerance-aware communication interface (also the
+	// ft.Worker; identical object, two views).
+	Comm spmvm.Comm
+	// Worker is the FT wrapper (nil only before worker setup).
+	Worker *ft.Worker
+	// CP is the neighbor-level checkpoint library (nil when checkpointing
+	// is disabled).
+	CP *checkpoint.Library
+	// Cluster is the hosting cluster process context.
+	Cluster *cluster.ProcCtx
+	// Logical is the current logical worker rank.
+	Logical int
+	// Layout is the role layout.
+	Layout ft.Layout
+	// Rec is the overhead recorder.
+	Rec *trace.Recorder
+	// Cfg is the framework configuration.
+	Cfg Config
+}
+
+// Config parameterizes the framework.
+type Config struct {
+	// Spares is the number of idle spare processes (the FD is extra).
+	Spares int
+	// FT holds the fault-tolerance timing knobs.
+	FT ft.Config
+	// EnableHC runs the health-check machinery (FD process scanning and
+	// worker-side acknowledgment checks). Disabled for the baseline
+	// "w/o HC" scenarios.
+	EnableHC bool
+	// EnableCP writes periodic application checkpoints.
+	EnableCP bool
+	// FDRedundancy runs a standby detector on the highest spare that takes
+	// over when the FD process itself fails — the paper's future-work
+	// extension lifting restriction 2 for a single FD failure.
+	FDRedundancy bool
+	// CheckpointEvery is the checkpoint interval in iterations (the paper
+	// uses 500 of 3500).
+	CheckpointEvery int64
+	// CP configures the checkpoint library.
+	CP checkpoint.Config
+	// FailPlan injects exit(-1) failures: at the start of iteration i,
+	// every logical rank in FailPlan[i] whose process is the ORIGINAL
+	// holder of that rank exits — the deterministic failure injection used
+	// for Figure 4 ("processes are killed using exit(-1) at a specific
+	// iteration in order to have a deterministic redo-work time").
+	FailPlan map[int64][]int
+	// StateName is the checkpoint family name (default "state").
+	StateName string
+	// PlanName is the pre-processing checkpoint name (default "plan").
+	PlanName string
+}
+
+func (c Config) withDefaults() Config {
+	if c.StateName == "" {
+		c.StateName = "state"
+	}
+	if c.PlanName == "" {
+		c.PlanName = "plan"
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 50
+	}
+	return c
+}
+
+// Layout derives the ft.Layout for a given total process count.
+func (c Config) Layout(procs int) ft.Layout {
+	return ft.Layout{Procs: procs, Spares: c.Spares}
+}
+
+// PlanVersion is the version under which the pre-processing checkpoint is
+// stored (written once, after pre-processing, as in the paper).
+const PlanVersion int64 = 0
+
+// noCheckpoint is the version allreduced when a rank has no usable
+// checkpoint.
+const noCheckpoint int64 = -1

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+	"repro/internal/trace"
+)
+
+// Job is a running fault-tolerant application on a simulated cluster.
+type Job struct {
+	// Cluster is the underlying testbed (for fault injection).
+	Cluster *cluster.Cluster
+	// Recorders holds one overhead recorder per physical rank.
+	Recorders []*trace.Recorder
+	// Layout is the role layout.
+	Layout ft.Layout
+}
+
+// Launch starts the fault-tolerant application: a cluster per ccfg, with
+// roles assigned per cfg and every worker running the app built by newApp.
+func Launch(ccfg cluster.Config, cfg Config, newApp func() App) *Job {
+	cfg = cfg.withDefaults()
+	procs := ccfg.Nodes * max(ccfg.ProcsPerNode, 1)
+	lay := cfg.Layout(procs)
+	if err := lay.Validate(); err != nil {
+		panic(err)
+	}
+	recs := make([]*trace.Recorder, procs)
+	for i := range recs {
+		recs[i] = trace.NewRecorder()
+	}
+	cl := cluster.New(ccfg, func(ctx *cluster.ProcCtx) error {
+		return Main(ctx, cfg, lay, newApp, recs[ctx.Rank()])
+	})
+	return &Job{Cluster: cl, Recorders: recs, Layout: lay}
+}
+
+// Wait waits for completion and returns per-rank results.
+func (j *Job) Wait() []gaspi.Result { return j.Cluster.Wait() }
+
+// WaitTimeout is Wait with a deadline.
+func (j *Job) WaitTimeout(d time.Duration) ([]gaspi.Result, bool) {
+	return j.Cluster.WaitTimeout(d)
+}
+
+// Close tears the job down.
+func (j *Job) Close() { j.Cluster.Close() }
+
+// Main is the per-process entry point implementing the flow chart of
+// Figure 3: processes are categorized into working and idle; one idle
+// process acts as the FD; workers compute, checkpoint, and on failure
+// acknowledgment reconstruct the group and restart from the last
+// consistent checkpoint.
+func Main(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder) error {
+	cfg = cfg.withDefaults()
+	p := cctx.Proc
+	if err := ft.CreateBoard(p, lay); err != nil {
+		return err
+	}
+
+	switch lay.RoleOf(p.Rank()) {
+	case ft.RoleDetector:
+		return detectorMain(cctx, cfg, lay, newApp, rec)
+	case ft.RoleSpare:
+		return spareMain(cctx, cfg, lay, newApp, rec)
+	default:
+		if err := ft.SetupInitialGroup(p, lay, gaspi.Block); err != nil {
+			return err
+		}
+		logical := int(p.Rank()) - 1 - lay.Spares
+		w := ft.NewWorker(p, lay, cfg.FT, logical, cfg.EnableHC, rec)
+		return workerMain(cctx, cfg, lay, newApp, rec, w, nil)
+	}
+}
+
+// detectorMain runs the FD process; without health checking it only waits
+// for the shutdown signal (the reserved node sits idle, as in the paper's
+// baseline runs where spare nodes are reserved but unused).
+func detectorMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder) error {
+	p := cctx.Proc
+	if !cfg.EnableHC {
+		_, err := p.NotifyWaitsome(ft.SegBoard, ft.NotifShutdown, 1, gaspi.Block)
+		return err
+	}
+	return runDetector(cctx, cfg, lay, newApp, rec, ft.NewDetector(p, lay, cfg.FT, rec))
+}
+
+// runDetector drives a detector (primary or promoted standby) and handles
+// its terminal outcomes, including the FD-joins-the-workers path.
+func runDetector(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder, d *ft.Detector) error {
+	p := cctx.Proc
+	outcome, notice, err := d.Run()
+	if err != nil {
+		return err
+	}
+	switch outcome {
+	case ft.DetectorShutdown:
+		return nil
+	case ft.DetectorUnrecoverable:
+		return ft.ErrUnrecoverable
+	default: // DetectorJoinWorkers
+		logical, ok := notice.RescueOf(p.Rank())
+		if !ok {
+			return errors.New("core: FD joined the workers without an identity")
+		}
+		w := ft.AdoptIdentity(p, lay, cfg.FT, notice, logical, rec)
+		return workerMain(cctx, cfg, lay, newApp, rec, w, notice)
+	}
+}
+
+// spareMain waits idle until the FD activates this spare as a rescue (or
+// the application completes). With FDRedundancy enabled, the highest spare
+// additionally stands by for the FD itself and takes over detection when
+// the FD dies — the paper's future-work redundancy approach.
+func spareMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder) error {
+	p := cctx.Proc
+	if cfg.EnableHC && cfg.FDRedundancy && p.Rank() == lay.StandbyRank() {
+		outcome, d, notice, logical, err := ft.WaitStandby(p, lay, cfg.FT, rec)
+		if err != nil {
+			return err
+		}
+		switch outcome {
+		case ft.StandbyShutdown:
+			return nil
+		case ft.StandbyPromoted:
+			return runDetector(cctx, cfg, lay, newApp, rec, d)
+		default: // StandbyActivated: proceed as an ordinary rescue
+			w := ft.AdoptIdentity(p, lay, cfg.FT, notice, logical, rec)
+			return workerMain(cctx, cfg, lay, newApp, rec, w, notice)
+		}
+	}
+	notice, logical, shutdown, err := ft.WaitActivation(p, lay, cfg.FT)
+	if err != nil {
+		return err
+	}
+	if shutdown {
+		return nil
+	}
+	w := ft.AdoptIdentity(p, lay, cfg.FT, notice, logical, rec)
+	return workerMain(cctx, cfg, lay, newApp, rec, w, notice)
+}
+
+// workerMain is the worker flow. For a rescue process (activation non-nil)
+// it first completes the pending recovery (group commit + state reload),
+// then enters the same loop as everybody else.
+//
+// A worker failing with a hard (non-recoverable) error broadcasts the
+// shutdown signal before returning: the job is lost, and without the
+// broadcast the FD and the idle spares would wait forever — the role a
+// batch system's job teardown plays on a real cluster.
+func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder, w *ft.Worker, activation *ft.Notice) (err error) {
+	p := cctx.Proc
+	defer func() {
+		if err != nil {
+			gaspi.Protect(func() { _ = ft.SignalShutdown(p, lay) })
+		}
+	}()
+	app := newApp()
+	ctx := &Ctx{
+		Proc:    p,
+		Comm:    w,
+		Worker:  w,
+		Cluster: cctx,
+		Logical: w.Logical(),
+		Layout:  lay,
+		Rec:     rec,
+		Cfg:     cfg,
+	}
+	if cfg.EnableCP {
+		ctx.CP = checkpoint.New(cctx.Cluster, cctx.NodeID, cfg.CP)
+		defer ctx.CP.Stop()
+		ctx.CP.SetWorkerNodes(workerNodes(cctx.Cluster, w.RankMap().Snapshot()))
+	}
+
+	var iter int64
+	lastCP := int64(-1)
+	if activation != nil {
+		// Rescue path: adopt identity (Init must not communicate), then
+		// join the group commit every survivor is also entering.
+		if err := app.Init(ctx, true); err != nil {
+			return fmt.Errorf("core: rescue init (logical %d): %w", ctx.Logical, err)
+		}
+		if err := w.Recover(activation); err != nil {
+			return err
+		}
+		it, err := reload(ctx, app)
+		if err != nil {
+			return err
+		}
+		iter = it
+		lastCP = it // the restored version's checkpoint already exists
+	} else {
+		if err := app.Init(ctx, false); err != nil {
+			return fmt.Errorf("core: init (logical %d): %w", ctx.Logical, err)
+		}
+		if err := app.Rebuild(ctx); err != nil {
+			return err
+		}
+		// Establish the initial application state (collective, e.g. the
+		// normalized start vector), symmetric with the recovery path.
+		if err := app.Restore(ctx, nil, 0); err != nil {
+			return err
+		}
+	}
+
+	maxIterSeen := iter
+
+	for !app.Finished(iter) {
+		// Deterministic exit(-1) failure injection (Figure 4 methodology).
+		if logicals, ok := cfg.FailPlan[iter]; ok &&
+			slices.Contains(logicals, ctx.Logical) &&
+			p.Rank() == lay.InitialPhysical(ctx.Logical) {
+			p.Exit(-1)
+		}
+
+		if cfg.EnableCP && iter%cfg.CheckpointEvery == 0 && iter != lastCP {
+			stop := rec.Start(trace.PhaseCheckpoint)
+			payload, err := app.Checkpoint(ctx)
+			if err != nil {
+				return err
+			}
+			err = ctx.CP.Write(cfg.StateName, ctx.Logical, iter, payload)
+			stop()
+			if err != nil {
+				return err
+			}
+			rec.Inc("core.checkpoints", 1)
+			lastCP = iter
+		}
+
+		phase := trace.PhaseCompute
+		if iter < maxIterSeen {
+			phase = trace.PhaseRedoWork
+		}
+		stop := rec.Start(phase)
+		err := app.Step(ctx, iter)
+		stop()
+		if err != nil {
+			var fde *ft.FailureDetectedError
+			if !errors.As(err, &fde) {
+				return fmt.Errorf("core: step %d (logical %d): %w", iter, ctx.Logical, err)
+			}
+			if rerr := w.Recover(fde.Notice); rerr != nil {
+				return rerr
+			}
+			it, rerr := reload(ctx, app)
+			if rerr != nil {
+				return rerr
+			}
+			iter = it
+			lastCP = it // the restored version's checkpoint already exists
+			continue
+		}
+		iter++
+		if iter > maxIterSeen {
+			maxIterSeen = iter
+		}
+	}
+
+	// The logical root reports completion: FD and idle spares shut down.
+	if ctx.Logical == 0 {
+		if err := ft.SignalShutdown(p, lay); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reload is the data re-initialization step (OHF3): refresh the
+// fault-aware checkpoint library, agree on the last globally consistent
+// checkpoint version (minimum of every member's newest fetchable version),
+// rebuild communication structures, and restore the application state.
+func reload(ctx *Ctx, app App) (int64, error) {
+	stop := ctx.Rec.Start(trace.PhaseReinit)
+	defer stop()
+
+	if ctx.CP != nil {
+		ctx.CP.SetWorkerNodes(workerNodes(ctx.Cluster.Cluster, ctx.Worker.RankMap().Snapshot()))
+	}
+	if err := app.Rebuild(ctx); err != nil {
+		return 0, err
+	}
+
+	mine := noCheckpoint
+	if ctx.CP != nil {
+		if v, ok := ctx.CP.FindLatest(ctx.Cfg.StateName, ctx.Logical); ok {
+			mine = v
+		}
+	}
+	agreed, err := ctx.Worker.AllreduceI64([]int64{mine}, gaspi.OpMin)
+	if err != nil {
+		return 0, err
+	}
+	version := agreed[0]
+	if version == noCheckpoint {
+		// No consistent checkpoint anywhere: restart from the beginning.
+		if err := app.Restore(ctx, nil, 0); err != nil {
+			return 0, err
+		}
+		ctx.Rec.Inc("core.restarts_from_scratch", 1)
+		return 0, nil
+	}
+	payload, err := ctx.CP.Fetch(ctx.Cfg.StateName, ctx.Logical, version)
+	if err != nil {
+		return 0, err
+	}
+	if err := app.Restore(ctx, payload, version); err != nil {
+		return 0, err
+	}
+	ctx.Rec.Inc("core.restores", 1)
+	return version, nil
+}
+
+// workerNodes maps the current worker physical ranks to their hosting
+// nodes (deduplicated) — the fault-aware neighbor list handed to the C/R
+// library after every recovery.
+func workerNodes(cl *cluster.Cluster, actPhys []ft.Rank) []int {
+	seen := make(map[int]bool)
+	var nodes []int
+	for _, r := range actPhys {
+		n := cl.NodeOf(r)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}

@@ -1,0 +1,288 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+	"repro/internal/lanczos"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// AblationConfig parameterizes the Section IV.A.b detector comparison:
+// dedicated-FD one-sided ping (the paper's choice) versus all-to-all ping
+// and neighbor-ring ping (investigated and rejected), plus the
+// threaded-vs-serial FD scan (which is what makes simultaneous failures
+// cost one detection).
+type AblationConfig struct {
+	// Workers is the worker count.
+	Workers int
+	// Iters is the Lanczos iteration count for the overhead workload.
+	Iters int
+	// Nx, Ny size the matrix.
+	Nx, Ny int
+	// TimeScale divides calibrated times.
+	TimeScale float64
+	// Seed seeds everything.
+	Seed int64
+}
+
+// WithDefaults fills defaults.
+func (c AblationConfig) WithDefaults() AblationConfig {
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Iters <= 0 {
+		c.Iters = 150
+	}
+	if c.Nx <= 0 {
+		c.Nx = 64
+	}
+	if c.Ny <= 0 {
+		c.Ny = 32
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = DefaultTimeScale
+	}
+	if c.Seed == 0 {
+		c.Seed = 17
+	}
+	return c
+}
+
+// AblationRow is one detector variant's measurement.
+type AblationRow struct {
+	// Name identifies the variant.
+	Name string
+	// Wall is the failure-free workload runtime.
+	Wall time.Duration
+	// Pings is the total number of pings issued fabric-wide.
+	Pings uint64
+	// OverheadPct is the runtime overhead versus the no-detector baseline.
+	OverheadPct float64
+}
+
+// AblationResult holds the failure-free overhead comparison plus the
+// simultaneous-failure detection comparison of serial vs threaded FD.
+type AblationResult struct {
+	Cfg  AblationConfig
+	Rows []AblationRow
+	// SerialDetect/ThreadedDetect are the times for a 3-simultaneous-kill
+	// detection by a serial and an 8-thread FD scan.
+	SerialDetect, ThreadedDetect time.Duration
+}
+
+// RunAblation executes the comparison.
+func RunAblation(c AblationConfig) (*AblationResult, error) {
+	c = c.WithDefaults()
+	res := &AblationResult{Cfg: c}
+
+	var baseline time.Duration
+	for _, variant := range []string{"no detector", "dedicated FD (paper)", "all-to-all ping", "neighbor-ring ping"} {
+		wall, pings, err := runAblationWorkload(c, variant)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", variant, err)
+		}
+		row := AblationRow{Name: variant, Wall: wall, Pings: pings}
+		if variant == "no detector" {
+			baseline = wall
+		}
+		if baseline > 0 {
+			row.OverheadPct = (wall.Seconds()/baseline.Seconds() - 1) * 100
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Average the detection comparison over a few repetitions: a single
+	// sample is dominated by where in the scan period the injection lands.
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		s, err := runSimultaneousDetection(c, 1)
+		if err != nil {
+			return nil, fmt.Errorf("ablation serial detect: %w", err)
+		}
+		th, err := runSimultaneousDetection(c, 8)
+		if err != nil {
+			return nil, fmt.Errorf("ablation threaded detect: %w", err)
+		}
+		res.SerialDetect += s / reps
+		res.ThreadedDetect += th / reps
+	}
+	return res, nil
+}
+
+// runAblationWorkload runs the failure-free Lanczos workload under one
+// detector variant and reports the wall time and total pings.
+func runAblationWorkload(c AblationConfig, variant string) (time.Duration, uint64, error) {
+	cal := PaperCalibration()
+	spares := 1
+	procs := 1 + spares + c.Workers
+	ccfg := ClusterConfig(procs, cal, c.TimeScale, c.Seed)
+	cfg := core.Config{
+		Spares:          spares,
+		FT:              FTConfig(cal, c.TimeScale, 8),
+		EnableHC:        variant == "dedicated FD (paper)",
+		EnableCP:        true,
+		CheckpointEvery: 50,
+	}
+	gen := matrix.DefaultGraphene(c.Nx, c.Ny, uint64(c.Seed))
+
+	probers := make(chan *ft.Prober, procs)
+	newApp := func() core.App {
+		return apps.NewLanczos(apps.LanczosConfig{
+			Gen:  gen,
+			Opts: lanczos.Options{MaxIters: c.Iters, NumEigs: 2, CheckEvery: 50, Seed: uint64(c.Seed)},
+			// A light compute load so detector interference is visible.
+			StepDelay: scale(cal.StepTime, c.TimeScale) / 4,
+		})
+	}
+
+	start := time.Now()
+	job := core.Launch(ccfg, cfg, func() core.App {
+		app := newApp()
+		return &proberApp{App: app, variant: variant, cfg: cfg.FT, probers: probers}
+	})
+	defer job.Close()
+	results, ok := job.WaitTimeout(5 * time.Minute)
+	if !ok {
+		return 0, 0, errors.New("hung")
+	}
+	wall := time.Since(start)
+	close(probers)
+	for b := range probers {
+		b.Stop()
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return 0, 0, fmt.Errorf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+	stats := job.Cluster.Job().Transport().Stats()
+	pings := stats.PerKind[10] // kPing
+	return wall, pings, nil
+}
+
+// proberApp wraps an App so that the alternative detectors (which run on
+// the application processes, unlike the dedicated FD) start with Init and
+// stop when the workload finishes.
+type proberApp struct {
+	core.App
+	variant string
+	cfg     ft.Config
+	probers chan *ft.Prober
+	started bool
+}
+
+func (a *proberApp) Init(ctx *core.Ctx, restore bool) error {
+	if !a.started {
+		a.started = true
+		switch a.variant {
+		case "all-to-all ping":
+			b := ft.NewAllToAllProber(ctx.Proc, a.cfg, ctx.Rec)
+			b.Start()
+			a.probers <- b
+		case "neighbor-ring ping":
+			b := ft.NewNeighborProber(ctx.Proc, a.cfg, ctx.Rec)
+			b.Start()
+			a.probers <- b
+		}
+	}
+	return a.App.Init(ctx, restore)
+}
+
+// runSimultaneousDetection kills three workers at once and measures the
+// FD's detection+acknowledgment latency with the given scan parallelism.
+func runSimultaneousDetection(c AblationConfig, threads int) (time.Duration, error) {
+	cal := PaperCalibration()
+	nodes := 2 + c.Workers + 3 // FD + spare headroom
+	lay := ft.Layout{Procs: nodes, Spares: 4}
+	ccfg := ClusterConfig(nodes, cal, c.TimeScale, c.Seed)
+	ftcfg := FTConfig(cal, c.TimeScale, threads)
+	rec := trace.NewRecorder()
+
+	ackCh := make(chan time.Time, nodes)
+	cl := cluster.New(ccfg, func(ctx *cluster.ProcCtx) error {
+		p := ctx.Proc
+		if err := ft.CreateBoard(p, lay); err != nil {
+			return err
+		}
+		switch lay.RoleOf(p.Rank()) {
+		case ft.RoleDetector:
+			d := ft.NewDetector(p, lay, ftcfg, rec)
+			_, _, err := d.Run()
+			return err
+		case ft.RoleSpare:
+			_, _, _, err := ft.WaitActivation(p, lay, ftcfg)
+			return err
+		default:
+			w := ft.NewWorker(p, lay, ftcfg, 0, true, trace.NewRecorder())
+			for {
+				err := w.CheckFailure()
+				var fde *ft.FailureDetectedError
+				if errors.As(err, &fde) {
+					ackCh <- time.Now()
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if v, _ := p.NotifyPeek(ft.SegBoard, ft.NotifShutdown); v != 0 {
+					return nil
+				}
+				time.Sleep(ftcfg.CommTimeout / 10)
+			}
+		}
+	})
+	defer cl.Shutdown()
+
+	time.Sleep(2 * ftcfg.ScanInterval)
+	injected := time.Now()
+	victims := []gaspi.Rank{lay.InitialPhysical(0), lay.InitialPhysical(1), lay.InitialPhysical(2)}
+	for _, v := range victims {
+		cl.KillProc(v)
+	}
+	want := lay.Workers() - len(victims)
+	var last time.Time
+	deadline := time.After(time.Minute)
+	for i := 0; i < want; i++ {
+		select {
+		case ts := <-ackCh:
+			if ts.After(last) {
+				last = ts
+			}
+		case <-deadline:
+			return 0, fmt.Errorf("only %d/%d acknowledgments", i, want)
+		}
+	}
+	return last.Sub(injected), nil
+}
+
+// Render formats the ablation report.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detector ablation (§IV.A.b) — %d workers, %d iters, time scale 1/%.0f\n\n",
+		r.Cfg.Workers, r.Cfg.Iters, r.Cfg.TimeScale)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprintf("%.3f", row.Wall.Seconds()),
+			fmt.Sprintf("%d", row.Pings),
+			fmt.Sprintf("%+.2f%%", row.OverheadPct),
+		})
+	}
+	b.WriteString(trace.Table([]string{"detector", "wall[s]", "pings", "overhead"}, rows))
+	fmt.Fprintf(&b, "\n3 simultaneous failures, detection+ack:\n")
+	fmt.Fprintf(&b, "  serial FD scan   : %.4fs (model %.2fs)\n",
+		r.SerialDetect.Seconds(), Model(r.SerialDetect, r.Cfg.TimeScale).Seconds())
+	fmt.Fprintf(&b, "  8-thread FD scan : %.4fs (model %.2fs)\n",
+		r.ThreadedDetect.Seconds(), Model(r.ThreadedDetect, r.Cfg.TimeScale).Seconds())
+	return b.String()
+}

@@ -1,0 +1,98 @@
+// Package experiment regenerates the paper's evaluation: Figure 4 (runtime
+// decomposition of the fault-tolerant Lanczos under various failure
+// scenarios), Table I (fault-detector scaling), and the Section IV.A.b
+// detector ablation. Everything runs on the simulated cluster with latency
+// parameters calibrated to the paper's testbed divided by a time-scale
+// factor; results report both measured (wall-clock) and model
+// (scaled-back) times.
+package experiment
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+)
+
+// DefaultTimeScale compresses the paper's timing constants: 1 model second
+// = 10 real milliseconds.
+const DefaultTimeScale = 100.0
+
+// Calibration holds the paper-calibrated timing constants (model time,
+// i.e. what the paper reports).
+type Calibration struct {
+	// PingRTT is the per-process ping cost (paper: ≈1 ms).
+	PingRTT time.Duration
+	// ScanInterval is the FD scan period (paper: 3 s).
+	ScanInterval time.Duration
+	// CommTimeout is the worker blocking-call timeout (paper: 1 s).
+	CommTimeout time.Duration
+	// StepTime is the per-iteration compute time (paper: ≈1400 s/3500
+	// iterations ≈ 400 ms on 256 nodes).
+	StepTime time.Duration
+}
+
+// PaperCalibration returns the constants from Section VI of the paper.
+func PaperCalibration() Calibration {
+	return Calibration{
+		PingRTT:      time.Millisecond,
+		ScanInterval: 3 * time.Second,
+		CommTimeout:  time.Second,
+		StepTime:     400 * time.Millisecond,
+	}
+}
+
+// scale divides a model duration by the time-scale factor.
+func scale(d time.Duration, timeScale float64) time.Duration {
+	return time.Duration(float64(d) / timeScale)
+}
+
+// Model converts a measured (real) duration back to model time.
+func Model(d time.Duration, timeScale float64) time.Duration {
+	return time.Duration(float64(d) * timeScale)
+}
+
+// ClusterConfig builds the simulated-cluster configuration for a given
+// node count: fabric latency such that one ping round trip costs
+// PingRTT/timeScale (a ping is two fabric messages), QDR-class bandwidth,
+// and the storage-tier cost model.
+func ClusterConfig(nodes int, cal Calibration, timeScale float64, seed int64) cluster.Config {
+	base := scale(cal.PingRTT, timeScale) / 2
+	if base <= 0 {
+		base = time.Microsecond
+	}
+	return cluster.Config{
+		Nodes: nodes,
+		Gaspi: gaspi.Config{
+			Latency: fabric.LatencyModel{
+				Base: base,
+				// ~3.2 GB/s QDR: 0.31 ns/B, time-scaled.
+				PerByteNs: 0.31 / timeScale * 100, // stays ~0.31 at scale 100
+				Jitter:    0.1,
+			},
+			Seed: seed,
+		},
+		Storage: cluster.StorageModel{
+			// Node-local storage ~1 GB/s, node-to-node ~3 GB/s, PFS ~0.5
+			// GB/s shared over 4 streams; all time-scaled.
+			LocalPerByte: time.Nanosecond,
+			XferPerByte:  time.Nanosecond,
+			PFSLatency:   scale(10*time.Millisecond, timeScale),
+			PFSPerByte:   2 * time.Nanosecond,
+			PFSWidth:     4,
+		},
+	}
+}
+
+// FTConfig builds the fault-tolerance timing knobs from the calibration.
+func FTConfig(cal Calibration, timeScale float64, threads int) ft.Config {
+	return ft.Config{
+		ScanInterval: scale(cal.ScanInterval, timeScale),
+		PingTimeout:  scale(cal.CommTimeout, timeScale),
+		CommTimeout:  scale(cal.CommTimeout, timeScale),
+		Threads:      threads,
+		StallLimit:   scale(100*cal.CommTimeout, timeScale),
+	}
+}

@@ -1,0 +1,76 @@
+package fabric
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Send when the sending endpoint itself has been
+// closed (the local process is dead).
+var ErrClosed = errors.New("fabric: endpoint closed")
+
+// Endpoint is one simulated process's attachment point to the fabric.
+// Send posts messages asynchronously; Recv exposes the delivery channel,
+// which the GASPI layer's NIC goroutine drains.
+type Endpoint struct {
+	rank Rank
+	t    *Transport
+	in   chan Message
+	done chan struct{}
+	once sync.Once
+}
+
+// Rank returns the endpoint's rank.
+func (e *Endpoint) Rank() Rank { return e.rank }
+
+// Recv returns the delivery channel. The consumer must drain it promptly;
+// a full inbox exerts backpressure on the delivery pump for this endpoint
+// only (modelling a saturated NIC receive queue).
+func (e *Endpoint) Recv() <-chan Message { return e.in }
+
+// Done returns a channel closed when the endpoint is closed.
+func (e *Endpoint) Done() <-chan struct{} { return e.done }
+
+// Closed reports whether the endpoint has been closed.
+func (e *Endpoint) Closed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close marks the endpoint dead. Subsequent messages addressed to it are
+// NACKed back to their senders. Idempotent.
+func (e *Endpoint) Close() {
+	e.once.Do(func() { close(e.done) })
+}
+
+// Send posts a data-plane message to the given destination. The call returns
+// immediately; delivery happens after the fabric latency. Failures (closed
+// destination) surface asynchronously as a KindNack message delivered back to
+// this endpoint, mirroring a reliable-connection error completion.
+func (e *Endpoint) Send(to Rank, m Message) error {
+	return e.send(to, m, false)
+}
+
+// SendMgmt posts a message on the management plane: fixed latency, immune to
+// data-plane partitions. This models out-of-band control (the channel through
+// which gaspi_proc_kill reaches an otherwise unreachable process).
+func (e *Endpoint) SendMgmt(to Rank, m Message) error {
+	return e.send(to, m, true)
+}
+
+func (e *Endpoint) send(to Rank, m Message, mgmt bool) error {
+	if e.Closed() {
+		return ErrClosed
+	}
+	if to < 0 || int(to) >= len(e.t.eps) {
+		return errors.New("fabric: invalid destination rank")
+	}
+	m.From = e.rank
+	m.To = to
+	e.t.post(m, mgmt)
+	return nil
+}

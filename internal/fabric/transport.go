@@ -1,0 +1,268 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyModel describes the message latency distribution of the fabric.
+// The delivery delay of a message of size s bytes is
+//
+//	Base + PerByte*s + U(0, Jitter*Base)
+//
+// where U is uniform noise drawn from a deterministic per-destination stream.
+type LatencyModel struct {
+	// Base is the zero-byte message latency (e.g. ~1.3µs for QDR IB,
+	// scaled by the experiment's time-scale factor).
+	Base time.Duration
+	// PerByte is the inverse bandwidth (time per payload byte).
+	PerByte time.Duration
+	// PerByteNs is an additional fractional per-byte cost in nanoseconds,
+	// for bandwidths above 1 GB/s where a whole nanosecond per byte is too
+	// coarse (time-scaled experiments use it).
+	PerByteNs float64
+	// Jitter is the noise amplitude as a fraction of Base.
+	Jitter float64
+	// MgmtDelay is the fixed latency of management-plane messages.
+	// Defaults to Base when zero.
+	MgmtDelay time.Duration
+}
+
+// delay computes the delivery delay for a message of the given wire size.
+// rng may be nil, in which case no jitter is applied.
+func (l LatencyModel) delay(size int, rng *rand.Rand) time.Duration {
+	d := l.Base + time.Duration(size)*l.PerByte
+	if l.PerByteNs > 0 {
+		d += time.Duration(l.PerByteNs * float64(size))
+	}
+	if l.Jitter > 0 && rng != nil {
+		d += time.Duration(rng.Float64() * l.Jitter * float64(l.Base))
+	}
+	return d
+}
+
+// Config parameterizes a Transport.
+type Config struct {
+	// N is the number of endpoints (simulated processes).
+	N int
+	// Latency is the fabric latency model.
+	Latency LatencyModel
+	// InboxDepth is the per-endpoint receive queue depth (default 4096).
+	InboxDepth int
+	// Seed seeds the deterministic jitter streams.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	cc := *c
+	if cc.InboxDepth <= 0 {
+		cc.InboxDepth = 4096
+	}
+	if cc.Latency.MgmtDelay == 0 {
+		cc.Latency.MgmtDelay = cc.Latency.Base
+	}
+	return cc
+}
+
+// Stats holds fabric-wide message counters. All fields are read with
+// atomic loads; use Transport.Stats for a consistent-enough snapshot.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // swallowed by partitions / downed links
+	Nacks     uint64
+	Bytes     uint64
+	// PerKind counts sent messages by kind value.
+	PerKind [256]uint64
+}
+
+// Transport is the simulated interconnect: N endpoints plus one delivery
+// pump per endpoint.
+type Transport struct {
+	cfg   Config
+	eps   []*Endpoint
+	pumps []*pump
+
+	mu          sync.RWMutex
+	partitioned []bool
+	linksDown   map[linkKey]bool
+
+	closed atomic.Bool
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	nacks     atomic.Uint64
+	bytes     atomic.Uint64
+	perKind   [256]atomic.Uint64
+}
+
+type linkKey struct{ a, b Rank }
+
+func normLink(a, b Rank) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// New creates a transport with cfg.N endpoints and starts its delivery pumps.
+func New(cfg Config) *Transport {
+	cfg = cfg.withDefaults()
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("fabric: invalid endpoint count %d", cfg.N))
+	}
+	t := &Transport{
+		cfg:         cfg,
+		eps:         make([]*Endpoint, cfg.N),
+		pumps:       make([]*pump, cfg.N),
+		partitioned: make([]bool, cfg.N),
+		linksDown:   make(map[linkKey]bool),
+	}
+	for i := range t.eps {
+		t.eps[i] = &Endpoint{
+			rank: Rank(i),
+			t:    t,
+			in:   make(chan Message, cfg.InboxDepth),
+			done: make(chan struct{}),
+		}
+		t.pumps[i] = newPump(t, Rank(i), cfg.Seed+int64(i)*7919)
+	}
+	for _, p := range t.pumps {
+		go p.run()
+	}
+	return t
+}
+
+// N returns the number of endpoints.
+func (t *Transport) N() int { return len(t.eps) }
+
+// Endpoint returns the endpoint with the given rank.
+func (t *Transport) Endpoint(r Rank) *Endpoint {
+	if r < 0 || int(r) >= len(t.eps) {
+		panic(fmt.Sprintf("fabric: no endpoint %d", r))
+	}
+	return t.eps[r]
+}
+
+// Latency exposes the configured latency model (read-only).
+func (t *Transport) Latency() LatencyModel { return t.cfg.Latency }
+
+// Close shuts down the transport: all endpoints are closed and the pumps
+// stop. In-flight messages are discarded.
+func (t *Transport) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, e := range t.eps {
+		e.Close()
+	}
+	for _, p := range t.pumps {
+		p.stop()
+	}
+}
+
+// SetPartitioned marks an endpoint as network-partitioned (down=true) or
+// heals it. While partitioned, all data-plane messages to and from the
+// endpoint are silently dropped; the endpoint itself stays alive.
+func (t *Transport) SetPartitioned(r Rank, down bool) {
+	t.mu.Lock()
+	t.partitioned[r] = down
+	t.mu.Unlock()
+}
+
+// SetLinkDown takes a single bidirectional link down (down=true) or restores
+// it. Used to model non-uniformly visible network failures (the paper's
+// restriction 3: a process reachable by some peers but not the detector).
+func (t *Transport) SetLinkDown(a, b Rank, down bool) {
+	t.mu.Lock()
+	if down {
+		t.linksDown[normLink(a, b)] = true
+	} else {
+		delete(t.linksDown, normLink(a, b))
+	}
+	t.mu.Unlock()
+}
+
+// linkOK reports whether the data-plane path a→b is currently usable.
+func (t *Transport) linkOK(a, b Rank) bool {
+	t.mu.RLock()
+	ok := !t.partitioned[a] && !t.partitioned[b] && !t.linksDown[normLink(a, b)]
+	t.mu.RUnlock()
+	return ok
+}
+
+// Stats returns a snapshot of the fabric counters.
+func (t *Transport) Stats() Stats {
+	var s Stats
+	s.Sent = t.sent.Load()
+	s.Delivered = t.delivered.Load()
+	s.Dropped = t.dropped.Load()
+	s.Nacks = t.nacks.Load()
+	s.Bytes = t.bytes.Load()
+	for i := range s.PerKind {
+		s.PerKind[i] = t.perKind[i].Load()
+	}
+	return s
+}
+
+// post schedules m for delivery. mgmt messages use the management plane:
+// fixed latency and immune to partitions.
+func (t *Transport) post(m Message, mgmt bool) {
+	t.sent.Add(1)
+	t.bytes.Add(uint64(m.wireSize()))
+	t.perKind[m.Kind].Add(1)
+	p := t.pumps[m.To]
+	var d time.Duration
+	if mgmt {
+		d = t.cfg.Latency.MgmtDelay
+	} else {
+		d = t.cfg.Latency.delay(m.wireSize(), nil) // jitter added in pump (owns the rng)
+	}
+	p.push(m, d, mgmt)
+}
+
+// deliver hands a due message to its destination endpoint, generating a NACK
+// if the endpoint is closed or dropping it if the path is partitioned.
+func (t *Transport) deliver(m Message, mgmt bool) {
+	dst := t.eps[m.To]
+	if dst.Closed() {
+		t.nack(m)
+		return
+	}
+	if !mgmt && !t.linkOK(m.From, m.To) {
+		t.dropped.Add(1)
+		return
+	}
+	select {
+	case dst.in <- m:
+		t.delivered.Add(1)
+	case <-dst.done:
+		t.nack(m)
+	}
+}
+
+// nack reports a broken connection back to the sender of m.
+func (t *Transport) nack(m Message) {
+	if m.Kind == KindNack {
+		return // never nack a nack
+	}
+	src := t.eps[m.From]
+	if src.Closed() {
+		return
+	}
+	t.nacks.Add(1)
+	n := Message{
+		Kind:  KindNack,
+		From:  m.To,
+		To:    m.From,
+		Token: m.Token,
+		Args:  [4]int64{NackClosed, int64(m.Kind), m.Args[0], m.Args[1]},
+	}
+	// NACKs travel on the data plane and are therefore also subject to
+	// partitions (checked at delivery time).
+	t.post(n, false)
+}

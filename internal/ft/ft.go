@@ -1,0 +1,197 @@
+// Package ft implements the paper's application-driven fault tolerance on
+// top of the GASPI layer — its core contribution (Section IV):
+//
+//   - A dedicated fault-detector (FD) process, one of the pre-allocated
+//     idle processes, periodically pings every other process
+//     (gaspi_proc_ping) and maintains the global health view (Listing 1).
+//     A threaded FD scans in parallel, so simultaneous failures are
+//     detected for the cost of one.
+//   - On failure, the FD assigns rescue processes from the idle pool,
+//     enforces the death of suspects (gaspi_proc_kill — this is what makes
+//     false positives harmless), and acknowledges the failure to every
+//     healthy process by writing a notice board into their global memory
+//     with a one-sided write followed by a notification.
+//   - Worker processes check for the failure-acknowledgment signal in
+//     every blocking communication call (timeout-based returns); on
+//     acknowledgment they stop application communication and enter the
+//     recovery stage: rescue processes take over the identity (logical
+//     rank) of the failed ones, the worker group is deleted and a new one
+//     is created and committed (Listing 2), and data is re-initialized
+//     from the last consistent checkpoint.
+//
+// The package also contains the two alternative detectors the paper
+// investigated and rejected (all-to-all ping and neighbor-ring ping) for
+// the ablation benchmarks.
+package ft
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gaspi"
+)
+
+// Rank aliases the GASPI rank type.
+type Rank = gaspi.Rank
+
+// SegBoard is the reserved notice-board segment present on every process.
+const SegBoard gaspi.SegmentID = 1
+
+// Notification slots on the notice board segment.
+const (
+	// NotifAck is the failure-acknowledgment signal; its value is the
+	// recovery epoch.
+	NotifAck gaspi.NotificationID = 0
+	// NotifShutdown tells idle processes (FD, spares) the application
+	// completed.
+	NotifShutdown gaspi.NotificationID = 1
+)
+
+// BaseGroupID is the group id of the initial worker group; the group
+// created by recovery epoch e has id BaseGroupID+e, deterministically on
+// every process.
+const BaseGroupID gaspi.GroupID = 8
+
+// WorkerGroupID returns the worker group id for a recovery epoch.
+func WorkerGroupID(epoch uint64) gaspi.GroupID {
+	return BaseGroupID + gaspi.GroupID(epoch)
+}
+
+// Role classifies a process at job start (Figure 3: processes are
+// categorized into working and idle processes; one idle process acts as
+// the FD).
+type Role int
+
+// Roles.
+const (
+	// RoleDetector is the dedicated fault-detector process.
+	RoleDetector Role = iota
+	// RoleSpare is an idle process waiting to rescue a failed worker.
+	RoleSpare
+	// RoleWorker computes.
+	RoleWorker
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleDetector:
+		return "detector"
+	case RoleSpare:
+		return "spare"
+	default:
+		return "worker"
+	}
+}
+
+// Layout fixes the role arrangement: physical rank 0 is the FD, ranks
+// 1..Spares are idle spares, the rest are workers (logical rank L starts
+// on physical rank 1+Spares+L).
+type Layout struct {
+	// Procs is the total number of ranks.
+	Procs int
+	// Spares is the number of idle spare processes (excluding the FD).
+	Spares int
+}
+
+// Workers returns the number of worker (logical) ranks.
+func (l Layout) Workers() int { return l.Procs - 1 - l.Spares }
+
+// Validate checks the layout is usable.
+func (l Layout) Validate() error {
+	if l.Spares < 0 || l.Workers() < 1 {
+		return fmt.Errorf("ft: invalid layout: %d procs, %d spares", l.Procs, l.Spares)
+	}
+	return nil
+}
+
+// RoleOf returns the initial role of a physical rank.
+func (l Layout) RoleOf(r Rank) Role {
+	switch {
+	case r == 0:
+		return RoleDetector
+	case int(r) <= l.Spares:
+		return RoleSpare
+	default:
+		return RoleWorker
+	}
+}
+
+// InitialPhysical returns the physical rank initially hosting a logical
+// worker rank.
+func (l Layout) InitialPhysical(logical int) Rank {
+	return Rank(1 + l.Spares + logical)
+}
+
+// InitialActPhys builds the initial logical→physical map.
+func (l Layout) InitialActPhys() []Rank {
+	m := make([]Rank, l.Workers())
+	for i := range m {
+		m[i] = l.InitialPhysical(i)
+	}
+	return m
+}
+
+// ProcStatus is the per-process entry of the status array the FD maintains
+// and distributes (the paper's status_processes: working, failed or idle).
+type ProcStatus uint8
+
+// Status values.
+const (
+	StatusWorking ProcStatus = iota
+	StatusIdle
+	StatusFailed
+	StatusDetector
+)
+
+func (s ProcStatus) String() string {
+	switch s {
+	case StatusWorking:
+		return "WORKING"
+	case StatusIdle:
+		return "IDLE"
+	case StatusFailed:
+		return "FAILED"
+	case StatusDetector:
+		return "DETECTOR"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Config holds the fault-tolerance timing parameters (paper Section VI:
+// scan every 3 s, communication timeout 1 s).
+type Config struct {
+	// ScanInterval is the FD's pause between ping scans.
+	ScanInterval time.Duration
+	// PingTimeout bounds each individual ping.
+	PingTimeout time.Duration
+	// CommTimeout is the worker-side blocking-call timeout after which the
+	// failure-acknowledgment signal is checked.
+	CommTimeout time.Duration
+	// Threads is the FD's scan parallelism (the paper uses 8 so multiple
+	// simultaneous failures are detected at the cost of one).
+	Threads int
+	// StallLimit aborts a worker stuck retrying without acknowledgment
+	// (e.g. when the FD itself died — the paper's restriction 2). Zero
+	// means 100×CommTimeout.
+	StallLimit time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ScanInterval <= 0 {
+		c.ScanInterval = 30 * time.Millisecond // 3 s / TimeScale(100)
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = 10 * time.Millisecond
+	}
+	if c.CommTimeout <= 0 {
+		c.CommTimeout = 10 * time.Millisecond // 1 s / TimeScale(100)
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.StallLimit <= 0 {
+		c.StallLimit = 100 * c.CommTimeout
+	}
+	return c
+}

@@ -1,0 +1,70 @@
+package ft
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RankMap is the logical→physical rank translation every worker holds.
+// After a recovery, the rescue process's physical rank replaces the failed
+// process's under the same logical rank — the paper's "rescue processes
+// overtake the identity of the failed processes" / "every non-failing
+// process refreshes its list of communication partners".
+type RankMap struct {
+	mu      sync.RWMutex
+	actPhys []Rank
+	logOf   map[Rank]int
+}
+
+// NewRankMap builds a map from an initial logical→physical assignment.
+func NewRankMap(actPhys []Rank) *RankMap {
+	m := &RankMap{}
+	m.Set(actPhys)
+	return m
+}
+
+// Set replaces the whole mapping (from a fresh notice).
+func (m *RankMap) Set(actPhys []Rank) {
+	cp := append([]Rank(nil), actPhys...)
+	logOf := make(map[Rank]int, len(cp))
+	for l, p := range cp {
+		logOf[p] = l
+	}
+	m.mu.Lock()
+	m.actPhys = cp
+	m.logOf = logOf
+	m.mu.Unlock()
+}
+
+// Phys returns the physical rank currently holding a logical rank.
+func (m *RankMap) Phys(logical int) Rank {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if logical < 0 || logical >= len(m.actPhys) {
+		panic(fmt.Sprintf("ft: logical rank %d out of range [0,%d)", logical, len(m.actPhys)))
+	}
+	return m.actPhys[logical]
+}
+
+// LogicalOf returns the logical rank a physical rank currently holds, or
+// ok=false when it holds none (dead, idle, or stale sender).
+func (m *RankMap) LogicalOf(phys Rank) (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	l, ok := m.logOf[phys]
+	return l, ok
+}
+
+// Snapshot returns a copy of the current logical→physical assignment.
+func (m *RankMap) Snapshot() []Rank {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]Rank(nil), m.actPhys...)
+}
+
+// Workers returns the number of logical ranks.
+func (m *RankMap) Workers() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.actPhys)
+}

@@ -1,0 +1,189 @@
+package ft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/gaspi"
+	"repro/internal/trace"
+)
+
+// CreateBoard allocates the notice-board segment; every process calls it
+// during initialization.
+func CreateBoard(p *gaspi.Proc, lay Layout) error {
+	return p.SegmentCreate(SegBoard, BoardSize(lay))
+}
+
+// SetupInitialGroup creates and commits the initial worker group
+// (COMM_MAIN) on a worker process.
+func SetupInitialGroup(p *gaspi.Proc, lay Layout, timeout time.Duration) error {
+	gid := WorkerGroupID(0)
+	if err := p.GroupCreate(gid); err != nil {
+		return err
+	}
+	for l := 0; l < lay.Workers(); l++ {
+		if err := p.GroupAdd(gid, lay.InitialPhysical(l)); err != nil {
+			return err
+		}
+	}
+	return p.GroupCommit(gid, timeout)
+}
+
+// Recover executes the paper's Listing 2 on a worker (or a freshly
+// activated rescue): apply the new identity map, enforce the death of the
+// failed processes, repair the communication infrastructure, and rebuild
+// and commit the worker group. If a further failure is acknowledged while
+// committing, recovery restarts with the newer notice. On return the
+// worker's group id points at the committed replacement group; data
+// re-initialization from the checkpoint is the caller's next step.
+func (w *Worker) Recover(n *Notice) error {
+	stop := w.rec.Start(trace.PhaseReinit)
+	defer stop()
+	deadline := time.Now().Add(w.cfg.StallLimit)
+	for {
+		if n.Unrecoverable {
+			return ErrUnrecoverable
+		}
+		w.rm.Set(n.ActPhys)
+		w.epoch = n.Epoch
+
+		// Enforce the death of every suspect (handles transient failures
+		// and false positives, as in the paper).
+		for _, r := range n.NewlyFailed {
+			_ = w.p.ProcKill(r, gaspi.Block)
+		}
+
+		// Repair communication infrastructure: abandon operations stuck
+		// towards dead or unreachable ranks.
+		w.p.PurgeQueues()
+
+		// Tear down the old group; rescues that never held it are fine
+		// (delete of an unknown group is a no-op).
+		w.p.GroupDelete(w.gid)
+
+		newGid := WorkerGroupID(n.Epoch)
+		if err := w.p.GroupCreate(newGid); err != nil && !errors.Is(err, gaspi.ErrInvalid) {
+			return err
+		}
+		for _, r := range n.WorkingRanks() {
+			if err := w.p.GroupAdd(newGid, r); err != nil {
+				return err
+			}
+		}
+
+		// The blocking commit is the paper's OHF2. Committing with the
+		// communication timeout lets us keep checking for further
+		// failures; a timed-out commit resumes where it stopped.
+		for {
+			err := w.p.GroupCommit(newGid, w.cfg.CommTimeout)
+			if err == nil {
+				w.gid = newGid
+				w.rec.Inc("ft.recoveries", 1)
+				return nil
+			}
+			if !errors.Is(err, gaspi.ErrTimeout) {
+				return fmt.Errorf("ft: group reconstruction: %w", err)
+			}
+			n2, nerr := w.checkNotice()
+			if nerr != nil {
+				return nerr
+			}
+			if n2 != nil && n2.Epoch > n.Epoch {
+				// A member of the new group died while we were committing:
+				// restart with the fresher view.
+				w.p.GroupDelete(newGid)
+				n = n2
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: during group reconstruction", ErrStalled)
+			}
+		}
+	}
+}
+
+// AdoptIdentity turns an activated rescue process into a worker: the
+// wrapper starts at the failed process's logical rank with the notice's
+// state already applied. The caller then runs Recover (to join the group
+// commit) followed by data re-initialization from the failed process's
+// checkpoint.
+func AdoptIdentity(p *gaspi.Proc, lay Layout, cfg Config, n *Notice, logical int, rec *trace.Recorder) *Worker {
+	w := NewWorker(p, lay, cfg, logical, true, rec)
+	w.rm.Set(n.ActPhys)
+	w.epoch = n.Epoch - 1 // Recover applies epoch n
+	// The rescue never held the pre-failure group: point the group id at
+	// the previous epoch's id so Recover's delete is a harmless no-op.
+	w.gid = WorkerGroupID(n.Epoch - 1)
+	return w
+}
+
+// WaitActivation is the idle spare's main loop ("the rest of the idle
+// processes stay idle until FD detects a failure and asks idle processes
+// to act as rescue processes"). It returns the activating notice and the
+// adopted logical rank, or shutdown=true when the application completed.
+func WaitActivation(p *gaspi.Proc, lay Layout, cfg Config) (n *Notice, logical int, shutdown bool, err error) {
+	cfg = cfg.withDefaults()
+	var lastEpoch uint64
+	for {
+		if _, err := p.NotifyWaitsome(SegBoard, 0, 2, gaspi.Block); err != nil {
+			return nil, 0, false, err
+		}
+		if v, err := p.NotifyPeek(SegBoard, NotifShutdown); err != nil {
+			return nil, 0, false, err
+		} else if v != 0 {
+			return nil, 0, true, nil
+		}
+		val, err := p.NotifyReset(SegBoard, NotifAck)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if uint64(val) <= lastEpoch {
+			continue
+		}
+		blob, err := p.SegmentCopyOut(SegBoard, 0, BoardSize(lay))
+		if err != nil {
+			return nil, 0, false, err
+		}
+		notice, err := DecodeNotice(blob)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if notice.Epoch <= lastEpoch {
+			continue
+		}
+		lastEpoch = notice.Epoch
+		if notice.Unrecoverable {
+			return notice, 0, false, ErrUnrecoverable
+		}
+		if l, ok := notice.RescueOf(p.Rank()); ok {
+			return notice, l, false, nil
+		}
+	}
+}
+
+// SignalShutdown tells the FD and the idle spares that the application
+// completed; the logical root worker calls it after the final result.
+// Ranks that died meanwhile (NACKed) or became unreachable (flush timeout)
+// are tolerated: each notification is delivered independently, so every
+// reachable process still receives the signal.
+func SignalShutdown(p *gaspi.Proc, lay Layout) error {
+	const q = gaspi.QueueID(0)
+	for r := 0; r < lay.Procs; r++ {
+		if Rank(r) == p.Rank() {
+			continue
+		}
+		if err := p.Notify(Rank(r), SegBoard, NotifShutdown, 1, q); err != nil {
+			return err
+		}
+	}
+	err := p.WaitQueue(q, 2*time.Second)
+	if errors.Is(err, gaspi.ErrTimeout) {
+		p.PurgeQueues() // a partitioned peer swallowed a notify; move on
+		return nil
+	}
+	if errors.Is(err, gaspi.ErrQueue) {
+		return nil // dead peers NACKed; the live ones got the signal
+	}
+	return err
+}

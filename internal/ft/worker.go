@@ -1,0 +1,265 @@
+package ft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/gaspi"
+	"repro/internal/trace"
+)
+
+// FailureDetectedError is returned by worker communication wrappers when
+// the FD's failure-acknowledgment signal was received: the application must
+// stop communicating and enter the recovery stage with the carried notice.
+type FailureDetectedError struct {
+	Notice *Notice
+}
+
+func (e *FailureDetectedError) Error() string {
+	return fmt.Sprintf("ft: failure acknowledged (epoch %d, %d newly failed)",
+		e.Notice.Epoch, len(e.Notice.NewlyFailed))
+}
+
+// ErrStalled reports that a worker spent longer than the stall limit
+// retrying communication without ever receiving a failure acknowledgment —
+// the symptom of a dead FD process (the paper's restriction 2).
+var ErrStalled = errors.New("ft: stalled without failure acknowledgment (fault detector lost?)")
+
+// ErrUnrecoverable reports that the failure exceeded the spare pool.
+var ErrUnrecoverable = errors.New("ft: failures exceed available rescue processes")
+
+// Worker is the fault-tolerance-aware communication wrapper handed to the
+// spMVM library and the application. It implements spmvm.Comm: every
+// blocking call runs with the configured communication timeout and checks
+// the failure-acknowledgment notification on timeout, exactly like the
+// paper's modified communication routines. Logical worker ranks are
+// translated through the rank map, so a rescue process that took over a
+// failed identity is transparent to the caller.
+type Worker struct {
+	p   *gaspi.Proc
+	lay Layout
+	cfg Config
+	rm  *RankMap
+	rec *trace.Recorder
+
+	logical int
+	gid     gaspi.GroupID
+	epoch   uint64
+	hc      bool
+}
+
+// NewWorker wraps a process acting as logical rank `logical`.
+// hc=false disables all health-check/acknowledgment logic (the baseline
+// "w/o HC" configuration): calls simply block.
+func NewWorker(p *gaspi.Proc, lay Layout, cfg Config, logical int, hc bool, rec *trace.Recorder) *Worker {
+	return &Worker{
+		p:       p,
+		lay:     lay,
+		cfg:     cfg.withDefaults(),
+		rm:      NewRankMap(lay.InitialActPhys()),
+		rec:     rec,
+		logical: logical,
+		gid:     WorkerGroupID(0),
+		hc:      hc,
+	}
+}
+
+// Proc implements spmvm.Comm.
+func (w *Worker) Proc() *gaspi.Proc { return w.p }
+
+// Logical implements spmvm.Comm.
+func (w *Worker) Logical() int { return w.logical }
+
+// NumWorkers implements spmvm.Comm.
+func (w *Worker) NumWorkers() int { return w.lay.Workers() }
+
+// Epoch implements spmvm.Comm.
+func (w *Worker) Epoch() int64 { return int64(w.epoch) }
+
+// Group returns the current worker group id.
+func (w *Worker) Group() gaspi.GroupID { return w.gid }
+
+// RankMap exposes the logical→physical map (the C/R library and the
+// application use it to locate peers).
+func (w *Worker) RankMap() *RankMap { return w.rm }
+
+// SetLogical rebinds the wrapper to a logical rank (used by a rescue
+// process adopting a failed identity).
+func (w *Worker) SetLogical(l int) { w.logical = l }
+
+// checkNotice polls the failure-acknowledgment notification (without
+// consuming it) and decodes the board when a new epoch is visible.
+// Notices that require no recovery (a dead spare) are absorbed silently.
+func (w *Worker) checkNotice() (*Notice, error) {
+	if !w.hc {
+		return nil, nil
+	}
+	val, err := w.p.NotifyPeek(SegBoard, NotifAck)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(val) <= w.epoch {
+		return nil, nil
+	}
+	blob, err := w.p.SegmentCopyOut(SegBoard, 0, BoardSize(w.lay))
+	if err != nil {
+		return nil, err
+	}
+	n, err := DecodeNotice(blob)
+	if err != nil {
+		return nil, err
+	}
+	if n.Epoch <= w.epoch {
+		// The notification raced ahead of the board content of an even
+		// newer epoch; treat as not-yet-visible.
+		return nil, nil
+	}
+	if n.Unrecoverable {
+		return n, ErrUnrecoverable
+	}
+	if !n.WorkerFailed {
+		// Only a spare died: bookkeeping, no recovery needed.
+		w.epoch = n.Epoch
+		w.rm.Set(n.ActPhys)
+		return nil, nil
+	}
+	return n, nil
+}
+
+// CheckFailure is the application-visible acknowledgment check ("the
+// communication routines are checked for a failure acknowledgment signal
+// from the FD process"). It returns a FailureDetectedError when recovery
+// is required.
+func (w *Worker) CheckFailure() error {
+	n, err := w.checkNotice()
+	if err != nil {
+		return err
+	}
+	if n != nil {
+		w.rec.Event("ft:ack")
+		return &FailureDetectedError{Notice: n}
+	}
+	return nil
+}
+
+// retry runs op with the communication timeout, checking the
+// acknowledgment signal after every unsuccessful attempt — the paper's
+// "processes keep on returning with GASPI_TIMEOUT unless a failure
+// acknowledgment is received". Hard errors (broken connections) are also
+// held back until the FD acknowledges, since only the FD establishes the
+// consistent global view; if no acknowledgment ever arrives the stall
+// limit aborts.
+func (w *Worker) retry(op func(timeout time.Duration) error) error {
+	if !w.hc {
+		return op(gaspi.Block)
+	}
+	var detectStart time.Time
+	deadline := time.Now().Add(w.cfg.StallLimit)
+	for {
+		attemptStart := time.Now()
+		err := op(w.cfg.CommTimeout)
+		if err == nil {
+			return nil
+		}
+		if detectStart.IsZero() {
+			// OHF1 starts when the process first stalls on the failure,
+			// i.e. at the beginning of the attempt that timed out.
+			detectStart = attemptStart
+		}
+		n, nerr := w.checkNotice()
+		if nerr != nil {
+			return nerr
+		}
+		if n != nil {
+			w.rec.Add(trace.PhaseDetect, time.Since(detectStart))
+			w.rec.Event("ft:ack")
+			return &FailureDetectedError{Notice: n}
+		}
+		if !errors.Is(err, gaspi.ErrTimeout) {
+			// Broken connection before the FD noticed: pace the retries.
+			time.Sleep(w.cfg.CommTimeout)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: last error: %v", ErrStalled, err)
+		}
+	}
+}
+
+// WriteNotify implements spmvm.Comm.
+func (w *Worker) WriteNotify(to int, seg gaspi.SegmentID, off int64, data []byte, id gaspi.NotificationID, val int64, q gaspi.QueueID) error {
+	// Posting is non-blocking; failures surface at WaitQueue. The rank is
+	// translated at call time so retries after recovery reach the rescue.
+	return w.p.WriteNotify(w.rm.Phys(to), seg, off, data, id, val, q)
+}
+
+// WaitQueue implements spmvm.Comm.
+func (w *Worker) WaitQueue(q gaspi.QueueID) error {
+	return w.retry(func(t time.Duration) error { return w.p.WaitQueue(q, t) })
+}
+
+// NotifyWaitsome implements spmvm.Comm.
+func (w *Worker) NotifyWaitsome(seg gaspi.SegmentID, begin gaspi.NotificationID, num int) (gaspi.NotificationID, error) {
+	var id gaspi.NotificationID
+	err := w.retry(func(t time.Duration) error {
+		var e error
+		id, e = w.p.NotifyWaitsome(seg, begin, num, t)
+		return e
+	})
+	return id, err
+}
+
+// PassiveSend implements spmvm.Comm.
+func (w *Worker) PassiveSend(to int, data []byte) error {
+	return w.retry(func(t time.Duration) error {
+		return w.p.PassiveSend(w.rm.Phys(to), data, t)
+	})
+}
+
+// PassiveReceive implements spmvm.Comm.
+func (w *Worker) PassiveReceive() (int, []byte, error) {
+	var from Rank
+	var data []byte
+	err := w.retry(func(t time.Duration) error {
+		var e error
+		from, data, e = w.p.PassiveReceive(t)
+		return e
+	})
+	if err != nil {
+		return -1, nil, err
+	}
+	logical, ok := w.rm.LogicalOf(from)
+	if !ok {
+		return -1, nil, fmt.Errorf("ft: passive message from rank %d holding no logical identity", from)
+	}
+	return logical, data, nil
+}
+
+// AllreduceF64 implements spmvm.Comm. A timed-out collective is resumed
+// with identical arguments on the next attempt (GASPI timeout semantics),
+// so the acknowledgment check between attempts costs nothing when healthy.
+func (w *Worker) AllreduceF64(in []float64, op gaspi.ReduceOp) ([]float64, error) {
+	var out []float64
+	err := w.retry(func(t time.Duration) error {
+		var e error
+		out, e = w.p.AllreduceF64(w.gid, in, op, t)
+		return e
+	})
+	return out, err
+}
+
+// AllreduceI64 implements spmvm.Comm.
+func (w *Worker) AllreduceI64(in []int64, op gaspi.ReduceOp) ([]int64, error) {
+	var out []int64
+	err := w.retry(func(t time.Duration) error {
+		var e error
+		out, e = w.p.AllreduceI64(w.gid, in, op, t)
+		return e
+	})
+	return out, err
+}
+
+// Barrier implements spmvm.Comm.
+func (w *Worker) Barrier() error {
+	return w.retry(func(t time.Duration) error { return w.p.Barrier(w.gid, t) })
+}

@@ -1,0 +1,267 @@
+package gaspi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// ReduceOp selects the combining operation of an Allreduce
+// (gaspi_operation_t).
+type ReduceOp int
+
+// Reduction operations.
+const (
+	OpSum ReduceOp = iota // GASPI_OP_SUM
+	OpMin                 // GASPI_OP_MIN
+	OpMax                 // GASPI_OP_MAX
+)
+
+// collSend posts one collective round message. Collectives use internal
+// transport resources (not user queues), as in GPI-2. A broken connection
+// surfaces as a NACK that marks the state vector; the waiting side then
+// times out.
+func (p *Proc) collSend(gid GroupID, seq uint64, round int32, op uint8, to Rank, payload []byte) {
+	m := fabric.Message{
+		Kind:    kColl,
+		Token:   p.nextToken(),
+		Args:    [4]int64{int64(gid), int64(seq), int64(round), int64(op)},
+		Payload: payload,
+	}
+	_ = p.ep.Send(to, m)
+}
+
+// collRecv waits for the collective round message matching the key. The
+// entry is read without being consumed: buffered rounds stay available so a
+// collective that times out can be resumed by calling it again with
+// identical arguments (GASPI timeout semantics); finishCollective
+// garbage-collects them once the operation completes.
+func (p *Proc) collRecv(gid GroupID, seq uint64, round int32, op uint8, from Rank, timeout time.Duration) ([]byte, error) {
+	key := collKey{gid: gid, seq: seq, round: round, op: op, from: from}
+	var got []byte
+	err := p.waitCond(&p.collPulse, timeout, func() bool {
+		p.collMu.Lock()
+		defer p.collMu.Unlock()
+		b, ok := p.collBuf[key]
+		if ok {
+			got = b
+		}
+		return ok
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// collExchange sends to `to` and waits for the matching message from `from`.
+func (p *Proc) collExchange(gid GroupID, seq uint64, round int32, op uint8, to, from Rank, payload []byte, timeout time.Duration) ([]byte, error) {
+	p.collSend(gid, seq, round, op, to, payload)
+	return p.collRecv(gid, seq, round, op, from, timeout)
+}
+
+// Barrier synchronizes all ranks of a committed group (gaspi_barrier),
+// using a dissemination barrier: ceil(log2(n)) rounds of pairwise messages.
+// On ErrTimeout the barrier may be resumed by calling it again.
+func (p *Proc) Barrier(gid GroupID, timeout time.Duration) error {
+	p.checkAlive()
+	members, myIdx, seq, err := p.startCollective(gid, collBarrier)
+	if err != nil {
+		return err
+	}
+	n := len(members)
+	for k, dist := int32(0), 1; dist < n; k, dist = k+1, dist*2 {
+		to := members[(myIdx+dist)%n]
+		from := members[((myIdx-dist)%n+n)%n]
+		if _, err := p.collExchange(gid, seq, k, collBarrier, to, from, nil, timeout); err != nil {
+			return err
+		}
+	}
+	p.finishCollective(gid, seq)
+	return nil
+}
+
+// AllreduceF64 combines the input vectors of all group members element-wise
+// with the given operation and returns the result, identical on every rank
+// (gaspi_allreduce with GASPI_TYPE_DOUBLE). The reduction uses a binomial
+// tree to member index 0 followed by a binomial broadcast: 2*ceil(log2(n))
+// message rounds.
+func (p *Proc) AllreduceF64(gid GroupID, in []float64, op ReduceOp, timeout time.Duration) ([]float64, error) {
+	p.checkAlive()
+	members, myIdx, seq, err := p.startCollective(gid, collReduce)
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]float64, len(in))
+	copy(acc, in)
+	n := len(members)
+	pow2 := 1
+	rounds := int32(0)
+	for pow2 < n {
+		pow2 *= 2
+		rounds++
+	}
+	// Reduce towards index 0 (mirror of the broadcast tree below).
+	for k := rounds - 1; k >= 0; k-- {
+		dist := 1 << k
+		switch {
+		case myIdx >= dist && myIdx < 2*dist:
+			p.collSend(gid, seq, k, collReduce, members[myIdx-dist], encodeF64(acc))
+		case myIdx < dist && myIdx+dist < n:
+			b, err := p.collRecv(gid, seq, k, collReduce, members[myIdx+dist], timeout)
+			if err != nil {
+				return nil, err
+			}
+			other, err := decodeF64(b, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			combineF64(acc, other, op)
+		}
+	}
+	// Broadcast from index 0.
+	for k := int32(0); k < rounds; k++ {
+		dist := 1 << k
+		switch {
+		case myIdx < dist && myIdx+dist < n:
+			p.collSend(gid, seq, rounds+k, collBcast, members[myIdx+dist], encodeF64(acc))
+		case myIdx >= dist && myIdx < 2*dist:
+			b, err := p.collRecv(gid, seq, rounds+k, collBcast, members[myIdx-dist], timeout)
+			if err != nil {
+				return nil, err
+			}
+			got, err := decodeF64(b, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			copy(acc, got)
+		}
+	}
+	p.finishCollective(gid, seq)
+	return acc, nil
+}
+
+// AllreduceI64 is AllreduceF64 for 8-byte integers
+// (gaspi_allreduce with GASPI_TYPE_LONG). Implemented as its own binomial
+// tree so integer arithmetic is exact.
+func (p *Proc) AllreduceI64(gid GroupID, in []int64, op ReduceOp, timeout time.Duration) ([]int64, error) {
+	p.checkAlive()
+	// collBcast doubles as the in-flight kind tag for the integer variant,
+	// distinguishing it from AllreduceF64 (collReduce) on resume.
+	members, myIdx, seq, err := p.startCollective(gid, collBcast)
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]int64, len(in))
+	copy(acc, in)
+	n := len(members)
+	pow2 := 1
+	rounds := int32(0)
+	for pow2 < n {
+		pow2 *= 2
+		rounds++
+	}
+	for k := rounds - 1; k >= 0; k-- {
+		dist := 1 << k
+		switch {
+		case myIdx >= dist && myIdx < 2*dist:
+			p.collSend(gid, seq, k, collReduce, members[myIdx-dist], encodeI64(acc))
+		case myIdx < dist && myIdx+dist < n:
+			b, err := p.collRecv(gid, seq, k, collReduce, members[myIdx+dist], timeout)
+			if err != nil {
+				return nil, err
+			}
+			other, err := decodeI64(b, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			combineI64(acc, other, op)
+		}
+	}
+	for k := int32(0); k < rounds; k++ {
+		dist := 1 << k
+		switch {
+		case myIdx < dist && myIdx+dist < n:
+			p.collSend(gid, seq, rounds+k, collBcast, members[myIdx+dist], encodeI64(acc))
+		case myIdx >= dist && myIdx < 2*dist:
+			b, err := p.collRecv(gid, seq, rounds+k, collBcast, members[myIdx-dist], timeout)
+			if err != nil {
+				return nil, err
+			}
+			got, err := decodeI64(b, len(acc))
+			if err != nil {
+				return nil, err
+			}
+			copy(acc, got)
+		}
+	}
+	p.finishCollective(gid, seq)
+	return acc, nil
+}
+
+func encodeF64(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+func decodeF64(b []byte, want int) ([]float64, error) {
+	if len(b) != 8*want {
+		return nil, fmt.Errorf("%w: allreduce payload size %d, want %d", ErrInvalid, len(b), 8*want)
+	}
+	v := make([]float64, want)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v, nil
+}
+
+func combineF64(dst, src []float64, op ReduceOp) {
+	for i := range dst {
+		switch op {
+		case OpSum:
+			dst[i] += src[i]
+		case OpMin:
+			dst[i] = math.Min(dst[i], src[i])
+		case OpMax:
+			dst[i] = math.Max(dst[i], src[i])
+		}
+	}
+}
+
+func encodeI64(v []int64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+func decodeI64(b []byte, want int) ([]int64, error) {
+	if len(b) != 8*want {
+		return nil, fmt.Errorf("%w: allreduce payload size %d, want %d", ErrInvalid, len(b), 8*want)
+	}
+	v := make([]int64, want)
+	for i := range v {
+		v[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v, nil
+}
+
+func combineI64(dst, src []int64, op ReduceOp) {
+	for i := range dst {
+		switch op {
+		case OpSum:
+			dst[i] += src[i]
+		case OpMin:
+			dst[i] = min(dst[i], src[i])
+		case OpMax:
+			dst[i] = max(dst[i], src[i])
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package gaspi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"testing"
+	"time"
+)
+
+func TestAllreduceUserMaxAbs(t *testing.T) {
+	const n = 5
+	launch(t, n, func(p *Proc) error {
+		in := []float64{float64(p.Rank()) - 2, -float64(p.Rank())}
+		maxAbs := func(dst, src []float64) {
+			for i := range dst {
+				if math.Abs(src[i]) > math.Abs(dst[i]) {
+					dst[i] = src[i]
+				}
+			}
+		}
+		out, err := p.AllreduceUser(GroupAll, in, maxAbs, Block)
+		if err != nil {
+			return err
+		}
+		// ranks 0..4: first component in {-2..2} → |max| = ±2 → -2 (rank 0)
+		// wins ties by order; accept either sign with |v|=2.
+		if math.Abs(out[0]) != 2 {
+			return fmt.Errorf("out[0] = %v", out[0])
+		}
+		if out[1] != -4 {
+			return fmt.Errorf("out[1] = %v", out[1])
+		}
+		return nil
+	})
+}
+
+func TestAllreduceUserNilFunc(t *testing.T) {
+	launch(t, 2, func(p *Proc) error {
+		if _, err := p.AllreduceUser(GroupAll, []float64{1}, nil, Block); !errors.Is(err, ErrInvalid) {
+			return fmt.Errorf("got %v", err)
+		}
+		return nil
+	})
+}
+
+func TestWriteListAndNotifyOrdering(t *testing.T) {
+	launch(t, 2, func(p *Proc) error {
+		if err := p.SegmentCreate(1, 64); err != nil {
+			return err
+		}
+		if err := p.SegmentCreate(2, 64); err != nil {
+			return err
+		}
+		if err := p.Barrier(GroupAll, Block); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			entries := []WriteEntry{
+				{Seg: 1, Off: 0, Data: []byte("alpha")},
+				{Seg: 1, Off: 32, Data: []byte("beta")},
+				{Seg: 2, Off: 8, Data: []byte("gamma")},
+			}
+			if err := p.WriteList(1, entries, 0); err != nil {
+				return err
+			}
+			// Notification posted after the list: FIFO per pair ensures all
+			// three writes land first.
+			if err := p.Notify(1, 1, 0, 1, 0); err != nil {
+				return err
+			}
+			return p.WaitQueue(0, Block)
+		}
+		if _, err := p.NotifyWaitsome(1, 0, 1, Block); err != nil {
+			return err
+		}
+		for _, check := range []struct {
+			seg  SegmentID
+			off  int
+			want string
+		}{{1, 0, "alpha"}, {1, 32, "beta"}, {2, 8, "gamma"}} {
+			got, err := p.SegmentCopyOut(check.seg, check.off, len(check.want))
+			if err != nil {
+				return err
+			}
+			if string(got) != check.want {
+				return fmt.Errorf("seg %d off %d: %q", check.seg, check.off, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAdminQueries(t *testing.T) {
+	launch(t, 1, func(p *Proc) error {
+		if p.NotifySlots() <= 0 || p.MaxSegments() <= 0 {
+			return errors.New("bad limits")
+		}
+		if err := p.SegmentCreate(3, 8); err != nil {
+			return err
+		}
+		if err := p.SegmentCreate(7, 8); err != nil {
+			return err
+		}
+		ids := p.SegmentIDs()
+		slices.Sort(ids)
+		if len(ids) != 2 || ids[0] != 3 || ids[1] != 7 {
+			return fmt.Errorf("segments: %v", ids)
+		}
+		gids := p.GroupIDs()
+		if len(gids) != 1 || gids[0] != GroupAll {
+			return fmt.Errorf("groups: %v", gids)
+		}
+		return nil
+	})
+}
+
+func TestBarrierResumableAfterTimeout(t *testing.T) {
+	// A barrier that times out (peer late) must resume — same sequence
+	// number — when called again, per GASPI timeout semantics.
+	launch(t, 2, func(p *Proc) error {
+		if p.Rank() == 1 {
+			time.Sleep(80 * time.Millisecond)
+			return p.Barrier(GroupAll, Block)
+		}
+		attempts := 0
+		for {
+			attempts++
+			err := p.Barrier(GroupAll, 10*time.Millisecond)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrTimeout) {
+				return err
+			}
+			if attempts > 100 {
+				return errors.New("barrier never completed")
+			}
+		}
+		if attempts < 2 {
+			return fmt.Errorf("expected timeouts before completion, got %d attempts", attempts)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceResumableAfterTimeout(t *testing.T) {
+	launch(t, 3, func(p *Proc) error {
+		if p.Rank() == 2 {
+			time.Sleep(60 * time.Millisecond)
+		}
+		var out []float64
+		for {
+			var err error
+			out, err = p.AllreduceF64(GroupAll, []float64{1}, OpSum, 5*time.Millisecond)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrTimeout) {
+				return err
+			}
+		}
+		if out[0] != 3 {
+			return fmt.Errorf("sum = %v", out[0])
+		}
+		// The group must be reusable for the next collective afterwards.
+		out, err := p.AllreduceF64(GroupAll, []float64{2}, OpSum, Block)
+		if err != nil {
+			return err
+		}
+		if out[0] != 6 {
+			return fmt.Errorf("second sum = %v", out[0])
+		}
+		return nil
+	})
+}
+
+func TestMixedInflightCollectiveKindsRejected(t *testing.T) {
+	launch(t, 2, func(p *Proc) error {
+		if p.Rank() == 1 {
+			time.Sleep(50 * time.Millisecond)
+			if err := p.Barrier(GroupAll, Block); err != nil {
+				return err
+			}
+			return p.Barrier(GroupAll, Block)
+		}
+		// Start a barrier, time out, then (incorrectly) try an allreduce:
+		// must be rejected because a different collective is in flight.
+		if err := p.Barrier(GroupAll, 5*time.Millisecond); !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("want timeout, got %v", err)
+		}
+		if _, err := p.AllreduceF64(GroupAll, []float64{1}, OpSum, Block); !errors.Is(err, ErrInvalid) {
+			return fmt.Errorf("mixed resume not rejected: %v", err)
+		}
+		// Resuming the barrier is fine.
+		if err := p.Barrier(GroupAll, Block); err != nil {
+			return err
+		}
+		return p.Barrier(GroupAll, Block)
+	})
+}
+
+func TestConcurrentProcUseIsThreadSafe(t *testing.T) {
+	// GASPI advertises thread-safe communication for multi-threaded
+	// processes; pings, one-sided writes and atomics from several
+	// goroutines of the same process must interleave safely (collectives
+	// excluded: their call order must be identical on all ranks).
+	launch(t, 3, func(p *Proc) error {
+		if err := p.SegmentCreate(1, 256); err != nil {
+			return err
+		}
+		if err := p.Barrier(GroupAll, Block); err != nil {
+			return err
+		}
+		const workers = 4
+		errCh := make(chan error, workers)
+		for g := 0; g < workers; g++ {
+			go func(g int) {
+				died := Protect(func() {
+					for i := 0; i < 25; i++ {
+						target := Rank((int(p.Rank()) + 1 + g%2) % p.NumProcs())
+						if err := p.ProcPing(target, time.Second); err != nil {
+							errCh <- fmt.Errorf("ping: %w", err)
+							return
+						}
+						if _, err := p.AtomicFetchAdd(target, 1, 8*int64(g), 1, time.Second); err != nil {
+							errCh <- fmt.Errorf("atomic: %w", err)
+							return
+						}
+						q := QueueID(g % p.NumQueues())
+						if err := p.Write(target, 1, 128+8*int64(g), []byte{byte(i)}, q); err != nil {
+							errCh <- fmt.Errorf("write: %w", err)
+							return
+						}
+						if err := p.WaitQueue(q, time.Second); err != nil {
+							errCh <- fmt.Errorf("wait: %w", err)
+							return
+						}
+					}
+					errCh <- nil
+				})
+				if died {
+					errCh <- errors.New("unexpected death")
+				}
+			}(g)
+		}
+		for g := 0; g < workers; g++ {
+			if err := <-errCh; err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(GroupAll, Block); err != nil {
+			return err
+		}
+		// Every AtomicFetchAdd(+1) landed on some rank's counter slots;
+		// summing all slots across all ranks must equal the global count of
+		// increments: 3 ranks × 4 goroutines × 25 iterations.
+		var total int64
+		for g := 0; g < workers; g++ {
+			v, err := p.AtomicFetchAdd(p.Rank(), 1, 8*int64(g), 0, time.Second)
+			if err != nil {
+				return err
+			}
+			total += v
+		}
+		sum, err := p.AllreduceI64(GroupAll, []int64{total}, OpSum, Block)
+		if err != nil {
+			return err
+		}
+		if sum[0] != 3*workers*25 {
+			return fmt.Errorf("atomic total = %d, want %d", sum[0], 3*workers*25)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,156 @@
+// Package gaspi implements the GASPI communication API (as implemented by
+// GPI-2) on top of the simulated fabric, covering the subset the paper's
+// fault-tolerant application uses plus the GPI-2 fault-tolerance extensions
+// the paper introduces:
+//
+//   - PGAS segments: contiguous memory blocks remotely writable/readable by
+//     every rank (SegmentCreate, Write, Read).
+//   - Weak synchronization via notifications (WriteNotify, Notify,
+//     NotifyWaitsome, NotifyReset) with the GASPI ordering guarantee: a
+//     notification arrives after the writes posted before it on the same
+//     queue to the same target.
+//   - Queues with completion semantics (WaitQueue).
+//   - Passive (two-sided) communication and global atomics.
+//   - Groups (GroupCreate/Add/Commit/Delete) and collectives (Barrier,
+//     Allreduce) — the blocking GroupCommit is the paper's OHF2 overhead.
+//   - Timeouts on every potentially blocking procedure (Block, Test, or any
+//     duration), the error state vector (State/StateVec), and the paper's
+//     extensions ProcPing and ProcKill.
+//
+// Every simulated GASPI process is a goroutine launched by Launch; its NIC
+// (another goroutine) services remote operations even while the application
+// code computes, which is what makes one-sided progress and the dedicated
+// fault-detector design work.
+package gaspi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Rank identifies a GASPI process. It aliases fabric.Rank so ranks flow
+// between layers without conversion.
+type Rank = fabric.Rank
+
+// SegmentID names a memory segment. Segment IDs are assigned by the
+// application and must be allocated consistently across ranks.
+type SegmentID int32
+
+// QueueID names a communication queue.
+type QueueID int
+
+// NotificationID indexes a notification slot within a segment.
+type NotificationID int
+
+// GroupID names a process group. Unlike the C API (which allocates group
+// handles from a per-process counter), groups are named explicitly so that
+// ranks joining a group late — the paper's rescue processes — can refer to
+// the same group deterministically.
+type GroupID int32
+
+// GroupAll is the predefined group containing all ranks, committed at init.
+const GroupAll GroupID = 0
+
+// Timeout sentinels, mirroring GASPI_BLOCK and GASPI_TEST.
+const (
+	// Block waits indefinitely (GASPI_BLOCK).
+	Block time.Duration = math.MaxInt64
+	// Test polls exactly once without waiting (GASPI_TEST).
+	Test time.Duration = 0
+)
+
+// ProcState is an entry of the error state vector.
+type ProcState uint8
+
+// Error state vector values (gaspi_state_t).
+const (
+	StateHealthy ProcState = iota // GASPI_STATE_HEALTHY
+	StateCorrupt                  // GASPI_STATE_CORRUPT
+)
+
+func (s ProcState) String() string {
+	if s == StateHealthy {
+		return "HEALTHY"
+	}
+	return "CORRUPT"
+}
+
+// Errors returned by GASPI procedures. ErrTimeout corresponds to
+// GASPI_TIMEOUT; the remaining errors correspond to GASPI_ERROR with a
+// diagnosable cause.
+var (
+	// ErrTimeout reports that a potentially blocking procedure could not
+	// complete within the caller's timeout (GASPI_TIMEOUT).
+	ErrTimeout = errors.New("gaspi: timeout")
+	// ErrConnection reports a broken connection to a remote rank — the
+	// remote process is dead (GASPI_ERROR).
+	ErrConnection = errors.New("gaspi: connection error")
+	// ErrQueue reports that one or more operations on a queue completed
+	// with an error; the state vector identifies the corrupt ranks.
+	ErrQueue = errors.New("gaspi: queue error")
+	// ErrGroupMismatch reports inconsistent membership at GroupCommit.
+	ErrGroupMismatch = errors.New("gaspi: group membership mismatch")
+	// ErrInvalid reports invalid arguments (bad segment, offset, rank...).
+	ErrInvalid = errors.New("gaspi: invalid argument")
+	// ErrRemote reports that the remote side rejected an operation
+	// (unknown segment, out-of-bounds access, full passive buffer).
+	ErrRemote = errors.New("gaspi: remote error")
+)
+
+// Message kinds on the fabric (fabric.KindNack is reserved by the fabric).
+const (
+	kWrite      uint8 = 1  // one-sided write, optional piggybacked notification
+	kWriteAck   uint8 = 2  // completion for kWrite/kNotify/kRead at the target
+	kRead       uint8 = 3  // one-sided read request
+	kReadResp   uint8 = 4  // read response carrying data
+	kNotify     uint8 = 5  // notification only
+	kPassive    uint8 = 6  // passive (two-sided) send
+	kPassiveAck uint8 = 7  // passive receive-side acknowledgment
+	kAtomic     uint8 = 8  // atomic fetch-add / compare-swap request
+	kAtomicResp uint8 = 9  // atomic response carrying the old value
+	kPing       uint8 = 10 // liveness probe (gaspi_proc_ping extension)
+	kPingAck    uint8 = 11 // probe response
+	kKill       uint8 = 12 // management-plane kill (gaspi_proc_kill extension)
+	kColl       uint8 = 13 // collective round payload (barrier/allreduce/commit)
+)
+
+// remote error codes carried in acks (Args[0]).
+const (
+	remOK int64 = iota
+	remBadSegment
+	remOutOfBounds
+	remPassiveFull
+)
+
+func remoteErr(code int64) error {
+	switch code {
+	case remOK:
+		return nil
+	case remBadSegment:
+		return fmt.Errorf("%w: unknown segment", ErrRemote)
+	case remOutOfBounds:
+		return fmt.Errorf("%w: out-of-bounds access", ErrRemote)
+	case remPassiveFull:
+		return fmt.Errorf("%w: passive buffer full", ErrRemote)
+	default:
+		return ErrRemote
+	}
+}
+
+// atomic op codes (Args[2] of kAtomic).
+const (
+	atomFetchAdd int64 = iota
+	atomCompareSwap
+)
+
+// collective op codes (packed into Args[3] of kColl).
+const (
+	collBarrier uint8 = iota + 1
+	collCommit
+	collReduce
+	collBcast
+)

@@ -1,0 +1,221 @@
+package gaspi
+
+import (
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"time"
+)
+
+// group is a committed (or under-construction) set of ranks participating
+// in collectives, mirroring gaspi_group_t.
+type group struct {
+	id        GroupID
+	members   []Rank // sorted after commit
+	myIdx     int
+	committed bool
+	seq       uint64 // collective sequence number, advances per completed operation
+	cur       *inflightColl
+}
+
+// inflightColl tracks a collective that timed out and may be resumed. Per
+// the GASPI specification, a collective returning GASPI_TIMEOUT must be
+// called again with identical arguments until it completes; the sequence
+// number is pinned until then.
+type inflightColl struct {
+	kind uint8
+	seq  uint64
+}
+
+// GroupCreate starts building a group with the given ID
+// (gaspi_group_create). Unlike the C API the ID is chosen by the caller, so
+// ranks with different group-allocation histories — the paper's rescue
+// processes, which never held the original worker group — can deterministically
+// agree on the replacement group's identity.
+func (p *Proc) GroupCreate(gid GroupID) error {
+	p.checkAlive()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.groups[gid]; ok {
+		return fmt.Errorf("%w: group %d already exists", ErrInvalid, gid)
+	}
+	p.groups[gid] = &group{id: gid}
+	return nil
+}
+
+// GroupAdd adds a rank to an uncommitted group (gaspi_group_add).
+func (p *Proc) GroupAdd(gid GroupID, rank Rank) error {
+	p.checkAlive()
+	if err := p.validRank(rank); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[gid]
+	if !ok {
+		return fmt.Errorf("%w: unknown group %d", ErrInvalid, gid)
+	}
+	if g.committed {
+		return fmt.Errorf("%w: group %d already committed", ErrInvalid, gid)
+	}
+	if slices.Contains(g.members, rank) {
+		return nil // idempotent
+	}
+	g.members = append(g.members, rank)
+	return nil
+}
+
+// GroupDelete removes a group and purges any buffered collective traffic
+// for it (gaspi_group_delete). Deleting an unknown group is a no-op so the
+// recovery code (where rescue processes never held the old group) can call
+// it unconditionally, as in the paper's Listing 2.
+func (p *Proc) GroupDelete(gid GroupID) {
+	p.checkAlive()
+	if gid == GroupAll {
+		return // the all-group is permanent
+	}
+	p.mu.Lock()
+	delete(p.groups, gid)
+	p.mu.Unlock()
+	p.collMu.Lock()
+	for k := range p.collBuf {
+		if k.gid == gid {
+			delete(p.collBuf, k)
+		}
+	}
+	p.collMu.Unlock()
+}
+
+// GroupSize returns the number of ranks in a group (gaspi_group_size).
+func (p *Proc) GroupSize(gid GroupID) (int, error) {
+	p.checkAlive()
+	g, err := p.groupLookup(gid)
+	if err != nil {
+		return 0, err
+	}
+	return len(g.members), nil
+}
+
+// GroupRanks returns a copy of the group's member list
+// (gaspi_group_ranks). For a committed group the list is sorted.
+func (p *Proc) GroupRanks(gid GroupID) ([]Rank, error) {
+	p.checkAlive()
+	g, err := p.groupLookup(gid)
+	if err != nil {
+		return nil, err
+	}
+	return slices.Clone(g.members), nil
+}
+
+// GroupCommit establishes the group collectively (gaspi_group_commit):
+// every member must call it; the call blocks until all members have joined
+// (this blocking handshake is the paper's OHF2 overhead). Membership lists
+// are cross-checked via a hash carried through the handshake rounds; a
+// mismatch yields ErrGroupMismatch.
+func (p *Proc) GroupCommit(gid GroupID, timeout time.Duration) error {
+	p.checkAlive()
+	p.mu.Lock()
+	g, ok := p.groups[gid]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: unknown group %d", ErrInvalid, gid)
+	}
+	if g.committed {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: group %d already committed", ErrInvalid, gid)
+	}
+	slices.Sort(g.members)
+	g.myIdx = slices.Index(g.members, p.rank)
+	members := slices.Clone(g.members)
+	myIdx := g.myIdx
+	p.mu.Unlock()
+
+	if myIdx < 0 {
+		return fmt.Errorf("%w: commit of group %d by non-member rank %d", ErrInvalid, gid, p.rank)
+	}
+	h := membersHash(members)
+	// Dissemination handshake: after round k every rank has transitively
+	// heard from 2^(k+1) neighbours; ceil(log2(n)) rounds reach everyone.
+	n := len(members)
+	for k, dist := int32(0), 1; dist < n; k, dist = k+1, dist*2 {
+		to := members[(myIdx+dist)%n]
+		from := members[((myIdx-dist)%n+n)%n]
+		got, err := p.collExchange(gid, 0, k, collCommit, to, from, h, timeout)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(h) || string(got) != string(h) {
+			return fmt.Errorf("%w: group %d: rank %d disagrees on membership", ErrGroupMismatch, gid, from)
+		}
+	}
+
+	p.mu.Lock()
+	g.committed = true
+	g.seq = 1
+	p.mu.Unlock()
+	p.finishCollective(gid, 0) // GC the handshake rounds
+	return nil
+}
+
+func (p *Proc) groupLookup(gid GroupID) (*group, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[gid]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown group %d", ErrInvalid, gid)
+	}
+	return g, nil
+}
+
+// startCollective fetches a committed group and pins the sequence number of
+// the collective being started — or resumed: a collective that previously
+// returned ErrTimeout keeps its sequence until it completes, so calling the
+// operation again with identical arguments continues it (GASPI timeout
+// semantics). Mixing in a different collective while one is in flight is an
+// error.
+func (p *Proc) startCollective(gid GroupID, kind uint8) ([]Rank, int, uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[gid]
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("%w: unknown group %d", ErrInvalid, gid)
+	}
+	if !g.committed {
+		return nil, 0, 0, fmt.Errorf("%w: group %d not committed", ErrInvalid, gid)
+	}
+	if g.cur == nil {
+		g.cur = &inflightColl{kind: kind, seq: g.seq}
+		g.seq++
+	} else if g.cur.kind != kind {
+		return nil, 0, 0, fmt.Errorf("%w: group %d has a different collective in flight (kind %d, resumed with %d)",
+			ErrInvalid, gid, g.cur.kind, kind)
+	}
+	return g.members, g.myIdx, g.cur.seq, nil
+}
+
+// finishCollective marks the in-flight collective of gid complete and
+// garbage-collects its buffered round messages.
+func (p *Proc) finishCollective(gid GroupID, seq uint64) {
+	p.mu.Lock()
+	if g, ok := p.groups[gid]; ok && g.cur != nil && g.cur.seq == seq {
+		g.cur = nil
+	}
+	p.mu.Unlock()
+	p.collMu.Lock()
+	for k := range p.collBuf {
+		if k.gid == gid && k.seq == seq {
+			delete(p.collBuf, k)
+		}
+	}
+	p.collMu.Unlock()
+}
+
+func membersHash(members []Rank) []byte {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, r := range members {
+		b[0], b[1], b[2], b[3] = byte(r), byte(r>>8), byte(r>>16), byte(r>>24)
+		h.Write(b[:])
+	}
+	return h.Sum(nil)
+}

@@ -1,0 +1,117 @@
+package gaspi
+
+import (
+	"repro/internal/fabric"
+)
+
+// nicLoop services the process's endpoint: it applies remote one-sided
+// operations, answers pings and atomics, buffers collective rounds and
+// routes completions — independently of what the application goroutine is
+// doing. This models the RDMA NIC + GPI-2 progress engine and is what makes
+// a dedicated fault detector possible: a busy (or hung) application still
+// answers pings as long as the process is alive.
+func (p *Proc) nicLoop() {
+	for {
+		select {
+		case m := <-p.ep.Recv():
+			p.handleMessage(m)
+		case <-p.ep.Done():
+			return
+		}
+	}
+}
+
+func (p *Proc) handleMessage(m fabric.Message) {
+	switch m.Kind {
+	case kWrite:
+		code := int64(remBadSegment)
+		if s, err := p.segLookup(SegmentID(m.Args[0])); err == nil {
+			code = s.applyRemoteWrite(m.Args[1], m.Payload)
+			if code == remOK && m.Args[2] > 0 {
+				code = s.setNotification(m.Args[2]-1, m.Args[3])
+			}
+		}
+		p.reply(m.From, fabric.Message{Kind: kWriteAck, Token: m.Token, Args: [4]int64{code}})
+
+	case kNotify:
+		code := int64(remBadSegment)
+		if s, err := p.segLookup(SegmentID(m.Args[0])); err == nil {
+			code = s.setNotification(m.Args[2]-1, m.Args[3])
+		}
+		p.reply(m.From, fabric.Message{Kind: kWriteAck, Token: m.Token, Args: [4]int64{code}})
+
+	case kRead:
+		code := int64(remBadSegment)
+		var data []byte
+		if s, err := p.segLookup(SegmentID(m.Args[0])); err == nil {
+			data, code = s.readRemote(m.Args[1], m.Args[2])
+		}
+		p.reply(m.From, fabric.Message{Kind: kReadResp, Token: m.Token, Args: [4]int64{code}, Payload: data})
+
+	case kWriteAck:
+		p.completeToken(m.Token, opResult{err: remoteErr(m.Args[0])})
+
+	case kReadResp:
+		p.completeToken(m.Token, opResult{err: remoteErr(m.Args[0]), data: m.Payload})
+
+	case kPassive:
+		code := int64(remOK)
+		select {
+		case p.passiveCh <- passiveMsg{from: m.From, data: m.Payload}:
+		default:
+			code = remPassiveFull
+		}
+		p.reply(m.From, fabric.Message{Kind: kPassiveAck, Token: m.Token, Args: [4]int64{code}})
+
+	case kPassiveAck:
+		p.completeToken(m.Token, opResult{err: remoteErr(m.Args[0])})
+
+	case kAtomic:
+		code := int64(remBadSegment)
+		var old int64
+		if s, err := p.segLookup(SegmentID(m.Args[0])); err == nil {
+			old, code = s.applyAtomic(m.Args[2], m.Args[1], m.Args[3], m.Payload)
+		}
+		p.reply(m.From, fabric.Message{Kind: kAtomicResp, Token: m.Token, Args: [4]int64{code, old}})
+
+	case kAtomicResp:
+		p.completeToken(m.Token, opResult{err: remoteErr(m.Args[0]), val: m.Args[1]})
+
+	case kPing:
+		p.reply(m.From, fabric.Message{Kind: kPingAck, Token: m.Token})
+
+	case kPingAck:
+		p.completeToken(m.Token, opResult{})
+
+	case kKill:
+		p.die(deathCause{killed: true, byRank: m.From})
+
+	case kColl:
+		key := collKey{
+			gid:   GroupID(m.Args[0]),
+			seq:   uint64(m.Args[1]),
+			round: int32(m.Args[2]),
+			op:    uint8(m.Args[3]),
+			from:  m.From,
+		}
+		p.collMu.Lock()
+		p.collBuf[key] = m.Payload
+		p.collMu.Unlock()
+		p.collPulse.Broadcast()
+
+	case fabric.KindNack:
+		// A posted operation reached a dead process: the connection is
+		// broken. Mark the state vector (the GASPI "error state vector is
+		// set after every erroneous non-local operation") and fail the
+		// pending operation, if any (collective sends carry no pending op;
+		// their waiters time out instead).
+		p.markCorrupt(m.From)
+		p.completeToken(m.Token, opResult{err: ErrConnection})
+	}
+}
+
+// reply sends a NIC-generated response; failures (own endpoint closed) are
+// dropped, matching hardware behaviour.
+func (p *Proc) reply(to Rank, m fabric.Message) {
+	_ = p.ep.Send(to, m)
+}

@@ -1,0 +1,201 @@
+package gaspi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Write posts a one-sided write of data into the remote rank's segment at
+// the given offset (gaspi_write). The call returns as soon as the operation
+// is posted on queue q; completion is observed with WaitQueue.
+//
+// Unlike the C API (which reads from a local segment), data is passed
+// directly; the fabric copies it, so the caller may reuse the slice.
+func (p *Proc) Write(rank Rank, seg SegmentID, off int64, data []byte, q QueueID) error {
+	return p.writeInternal(rank, seg, off, data, q, -1, 0)
+}
+
+// WriteNotify posts a one-sided write followed by a notification
+// (gaspi_write_notify). The GASPI guarantee holds: the remote notification
+// value becomes visible only after the written data is in place, because the
+// fabric preserves per-pair FIFO order and the NIC applies the write before
+// setting the notification.
+func (p *Proc) WriteNotify(rank Rank, seg SegmentID, off int64, data []byte, notifID NotificationID, notifVal int64, q QueueID) error {
+	if notifVal == 0 {
+		return fmt.Errorf("%w: notification value must be non-zero", ErrInvalid)
+	}
+	return p.writeInternal(rank, seg, off, data, q, int64(notifID), notifVal)
+}
+
+func (p *Proc) writeInternal(rank Rank, seg SegmentID, off int64, data []byte, q QueueID, notifID, notifVal int64) error {
+	p.checkAlive()
+	qu, err := p.queue(q)
+	if err != nil {
+		return err
+	}
+	if err := p.validRank(rank); err != nil {
+		return err
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	tok := p.postQueued(kWrite, rank, qu, nil, 0)
+	m := fabric.Message{
+		Kind:    kWrite,
+		Token:   tok,
+		Args:    [4]int64{int64(seg), off, notifID + 1, notifVal},
+		Payload: buf,
+	}
+	if err := p.ep.Send(rank, m); err != nil {
+		p.completeToken(tok, opResult{err: ErrConnection})
+		return nil // surfaces via WaitQueue, like a posted-then-failed op
+	}
+	return nil
+}
+
+// Notify posts a bare notification to the remote rank's segment slot
+// (gaspi_notify). Completion is observed with WaitQueue.
+func (p *Proc) Notify(rank Rank, seg SegmentID, notifID NotificationID, notifVal int64, q QueueID) error {
+	p.checkAlive()
+	if notifVal == 0 {
+		return fmt.Errorf("%w: notification value must be non-zero", ErrInvalid)
+	}
+	qu, err := p.queue(q)
+	if err != nil {
+		return err
+	}
+	if err := p.validRank(rank); err != nil {
+		return err
+	}
+	tok := p.postQueued(kNotify, rank, qu, nil, 0)
+	m := fabric.Message{
+		Kind:  kNotify,
+		Token: tok,
+		Args:  [4]int64{int64(seg), 0, int64(notifID) + 1, notifVal},
+	}
+	if err := p.ep.Send(rank, m); err != nil {
+		p.completeToken(tok, opResult{err: ErrConnection})
+	}
+	return nil
+}
+
+// Read posts a one-sided read of size bytes from the remote rank's segment
+// (srcSeg, srcOff) into the local segment (dstSeg, dstOff) (gaspi_read).
+// Completion is observed with WaitQueue.
+func (p *Proc) Read(rank Rank, srcSeg SegmentID, srcOff int64, dstSeg SegmentID, dstOff int64, size int64, q QueueID) error {
+	p.checkAlive()
+	qu, err := p.queue(q)
+	if err != nil {
+		return err
+	}
+	if err := p.validRank(rank); err != nil {
+		return err
+	}
+	dst, err := p.segLookup(dstSeg)
+	if err != nil {
+		return err
+	}
+	if dstOff < 0 || dstOff+size > int64(len(dst.buf)) {
+		return fmt.Errorf("%w: read destination out of bounds", ErrInvalid)
+	}
+	tok := p.postQueued(kRead, rank, qu, dst, dstOff)
+	m := fabric.Message{
+		Kind:  kRead,
+		Token: tok,
+		Args:  [4]int64{int64(srcSeg), srcOff, size, 0},
+	}
+	if err := p.ep.Send(rank, m); err != nil {
+		p.completeToken(tok, opResult{err: ErrConnection})
+	}
+	return nil
+}
+
+// NotifyWaitsome blocks until one of the notification slots
+// [begin, begin+num) of the local segment holds a non-zero value, returning
+// the first such slot (gaspi_notify_waitsome).
+func (p *Proc) NotifyWaitsome(seg SegmentID, begin NotificationID, num int, timeout time.Duration) (NotificationID, error) {
+	p.checkAlive()
+	s, err := p.segLookup(seg)
+	if err != nil {
+		return 0, err
+	}
+	if begin < 0 || num <= 0 || int(begin)+num > len(s.notifVals) {
+		return 0, fmt.Errorf("%w: notification range [%d,%d)", ErrInvalid, begin, int(begin)+num)
+	}
+	var fired NotificationID
+	err = p.waitCond(&s.notifPulse, timeout, func() bool {
+		s.notifMu.Lock()
+		defer s.notifMu.Unlock()
+		for i := begin; i < begin+NotificationID(num); i++ {
+			if s.notifVals[i] != 0 {
+				fired = i
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return 0, err
+	}
+	return fired, nil
+}
+
+// NotifyReset atomically reads and clears a notification slot, returning the
+// old value (gaspi_notify_reset).
+func (p *Proc) NotifyReset(seg SegmentID, id NotificationID) (int64, error) {
+	p.checkAlive()
+	s, err := p.segLookup(seg)
+	if err != nil {
+		return 0, err
+	}
+	s.notifMu.Lock()
+	defer s.notifMu.Unlock()
+	if id < 0 || int(id) >= len(s.notifVals) {
+		return 0, fmt.Errorf("%w: notification id %d", ErrInvalid, id)
+	}
+	old := s.notifVals[id]
+	s.notifVals[id] = 0
+	return old, nil
+}
+
+// NotifyPeek reads a notification slot without clearing it. The worker-side
+// failure-acknowledgment check uses it so the signal stays visible to every
+// later check.
+func (p *Proc) NotifyPeek(seg SegmentID, id NotificationID) (int64, error) {
+	p.checkAlive()
+	s, err := p.segLookup(seg)
+	if err != nil {
+		return 0, err
+	}
+	s.notifMu.Lock()
+	defer s.notifMu.Unlock()
+	if id < 0 || int(id) >= len(s.notifVals) {
+		return 0, fmt.Errorf("%w: notification id %d", ErrInvalid, id)
+	}
+	return s.notifVals[id], nil
+}
+
+// ResetNotifications clears every notification slot of a segment. The
+// recovery path uses it to discard stale pre-failure notifications.
+func (p *Proc) ResetNotifications(seg SegmentID) error {
+	p.checkAlive()
+	s, err := p.segLookup(seg)
+	if err != nil {
+		return err
+	}
+	s.notifMu.Lock()
+	for i := range s.notifVals {
+		s.notifVals[i] = 0
+	}
+	s.notifMu.Unlock()
+	s.notifPulse.Broadcast()
+	return nil
+}
+
+func (p *Proc) validRank(r Rank) error {
+	if r < 0 || int(r) >= p.n {
+		return fmt.Errorf("%w: rank %d out of range [0,%d)", ErrInvalid, r, p.n)
+	}
+	return nil
+}

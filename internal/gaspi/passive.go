@@ -1,0 +1,105 @@
+package gaspi
+
+import (
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// PassiveSend transfers data to the remote rank's passive queue
+// (gaspi_passive_send). It blocks until the remote NIC accepts the message,
+// the timeout expires, or the connection breaks. Passive communication is
+// two-sided: the receiver must call PassiveReceive.
+func (p *Proc) PassiveSend(rank Rank, data []byte, timeout time.Duration) error {
+	p.checkAlive()
+	if err := p.validRank(rank); err != nil {
+		return err
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	tok, resp := p.postBlocking(kPassive, rank)
+	m := fabric.Message{Kind: kPassive, Token: tok, Payload: buf}
+	if err := p.ep.Send(rank, m); err != nil {
+		p.completeToken(tok, opResult{err: ErrConnection})
+	}
+	return p.awaitResult(tok, resp, timeout)
+}
+
+// PassiveReceive blocks until a passive message arrives and returns its
+// sender and payload (gaspi_passive_receive).
+func (p *Proc) PassiveReceive(timeout time.Duration) (Rank, []byte, error) {
+	p.checkAlive()
+	timer, stop := deadline(timeout)
+	defer stop()
+	select {
+	case m := <-p.passiveCh:
+		return m.from, m.data, nil
+	default:
+	}
+	if timeout == Test {
+		return NilRank, nil, ErrTimeout
+	}
+	select {
+	case m := <-p.passiveCh:
+		return m.from, m.data, nil
+	case <-timer:
+		return NilRank, nil, ErrTimeout
+	case <-p.dead:
+		p.checkAlive()
+		return NilRank, nil, ErrTimeout // unreachable
+	}
+}
+
+// NilRank is the invalid rank sentinel re-exported for convenience.
+const NilRank = fabric.NilRank
+
+// awaitResult waits for the completion of a blocking operation, translating
+// timeouts and abandoning the token on timeout (a late completion for an
+// abandoned token is dropped).
+func (p *Proc) awaitResult(tok uint64, resp chan opResult, timeout time.Duration) error {
+	timer, stop := deadline(timeout)
+	defer stop()
+	select {
+	case r := <-resp:
+		return r.err
+	case <-timer:
+		p.abandonToken(tok)
+		// The completion may have raced the timeout; prefer it.
+		select {
+		case r := <-resp:
+			return r.err
+		default:
+			return ErrTimeout
+		}
+	case <-p.dead:
+		p.checkAlive()
+		return ErrTimeout // unreachable
+	}
+}
+
+// awaitResultVal is awaitResult for operations that return a value.
+func (p *Proc) awaitResultVal(tok uint64, resp chan opResult, timeout time.Duration) (opResult, error) {
+	timer, stop := deadline(timeout)
+	defer stop()
+	select {
+	case r := <-resp:
+		return r, r.err
+	case <-timer:
+		p.abandonToken(tok)
+		select {
+		case r := <-resp:
+			return r, r.err
+		default:
+			return opResult{}, ErrTimeout
+		}
+	case <-p.dead:
+		p.checkAlive()
+		return opResult{}, ErrTimeout // unreachable
+	}
+}
+
+func (p *Proc) abandonToken(tok uint64) {
+	p.pendMu.Lock()
+	delete(p.pending, tok)
+	p.pendMu.Unlock()
+}

@@ -1,0 +1,223 @@
+package gaspi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Proc is one GASPI process: the handle through which application code
+// issues every GASPI call. A Proc is created by Launch and passed to the
+// process main function; it must only be used from that process's
+// goroutine(s).
+type Proc struct {
+	rank Rank
+	n    int
+	cfg  Config
+	job  *Job
+	ep   *fabric.Endpoint
+
+	// registries
+	mu     sync.Mutex
+	segs   map[SegmentID]*segment
+	groups map[GroupID]*group
+
+	// queues and pending one-sided operations
+	queues  []*queue
+	pendMu  sync.Mutex
+	pending map[uint64]*pendingOp
+	token   atomic.Uint64
+
+	// passive communication
+	passiveCh chan passiveMsg
+
+	// collective round buffers (filled by the NIC)
+	collMu    sync.Mutex
+	collBuf   map[collKey][]byte
+	collPulse pulse
+
+	// error state vector
+	statevec []atomic.Uint32
+
+	// death handling
+	dead      chan struct{}
+	deadOnce  sync.Once
+	deathInfo atomic.Value // deathCause
+}
+
+type passiveMsg struct {
+	from Rank
+	data []byte
+}
+
+type collKey struct {
+	gid   GroupID
+	seq   uint64
+	round int32
+	op    uint8
+	from  Rank
+}
+
+// deathCause records why a process died.
+type deathCause struct {
+	killed   bool // kill -9 / gaspi_proc_kill / node failure
+	exited   bool // application called Exit (exit(-1))
+	code     int
+	byRank   Rank
+	external string
+}
+
+// killedPanic unwinds the application goroutine of a process that died
+// abruptly; the Launch wrapper recovers it. Application code must not
+// swallow it with a blanket recover.
+type killedPanic struct{ cause deathCause }
+
+// Rank returns this process's GASPI rank (gaspi_proc_rank).
+func (p *Proc) Rank() Rank { return p.rank }
+
+// NumProcs returns the total number of ranks (gaspi_proc_num).
+func (p *Proc) NumProcs() int { return p.n }
+
+// Config returns the launch configuration.
+func (p *Proc) Config() Config { return p.cfg }
+
+// Dead returns a channel closed when this process dies (killed or exited).
+func (p *Proc) Dead() <-chan struct{} { return p.dead }
+
+// Alive reports whether the process is still running.
+func (p *Proc) Alive() bool {
+	select {
+	case <-p.dead:
+		return false
+	default:
+		return true
+	}
+}
+
+// Exit terminates this process abruptly with the given code, without any
+// notification to other ranks — the paper's `exit(-1)` fail-stop failure
+// injection. It never returns.
+func (p *Proc) Exit(code int) {
+	c := deathCause{exited: true, code: code, byRank: p.rank}
+	p.die(c)
+	panic(killedPanic{cause: c})
+}
+
+// die transitions the process to the dead state: the endpoint closes (so
+// peers start receiving NACKs), and any blocked GASPI call unwinds.
+func (p *Proc) die(c deathCause) {
+	p.deadOnce.Do(func() {
+		p.deathInfo.Store(c)
+		close(p.dead)
+		p.ep.Close()
+	})
+}
+
+// checkAlive panics with killedPanic if the process has died. Every GASPI
+// entry point calls it so that a killed process stops at its next
+// communication event, like a real fail-stop failure.
+func (p *Proc) checkAlive() {
+	select {
+	case <-p.dead:
+		c, _ := p.deathInfo.Load().(deathCause)
+		panic(killedPanic{cause: c})
+	default:
+	}
+}
+
+// nextToken allocates a correlation token for a one-sided operation.
+func (p *Proc) nextToken() uint64 { return p.token.Add(1) }
+
+// Protect runs fn and absorbs the process-death unwinding, reporting
+// whether the process died. The main process goroutine is protected by the
+// runtime automatically; auxiliary goroutines that issue GASPI calls (the
+// threaded fault detector, background probers) must wrap their bodies in
+// Protect so a killed process does not crash the whole simulation.
+func Protect(fn func()) (died bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedPanic); ok {
+				died = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}
+
+// deadline returns a timer channel for the given timeout. For Block the
+// channel is nil (never fires). The returned stop function must be called
+// to release the timer.
+func deadline(timeout time.Duration) (<-chan time.Time, func()) {
+	if timeout == Block {
+		return nil, func() {}
+	}
+	t := time.NewTimer(timeout)
+	return t.C, func() { t.Stop() }
+}
+
+// waitCond blocks until cond returns true, the timeout expires (ErrTimeout)
+// or the process dies (panics). pl must be broadcast whenever cond may have
+// become true. cond must be safe to call from this goroutine (it takes its
+// own locks).
+func (p *Proc) waitCond(pl *pulse, timeout time.Duration, cond func() bool) error {
+	timer, stop := deadline(timeout)
+	defer stop()
+	for {
+		ch := pl.Chan()
+		if cond() {
+			return nil
+		}
+		if timeout == Test {
+			return ErrTimeout
+		}
+		select {
+		case <-ch:
+		case <-timer:
+			return ErrTimeout
+		case <-p.dead:
+			p.checkAlive()
+		}
+	}
+}
+
+// markCorrupt flips the state vector entry for rank r to StateCorrupt.
+func (p *Proc) markCorrupt(r Rank) {
+	if r >= 0 && int(r) < len(p.statevec) {
+		p.statevec[r].Store(uint32(StateCorrupt))
+	}
+}
+
+// State returns the error state vector entry for rank r
+// (gaspi_state_vec_get). A rank becomes StateCorrupt after an erroneous
+// non-local operation targeting it.
+func (p *Proc) State(r Rank) ProcState {
+	if r < 0 || int(r) >= len(p.statevec) {
+		return StateCorrupt
+	}
+	return ProcState(p.statevec[r].Load())
+}
+
+// StateVec returns a snapshot of the whole error state vector.
+func (p *Proc) StateVec() []ProcState {
+	out := make([]ProcState, len(p.statevec))
+	for i := range out {
+		out[i] = ProcState(p.statevec[i].Load())
+	}
+	return out
+}
+
+// StateReset resets the state vector entry for rank r to healthy. The
+// recovery path uses it after a failed rank has been replaced.
+func (p *Proc) StateReset(r Rank) {
+	if r >= 0 && int(r) < len(p.statevec) {
+		p.statevec[r].Store(uint32(StateHealthy))
+	}
+}
+
+func (p *Proc) String() string { return fmt.Sprintf("gaspi.Proc(rank=%d)", p.rank) }

@@ -1,0 +1,32 @@
+package gaspi
+
+import "sync"
+
+// pulse is a broadcast wake-up primitive: waiters snapshot the current
+// channel with Chan, re-check their condition, and block on the channel;
+// Broadcast closes the current channel (waking everybody) and installs a
+// fresh one. Taking the channel before checking the condition makes the
+// lost-wakeup race impossible.
+type pulse struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func (p *pulse) Chan() <-chan struct{} {
+	p.mu.Lock()
+	if p.ch == nil {
+		p.ch = make(chan struct{})
+	}
+	ch := p.ch
+	p.mu.Unlock()
+	return ch
+}
+
+func (p *pulse) Broadcast() {
+	p.mu.Lock()
+	if p.ch != nil {
+		close(p.ch)
+	}
+	p.ch = make(chan struct{})
+	p.mu.Unlock()
+}

@@ -1,0 +1,175 @@
+package gaspi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// queue tracks the completion state of one-sided operations posted on a
+// GASPI queue. WaitQueue flushes it: it blocks until every posted operation
+// has completed (acknowledged by the target's NIC or NACKed by the fabric).
+type queue struct {
+	id    QueueID
+	mu    sync.Mutex
+	out   int // outstanding operations
+	gen   uint64
+	errs  []opError
+	pulse pulse
+}
+
+type opError struct {
+	rank Rank
+	err  error
+}
+
+// pendingOp is a posted operation awaiting its completion message.
+type pendingOp struct {
+	kind uint8
+	rank Rank
+	q    *queue // nil for blocking (non-queued) operations
+	qgen uint64 // queue generation at post time; stale after PurgeQueues
+	// readSeg/readOff receive the payload of a kReadResp.
+	readSeg *segment
+	readOff int64
+	// resp delivers the completion to a blocking caller (ping, atomic,
+	// passive). Buffered with capacity 1; the NIC never blocks on it.
+	resp chan opResult
+}
+
+type opResult struct {
+	err  error
+	val  int64
+	data []byte
+}
+
+func (p *Proc) queue(q QueueID) (*queue, error) {
+	if q < 0 || int(q) >= len(p.queues) {
+		return nil, fmt.Errorf("%w: queue %d out of range [0,%d)", ErrInvalid, q, len(p.queues))
+	}
+	return p.queues[q], nil
+}
+
+// postQueued registers a queued operation and returns its token.
+func (p *Proc) postQueued(kind uint8, rank Rank, q *queue, readSeg *segment, readOff int64) uint64 {
+	tok := p.nextToken()
+	q.mu.Lock()
+	q.out++
+	gen := q.gen
+	q.mu.Unlock()
+	p.pendMu.Lock()
+	p.pending[tok] = &pendingOp{kind: kind, rank: rank, q: q, qgen: gen, readSeg: readSeg, readOff: readOff}
+	p.pendMu.Unlock()
+	return tok
+}
+
+// postBlocking registers a blocking operation and returns its token and
+// response channel.
+func (p *Proc) postBlocking(kind uint8, rank Rank) (uint64, chan opResult) {
+	tok := p.nextToken()
+	resp := make(chan opResult, 1)
+	p.pendMu.Lock()
+	p.pending[tok] = &pendingOp{kind: kind, rank: rank, resp: resp}
+	p.pendMu.Unlock()
+	return tok, resp
+}
+
+// completeToken resolves the pending operation for tok with the given
+// result. Called by the NIC. Unknown tokens (already purged) are ignored.
+func (p *Proc) completeToken(tok uint64, res opResult) {
+	p.pendMu.Lock()
+	op, ok := p.pending[tok]
+	if ok {
+		delete(p.pending, tok)
+	}
+	p.pendMu.Unlock()
+	if !ok {
+		return
+	}
+	if op.resp != nil {
+		op.resp <- res
+		return
+	}
+	if res.err == nil && op.readSeg != nil && res.data != nil {
+		if code := op.readSeg.applyRemoteWrite(op.readOff, res.data); code != remOK {
+			res.err = remoteErr(code)
+		}
+	}
+	q := op.q
+	q.mu.Lock()
+	if op.qgen == q.gen { // ignore completions for operations purged meanwhile
+		q.out--
+		if res.err != nil {
+			q.errs = append(q.errs, opError{rank: op.rank, err: res.err})
+		}
+	}
+	q.mu.Unlock()
+	q.pulse.Broadcast()
+}
+
+// WaitQueue blocks until all operations posted on queue q have completed
+// (gaspi_wait). If any completed with an error, the queue's accumulated
+// errors are returned wrapped in ErrQueue and cleared; the state vector
+// already marks the corrupt ranks.
+func (p *Proc) WaitQueue(q QueueID, timeout time.Duration) error {
+	p.checkAlive()
+	qu, err := p.queue(q)
+	if err != nil {
+		return err
+	}
+	err = p.waitCond(&qu.pulse, timeout, func() bool {
+		qu.mu.Lock()
+		defer qu.mu.Unlock()
+		return qu.out == 0
+	})
+	if err != nil {
+		return err
+	}
+	qu.mu.Lock()
+	errs := qu.errs
+	qu.errs = nil
+	qu.mu.Unlock()
+	if len(errs) > 0 {
+		return fmt.Errorf("%w: %d failed operation(s), first to rank %d: %v",
+			ErrQueue, len(errs), errs[0].rank, errs[0].err)
+	}
+	return nil
+}
+
+// QueueOutstanding reports the number of uncompleted operations on q.
+func (p *Proc) QueueOutstanding(q QueueID) int {
+	qu, err := p.queue(q)
+	if err != nil {
+		return 0
+	}
+	qu.mu.Lock()
+	defer qu.mu.Unlock()
+	return qu.out
+}
+
+// NumQueues returns the number of communication queues.
+func (p *Proc) NumQueues() int { return len(p.queues) }
+
+// PurgeQueues abandons every outstanding queued operation and clears all
+// queue error state (gaspi_queue_purge, applied to all queues). The
+// recovery path calls it to repair communication infrastructure after a
+// failure: operations stuck towards partitioned or dead ranks would
+// otherwise never complete. Late completions for purged tokens are ignored.
+func (p *Proc) PurgeQueues() {
+	p.checkAlive()
+	p.pendMu.Lock()
+	for tok, op := range p.pending {
+		if op.q != nil {
+			delete(p.pending, tok)
+		}
+	}
+	p.pendMu.Unlock()
+	for _, q := range p.queues {
+		q.mu.Lock()
+		q.out = 0
+		q.gen++
+		q.errs = nil
+		q.mu.Unlock()
+		q.pulse.Broadcast()
+	}
+}

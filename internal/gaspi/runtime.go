@@ -1,0 +1,244 @@
+package gaspi
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Config parameterizes a GASPI job.
+type Config struct {
+	// Procs is the number of ranks.
+	Procs int
+	// Queues is the number of communication queues per rank (default 8).
+	Queues int
+	// NotifySlots is the number of notification slots per segment
+	// (default 512).
+	NotifySlots int
+	// PassiveDepth is the passive receive buffer depth (default 1024).
+	PassiveDepth int
+	// MaxSegments bounds the number of segments per rank (default 32).
+	MaxSegments int
+	// Latency is the fabric latency model.
+	Latency fabric.LatencyModel
+	// InboxDepth is the fabric per-endpoint inbox depth (default 4096).
+	InboxDepth int
+	// Seed seeds the fabric's deterministic jitter streams.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queues <= 0 {
+		c.Queues = 8
+	}
+	if c.NotifySlots <= 0 {
+		c.NotifySlots = 512
+	}
+	if c.PassiveDepth <= 0 {
+		c.PassiveDepth = 1024
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 32
+	}
+	return c
+}
+
+// DeathInfo describes how a process died, when it did not return normally.
+type DeathInfo struct {
+	Killed bool // gaspi_proc_kill, Job.Kill, or node failure
+	Exited bool // the process called Exit (e.g. exit(-1))
+	Code   int  // Exit code, when Exited
+	ByRank Rank // killer rank, when killed through ProcKill
+	Reason string
+}
+
+// Result is the outcome of one rank's main function.
+type Result struct {
+	Rank  Rank
+	Err   error
+	Death *DeathInfo // non-nil when the process died instead of returning
+}
+
+// Job is a running GASPI application: one goroutine per rank plus one NIC
+// goroutine per rank, connected by a simulated fabric.
+type Job struct {
+	cfg     Config
+	tr      *fabric.Transport
+	procs   []*Proc
+	wg      sync.WaitGroup
+	resMu   sync.Mutex
+	results []Result
+	closed  atomic.Bool
+}
+
+// Launch starts a GASPI job: cfg.Procs processes all running main.
+// The returned Job is used to wait for completion and to inject faults.
+func Launch(cfg Config, main func(*Proc) error) *Job {
+	cfg = cfg.withDefaults()
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("gaspi: invalid proc count %d", cfg.Procs))
+	}
+	tr := fabric.New(fabric.Config{
+		N:          cfg.Procs,
+		Latency:    cfg.Latency,
+		InboxDepth: cfg.InboxDepth,
+		Seed:       cfg.Seed,
+	})
+	job := &Job{
+		cfg:     cfg,
+		tr:      tr,
+		procs:   make([]*Proc, cfg.Procs),
+		results: make([]Result, cfg.Procs),
+	}
+	allRanks := make([]Rank, cfg.Procs)
+	for i := range allRanks {
+		allRanks[i] = Rank(i)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		p := &Proc{
+			rank:      Rank(i),
+			n:         cfg.Procs,
+			cfg:       cfg,
+			job:       job,
+			ep:        tr.Endpoint(Rank(i)),
+			segs:      make(map[SegmentID]*segment),
+			groups:    make(map[GroupID]*group),
+			queues:    make([]*queue, cfg.Queues),
+			pending:   make(map[uint64]*pendingOp),
+			passiveCh: make(chan passiveMsg, cfg.PassiveDepth),
+			collBuf:   make(map[collKey][]byte),
+			statevec:  make([]atomic.Uint32, cfg.Procs),
+			dead:      make(chan struct{}),
+		}
+		for q := range p.queues {
+			p.queues[q] = &queue{id: QueueID(q)}
+		}
+		// GASPI_GROUP_ALL is predefined and committed at init.
+		p.groups[GroupAll] = &group{
+			id:        GroupAll,
+			members:   allRanks,
+			myIdx:     i,
+			committed: true,
+			seq:       1,
+		}
+		job.procs[i] = p
+		job.results[i] = Result{Rank: Rank(i)}
+		go p.nicLoop()
+	}
+	for _, p := range job.procs {
+		job.wg.Add(1)
+		go job.runMain(p, main)
+	}
+	return job
+}
+
+func (j *Job) runMain(p *Proc, main func(*Proc) error) {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if kp, ok := r.(killedPanic); ok {
+				j.record(p.rank, Result{
+					Rank: p.rank,
+					Death: &DeathInfo{
+						Killed: kp.cause.killed,
+						Exited: kp.cause.exited,
+						Code:   kp.cause.code,
+						ByRank: kp.cause.byRank,
+						Reason: kp.cause.external,
+					},
+				})
+				return
+			}
+			j.record(p.rank, Result{
+				Rank: p.rank,
+				Err:  fmt.Errorf("rank %d panicked: %v\n%s", p.rank, r, debug.Stack()),
+			})
+			return
+		}
+	}()
+	err := main(p)
+	j.record(p.rank, Result{Rank: p.rank, Err: err})
+	// The process "lingers": its NIC keeps answering pings and remote
+	// operations after main returns, until the job is shut down — just as a
+	// real GPI-2 process stays alive between gaspi_proc_term and job end.
+}
+
+func (j *Job) record(r Rank, res Result) {
+	j.resMu.Lock()
+	j.results[r] = res
+	j.resMu.Unlock()
+}
+
+// Proc returns the process handle for a rank. Intended for fault-injection
+// and inspection by the harness; application code receives its own handle.
+func (j *Job) Proc(r Rank) *Proc { return j.procs[r] }
+
+// NumProcs returns the number of ranks in the job.
+func (j *Job) NumProcs() int { return len(j.procs) }
+
+// Transport exposes the underlying fabric (for partition injection and
+// statistics).
+func (j *Job) Transport() *fabric.Transport { return j.tr }
+
+// Kill terminates a rank abruptly, like `kill -9 <pid>`: the process's
+// endpoint closes and its goroutine unwinds at its next GASPI call.
+func (j *Job) Kill(r Rank, reason string) {
+	j.procs[r].die(deathCause{killed: true, byRank: NilRank, external: reason})
+}
+
+// Partition disconnects (down=true) or heals a rank's data-plane network.
+func (j *Job) Partition(r Rank, down bool) {
+	j.tr.SetPartitioned(r, down)
+}
+
+// Wait blocks until every rank's main function has finished (returned,
+// exited or been killed) and returns the per-rank results.
+func (j *Job) Wait() []Result {
+	j.wg.Wait()
+	j.resMu.Lock()
+	defer j.resMu.Unlock()
+	out := make([]Result, len(j.results))
+	copy(out, j.results)
+	return out
+}
+
+// WaitTimeout is Wait with a deadline; it returns false on timeout.
+func (j *Job) WaitTimeout(d time.Duration) ([]Result, bool) {
+	done := make(chan struct{})
+	go func() {
+		j.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return j.Wait(), true
+	case <-time.After(d):
+		return nil, false
+	}
+}
+
+// Close tears down the fabric. Processes still running will die at their
+// next GASPI call.
+func (j *Job) Close() {
+	if j.closed.CompareAndSwap(false, true) {
+		for _, p := range j.procs {
+			p.die(deathCause{killed: true, external: "job closed"})
+		}
+		j.tr.Close()
+	}
+}
+
+// Shutdown kills all processes, waits for their goroutines to unwind and
+// tears down the fabric — the hard-stop teardown used by tests.
+func (j *Job) Shutdown() []Result {
+	for _, p := range j.procs {
+		p.die(deathCause{killed: true, external: "shutdown"})
+	}
+	res := j.Wait()
+	j.Close()
+	return res
+}

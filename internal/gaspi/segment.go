@@ -1,0 +1,162 @@
+package gaspi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// segment is a PGAS memory segment: a byte buffer plus its notification
+// slots. Remote writes are applied by the NIC under mu; application code
+// that synchronizes through notifications may read the data without holding
+// mu (the notification access provides the happens-before edge, as in real
+// RDMA followed by a notification check).
+type segment struct {
+	id  SegmentID
+	mu  sync.Mutex
+	buf []byte
+
+	notifMu    sync.Mutex
+	notifVals  []int64
+	notifPulse pulse
+}
+
+// SegmentCreate allocates a local segment of the given size
+// (gaspi_segment_create). The segment becomes remotely accessible
+// immediately; IDs must be allocated consistently across ranks by the
+// application.
+func (p *Proc) SegmentCreate(id SegmentID, size int) error {
+	p.checkAlive()
+	if size < 0 {
+		return fmt.Errorf("%w: negative segment size", ErrInvalid)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.segs[id]; ok {
+		return fmt.Errorf("%w: segment %d already exists", ErrInvalid, id)
+	}
+	if len(p.segs) >= p.cfg.MaxSegments {
+		return fmt.Errorf("%w: segment limit %d reached", ErrInvalid, p.cfg.MaxSegments)
+	}
+	p.segs[id] = &segment{
+		id:        id,
+		buf:       make([]byte, size),
+		notifVals: make([]int64, p.cfg.NotifySlots),
+	}
+	return nil
+}
+
+// SegmentDelete frees a local segment (gaspi_segment_delete).
+func (p *Proc) SegmentDelete(id SegmentID) error {
+	p.checkAlive()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.segs[id]; !ok {
+		return fmt.Errorf("%w: unknown segment %d", ErrInvalid, id)
+	}
+	delete(p.segs, id)
+	return nil
+}
+
+// SegmentSize returns the size of a local segment.
+func (p *Proc) SegmentSize(id SegmentID) (int, error) {
+	p.checkAlive()
+	s, err := p.segLookup(id)
+	if err != nil {
+		return 0, err
+	}
+	return len(s.buf), nil
+}
+
+// SegmentData returns the raw local segment memory (gaspi_segment_ptr).
+// Like the pointer returned by the C API, concurrent remote writes into a
+// region being read are only safe when the application synchronizes through
+// notifications; use SegmentCopyOut/SegmentCopyIn for lock-protected access.
+func (p *Proc) SegmentData(id SegmentID) ([]byte, error) {
+	p.checkAlive()
+	s, err := p.segLookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.buf, nil
+}
+
+// SegmentCopyIn copies data into the local segment at off under the segment
+// lock, safe against concurrent NIC writes.
+func (p *Proc) SegmentCopyIn(id SegmentID, off int, data []byte) error {
+	p.checkAlive()
+	s, err := p.segLookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off+len(data) > len(s.buf) {
+		return fmt.Errorf("%w: copy-in [%d,%d) beyond segment %d size %d", ErrInvalid, off, off+len(data), id, len(s.buf))
+	}
+	copy(s.buf[off:], data)
+	return nil
+}
+
+// SegmentCopyOut copies size bytes out of the local segment at off under the
+// segment lock, safe against concurrent NIC writes.
+func (p *Proc) SegmentCopyOut(id SegmentID, off, size int) ([]byte, error) {
+	p.checkAlive()
+	s, err := p.segLookup(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || size < 0 || off+size > len(s.buf) {
+		return nil, fmt.Errorf("%w: copy-out [%d,%d) beyond segment %d size %d", ErrInvalid, off, off+size, id, len(s.buf))
+	}
+	out := make([]byte, size)
+	copy(out, s.buf[off:])
+	return out, nil
+}
+
+func (p *Proc) segLookup(id SegmentID) (*segment, error) {
+	p.mu.Lock()
+	s, ok := p.segs[id]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown segment %d", ErrInvalid, id)
+	}
+	return s, nil
+}
+
+// applyRemoteWrite is executed by the NIC for an incoming kWrite.
+func (s *segment) applyRemoteWrite(off int64, data []byte) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || off+int64(len(data)) > int64(len(s.buf)) {
+		return remOutOfBounds
+	}
+	copy(s.buf[off:], data)
+	return remOK
+}
+
+// readRemote is executed by the NIC for an incoming kRead.
+func (s *segment) readRemote(off, size int64) ([]byte, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off < 0 || size < 0 || off+size > int64(len(s.buf)) {
+		return nil, remOutOfBounds
+	}
+	out := make([]byte, size)
+	copy(out, s.buf[off:])
+	return out, remOK
+}
+
+// setNotification is executed by the NIC when a notification arrives.
+func (s *segment) setNotification(id int64, val int64) int64 {
+	s.notifMu.Lock()
+	if id < 0 || id >= int64(len(s.notifVals)) {
+		s.notifMu.Unlock()
+		return remOutOfBounds
+	}
+	s.notifVals[id] = val
+	s.notifMu.Unlock()
+	s.notifPulse.Broadcast()
+	return remOK
+}

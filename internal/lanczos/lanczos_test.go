@@ -1,0 +1,532 @@
+package lanczos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/gaspi"
+	"repro/internal/matrix"
+	"repro/internal/spmvm"
+)
+
+// laplacianEig returns the k-th (1-based) smallest eigenvalue of the 1-D
+// Dirichlet Laplacian of dimension n: 2 - 2cos(kπ/(n+1)).
+func laplacianEig(n int64, k int) float64 {
+	return 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+}
+
+func TestTridiagEigenvaluesLaplacian(t *testing.T) {
+	const n = 50
+	d := make([]float64, n)
+	e := make([]float64, n-1)
+	for i := range d {
+		d[i] = 2
+	}
+	for i := range e {
+		e[i] = -1
+	}
+	eigs, err := TridiagEigenvalues(d, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		want := laplacianEig(n, k)
+		if math.Abs(eigs[k-1]-want) > 1e-12 {
+			t.Fatalf("eig %d: got %v want %v", k, eigs[k-1], want)
+		}
+	}
+}
+
+func TestTridiagEigenvaluesDiagonal(t *testing.T) {
+	d := []float64{5, -2, 7, 0, 3}
+	eigs, err := TridiagEigenvalues(d, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-2, 0, 3, 5, 7}
+	for i := range want {
+		if math.Abs(eigs[i]-want[i]) > 1e-14 {
+			t.Fatalf("eigs = %v", eigs)
+		}
+	}
+}
+
+func TestTridiagEigenvaluesSmall(t *testing.T) {
+	// Empty and 1x1.
+	if eigs, err := TridiagEigenvalues(nil, nil); err != nil || len(eigs) != 0 {
+		t.Fatalf("empty: %v %v", eigs, err)
+	}
+	eigs, err := TridiagEigenvalues([]float64{3}, nil)
+	if err != nil || len(eigs) != 1 || eigs[0] != 3 {
+		t.Fatalf("1x1: %v %v", eigs, err)
+	}
+	// 2x2 [[a b][b c]]: analytic eigenvalues.
+	a, b, c := 2.0, -1.5, -1.0
+	eigs, err = TridiagEigenvalues([]float64{a, c}, []float64{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, det := a+c, a*c-b*b
+	disc := math.Sqrt(tr*tr - 4*det)
+	want := []float64{(tr - disc) / 2, (tr + disc) / 2}
+	for i := range want {
+		if math.Abs(eigs[i]-want[i]) > 1e-12 {
+			t.Fatalf("2x2 eigs = %v, want %v", eigs, want)
+		}
+	}
+}
+
+func TestTridiagBadInput(t *testing.T) {
+	if _, err := TridiagEigenvalues([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("bad subdiagonal length accepted")
+	}
+}
+
+func TestQLAgainstSturmProperty(t *testing.T) {
+	// For random tridiagonal matrices, the number of eigenvalues strictly
+	// below the midpoint between consecutive QL eigenvalues must equal the
+	// index — an independent check via Sturm sequences.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		for i := range d {
+			d[i] = rng.NormFloat64() * 3
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64()
+		}
+		eigs, err := TridiagEigenvalues(d, e)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n-1; k++ {
+			if eigs[k] > eigs[k+1] {
+				return false
+			}
+			mid := (eigs[k] + eigs[k+1]) / 2
+			if eigs[k+1]-eigs[k] < 1e-9 {
+				continue // too close to separate reliably
+			}
+			if got := SturmCount(d, e, mid); got != k+1 {
+				return false
+			}
+		}
+		// All eigenvalues lie below max+1 and above min-1.
+		if SturmCount(d, e, eigs[n-1]+1) != n || SturmCount(d, e, eigs[0]-1) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSturmCountBasic(t *testing.T) {
+	// Laplacian tridiag n=5: eigenvalues 2-2cos(kπ/6), k=1..5.
+	d := []float64{2, 2, 2, 2, 2}
+	e := []float64{-1, -1, -1, -1}
+	if got := SturmCount(d, e, 0); got != 0 {
+		t.Fatalf("below spectrum: %d", got)
+	}
+	if got := SturmCount(d, e, 5); got != 5 {
+		t.Fatalf("above spectrum: %d", got)
+	}
+	if got := SturmCount(d, e, 2); got != 2 {
+		t.Fatalf("middle: %d", got)
+	}
+}
+
+func TestLowestK(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := LowestK(xs, 2); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got := LowestK(xs, 9); len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// Result must be a copy.
+	got := LowestK(xs, 3)
+	got[0] = 99
+	if xs[0] != 1 {
+		t.Fatal("LowestK aliases input")
+	}
+}
+
+// runSolver runs the distributed solver on gen with the given worker count
+// and returns the final eigenvalue estimates (identical on all workers, so
+// worker 0's are returned).
+func runSolver(t *testing.T, gen matrix.Generator, workers int, opts Options) []float64 {
+	t.Helper()
+	var mu sync.Mutex
+	var out []float64
+	job := gaspi.Launch(gaspi.Config{
+		Procs:   workers,
+		Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
+	}, func(p *gaspi.Proc) error {
+		c := &spmvm.Direct{P: p, Base: 0, Workers: workers, Group: gaspi.GroupAll}
+		lo, hi := matrix.BlockRange(gen.Dim(), workers, c.Logical())
+		csr := matrix.Build(gen, lo, hi)
+		plan, err := spmvm.Preprocess(c, csr)
+		if err != nil {
+			return err
+		}
+		eng, err := spmvm.NewEngine(c, plan, csr, 7)
+		if err != nil {
+			return err
+		}
+		s, err := New(c, eng, opts)
+		if err != nil {
+			return err
+		}
+		for !s.Finished() {
+			if err := s.Step(); err != nil {
+				return fmt.Errorf("iter %d: %w", s.It, err)
+			}
+		}
+		if err := s.updateEigs(); err != nil {
+			return err
+		}
+		if c.Logical() == 0 {
+			mu.Lock()
+			out = append([]float64(nil), s.Eigs...)
+			mu.Unlock()
+		}
+		return nil
+	})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(120 * time.Second)
+	if !ok {
+		t.Fatal("job hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+	return out
+}
+
+func TestLanczosFindsLaplacianEigenvalues(t *testing.T) {
+	const n = 60
+	gen := matrix.Laplacian1D{N: n}
+	eigs := runSolver(t, gen, 3, Options{MaxIters: n, NumEigs: 2, Seed: 5})
+	if len(eigs) < 2 {
+		t.Fatalf("eigs = %v", eigs)
+	}
+	for k := 1; k <= 1; k++ { // the lowest one; higher ones may be ghosts
+		want := laplacianEig(n, k)
+		if math.Abs(eigs[k-1]-want) > 1e-6 {
+			t.Fatalf("eig %d: got %v want %v", k, eigs[k-1], want)
+		}
+	}
+}
+
+func TestLanczosMatchesSerial(t *testing.T) {
+	gen := matrix.DefaultGraphene(6, 5, 17)
+	iters := 40
+	serial, err := SerialLowestEigs(gen, iters, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		dist := runSolver(t, gen, workers, Options{MaxIters: iters, NumEigs: 3, Seed: 5})
+		for i := range serial {
+			if math.Abs(dist[i]-serial[i]) > 1e-8 {
+				t.Fatalf("workers=%d eig %d: dist %v serial %v", workers, i, dist[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestLanczosConvergenceCriterion(t *testing.T) {
+	// With a tolerance set, the solver should stop well before MaxIters on
+	// an easy spectrum.
+	gen := matrix.Diagonal{Values: rampValues(64)}
+	var itersDone int64
+	var mu sync.Mutex
+	job := gaspi.Launch(gaspi.Config{Procs: 2, Latency: fabric.LatencyModel{Base: time.Microsecond}},
+		func(p *gaspi.Proc) error {
+			c := &spmvm.Direct{P: p, Base: 0, Workers: 2, Group: gaspi.GroupAll}
+			lo, hi := matrix.BlockRange(gen.Dim(), 2, c.Logical())
+			csr := matrix.Build(gen, lo, hi)
+			plan, err := spmvm.Preprocess(c, csr)
+			if err != nil {
+				return err
+			}
+			eng, err := spmvm.NewEngine(c, plan, csr, 7)
+			if err != nil {
+				return err
+			}
+			s, err := New(c, eng, Options{MaxIters: 64, NumEigs: 1, Tol: 1e-10, CheckEvery: 5, Seed: 2})
+			if err != nil {
+				return err
+			}
+			for !s.Finished() {
+				if err := s.Step(); err != nil {
+					return err
+				}
+			}
+			if !s.Converged() {
+				return fmt.Errorf("did not converge in %d iters", s.It)
+			}
+			mu.Lock()
+			itersDone = s.It
+			mu.Unlock()
+			return nil
+		})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(60 * time.Second)
+	if !ok {
+		t.Fatal("hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+	if itersDone >= 64 {
+		t.Fatalf("convergence criterion never fired (%d iters)", itersDone)
+	}
+}
+
+func rampValues(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i) * 0.5
+	}
+	return v
+}
+
+func TestCheckpointRestoreBitwiseIdentical(t *testing.T) {
+	gen := matrix.DefaultGraphene(5, 4, 9)
+	const workers = 2
+	var mu sync.Mutex
+	finals := map[string][]float64{}
+
+	run := func(label string, restoreAt int64) {
+		job := gaspi.Launch(gaspi.Config{Procs: workers, Latency: fabric.LatencyModel{Base: time.Microsecond}},
+			func(p *gaspi.Proc) error {
+				c := &spmvm.Direct{P: p, Base: 0, Workers: workers, Group: gaspi.GroupAll}
+				lo, hi := matrix.BlockRange(gen.Dim(), workers, c.Logical())
+				csr := matrix.Build(gen, lo, hi)
+				plan, err := spmvm.Preprocess(c, csr)
+				if err != nil {
+					return err
+				}
+				eng, err := spmvm.NewEngine(c, plan, csr, 7)
+				if err != nil {
+					return err
+				}
+				s, err := New(c, eng, Options{MaxIters: 30, NumEigs: 2, Seed: 3})
+				if err != nil {
+					return err
+				}
+				var cp []byte
+				for !s.Finished() {
+					if s.It == restoreAt && cp == nil {
+						cp = s.CheckpointPayload()
+						// Keep computing 5 more iterations, then roll back —
+						// simulating redo-work after a failure.
+						for j := 0; j < 5 && !s.Finished(); j++ {
+							if err := s.Step(); err != nil {
+								return err
+							}
+						}
+						if err := s.Restore(cp); err != nil {
+							return err
+						}
+						if s.It != restoreAt {
+							return fmt.Errorf("restored to %d, want %d", s.It, restoreAt)
+						}
+					}
+					if err := s.Step(); err != nil {
+						return err
+					}
+				}
+				if err := s.updateEigs(); err != nil {
+					return err
+				}
+				if c.Logical() == 0 {
+					mu.Lock()
+					finals[label] = append([]float64(nil), s.Eigs...)
+					mu.Unlock()
+				}
+				return nil
+			})
+		defer job.Close()
+		res, ok := job.WaitTimeout(60 * time.Second)
+		if !ok {
+			t.Fatal("hung")
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				t.Fatalf("%s rank %d: %v", label, r.Rank, r.Err)
+			}
+		}
+	}
+
+	run("straight", -1) // never restores
+	run("rollback", 10)
+
+	a, b := finals["straight"], finals["rollback"]
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("finals: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("eig %d differs after rollback: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	gen := matrix.Laplacian1D{N: 8}
+	job := gaspi.Launch(gaspi.Config{Procs: 1, Latency: fabric.LatencyModel{Base: time.Microsecond}},
+		func(p *gaspi.Proc) error {
+			c := &spmvm.Direct{P: p, Base: 0, Workers: 1, Group: gaspi.GroupAll}
+			csr := matrix.Build(gen, 0, 8)
+			plan, err := spmvm.Preprocess(c, csr)
+			if err != nil {
+				return err
+			}
+			eng, err := spmvm.NewEngine(c, plan, csr, 7)
+			if err != nil {
+				return err
+			}
+			s, err := New(c, eng, Options{MaxIters: 5, Seed: 1})
+			if err != nil {
+				return err
+			}
+			if err := s.Restore([]byte{1, 2, 3}); err == nil {
+				return fmt.Errorf("garbage restore accepted")
+			}
+			good := s.CheckpointPayload()
+			if err := s.Restore(good); err != nil {
+				return err
+			}
+			return nil
+		})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(30 * time.Second)
+	if !ok {
+		t.Fatal("hung")
+	}
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+}
+
+func TestHappyBreakdown(t *testing.T) {
+	// On a 4-dimensional space the Krylov space exhausts after ≤4 steps;
+	// β underflows and the solver must stop converged with the exact
+	// spectrum.
+	gen := matrix.Diagonal{Values: []float64{1, 2, 3, 4}}
+	eigs := runSolver(t, gen, 1, Options{MaxIters: 100, NumEigs: 4, Seed: 8})
+	if len(eigs) == 0 {
+		t.Fatal("no eigenvalues")
+	}
+	if math.Abs(eigs[0]-1) > 1e-9 {
+		t.Fatalf("lowest eig %v, want 1", eigs[0])
+	}
+}
+
+func TestStartVectorDeterministicAcrossDistribution(t *testing.T) {
+	// startEntry depends only on the global index.
+	for i := int64(0); i < 100; i += 13 {
+		a := startEntry(7, i)
+		b := startEntry(7, i)
+		if a != b {
+			t.Fatal("startEntry not deterministic")
+		}
+		if a < -1 || a >= 1 {
+			t.Fatalf("startEntry(%d) = %v out of [-1,1)", i, a)
+		}
+	}
+	if startEntry(7, 3) == startEntry(8, 3) {
+		t.Fatal("seeds do not differentiate")
+	}
+}
+
+func TestSerialLowestEigsDiagonal(t *testing.T) {
+	vals := []float64{9, 7, 5, 3, 1, 2, 4, 6, 8, 10}
+	eigs, err := SerialLowestEigs(matrix.Diagonal{Values: vals}, 10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(eigs[i]-want[i]) > 1e-8 {
+			t.Fatalf("eigs = %v", eigs)
+		}
+	}
+}
+
+func TestLanczosFullKrylovMatchesJacobi(t *testing.T) {
+	// Independent cross-check of the whole numerical chain: run Lanczos to
+	// the full Krylov dimension and compare the extreme eigenvalues
+	// against the dense Jacobi reference (a completely separate
+	// algorithm). Extreme Ritz values at full dimension are exact up to
+	// orthogonality loss; compare the lowest and highest.
+	gen := matrix.DefaultGraphene(3, 3, 21) // 18 rows
+	dense, err := matrix.JacobiEigenvalues(matrix.Dense(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := SerialLowestEigs(gen, int(gen.Dim()), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serial[0]-dense[0]) > 1e-9 {
+		t.Fatalf("lowest eig: lanczos %v vs jacobi %v", serial[0], dense[0])
+	}
+	dist := runSolver(t, gen, 3, Options{MaxIters: int(gen.Dim()), NumEigs: 1, Seed: 4})
+	if math.Abs(dist[0]-dense[0]) > 1e-9 {
+		t.Fatalf("distributed lowest eig: %v vs jacobi %v", dist[0], dense[0])
+	}
+}
+
+func TestQLMatchesJacobiOnTridiag(t *testing.T) {
+	// The QL implementation against the Jacobi reference on random
+	// tridiagonal matrices, embedded densely.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(12)
+		d := make([]float64, n)
+		e := make([]float64, n-1)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		for i := range d {
+			d[i] = rng.NormFloat64() * 2
+			dense[i][i] = d[i]
+		}
+		for i := range e {
+			e[i] = rng.NormFloat64()
+			dense[i][i+1] = e[i]
+			dense[i+1][i] = e[i]
+		}
+		ql, err := TridiagEigenvalues(d, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jac, err := matrix.JacobiEigenvalues(dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ql {
+			if math.Abs(ql[i]-jac[i]) > 1e-9 {
+				t.Fatalf("trial %d eig %d: QL %v vs Jacobi %v", trial, i, ql[i], jac[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// JacobiEigenvalues computes all eigenvalues of a dense symmetric matrix
+// with the classical cyclic Jacobi rotation method. It is deliberately
+// independent of the Lanczos/QL chain and serves as the ground-truth
+// verifier in tests: O(n³) per sweep, fine for the small matrices tests
+// use.
+//
+// The input is row-major dense symmetric; it is not modified.
+func JacobiEigenvalues(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("matrix: jacobi: row %d has %d entries, want %d", i, len(a[i]), n)
+		}
+	}
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-14 {
+			break
+		}
+		if sweep == maxSweeps-1 {
+			return nil, fmt.Errorf("matrix: jacobi did not converge (off-diagonal %g)", off)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p][q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				// Rotation angle zeroing (p,q).
+				theta := (m[q][q] - m[p][p]) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(m, p, q, c, s)
+			}
+		}
+	}
+	eigs := make([]float64, n)
+	for i := range eigs {
+		eigs[i] = m[i][i]
+	}
+	sort.Float64s(eigs)
+	return eigs, nil
+}
+
+// rotate applies the symmetric Jacobi rotation J^T M J for the (p,q) plane.
+func rotate(m [][]float64, p, q int, c, s float64) {
+	n := len(m)
+	for k := 0; k < n; k++ {
+		if k == p || k == q {
+			continue
+		}
+		mkp, mkq := m[k][p], m[k][q]
+		m[k][p] = c*mkp - s*mkq
+		m[p][k] = m[k][p]
+		m[k][q] = s*mkp + c*mkq
+		m[q][k] = m[k][q]
+	}
+	mpp, mqq, mpq := m[p][p], m[q][q], m[p][q]
+	m[p][p] = c*c*mpp - 2*s*c*mpq + s*s*mqq
+	m[q][q] = s*s*mpp + 2*s*c*mpq + c*c*mqq
+	m[p][q] = 0
+	m[q][p] = 0
+}
+
+func offDiagNorm(m [][]float64) float64 {
+	var sum float64
+	for i := range m {
+		for j := range m[i] {
+			if i != j {
+				sum += m[i][j] * m[i][j]
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// Dense materializes a generator as a dense matrix (tests only).
+func Dense(gen Generator) [][]float64 {
+	n := int(gen.Dim())
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	var cols []int64
+	var vals []float64
+	for i := 0; i < n; i++ {
+		cols, vals = gen.Row(int64(i), cols[:0], vals[:0])
+		for k, c := range cols {
+			d[i][c] = vals[k]
+		}
+	}
+	return d
+}

@@ -1,0 +1,103 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobiDiagonal(t *testing.T) {
+	a := Dense(Diagonal{Values: []float64{4, -1, 2, 0}})
+	eigs, err := JacobiEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 0, 2, 4}
+	for i := range want {
+		if math.Abs(eigs[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigs = %v", eigs)
+		}
+	}
+}
+
+func TestJacobiLaplacianAnalytic(t *testing.T) {
+	const n = 12
+	a := Dense(Laplacian1D{N: n})
+	eigs, err := JacobiEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(eigs[k-1]-want) > 1e-10 {
+			t.Fatalf("eig %d: got %v want %v", k, eigs[k-1], want)
+		}
+	}
+}
+
+func TestJacobiTraceInvariant(t *testing.T) {
+	// The eigenvalue sum must equal the trace for random symmetric input.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		var trace float64
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a[i][j] = v
+				a[j][i] = v
+			}
+			trace += a[i][i]
+		}
+		eigs, err := JacobiEigenvalues(a)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, e := range eigs {
+			sum += e
+		}
+		return math.Abs(sum-trace) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJacobiGrapheneGershgorin(t *testing.T) {
+	gen := DefaultGraphene(4, 3, 11)
+	dense := Dense(gen)
+	eigs, err := JacobiEigenvalues(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := Full(gen).RowBounds()
+	if eigs[0] < lo-1e-12 || eigs[len(eigs)-1] > hi+1e-12 {
+		t.Fatalf("spectrum [%v, %v] outside Gershgorin [%v, %v]",
+			eigs[0], eigs[len(eigs)-1], lo, hi)
+	}
+}
+
+func TestJacobiRejectsRaggedInput(t *testing.T) {
+	if _, err := JacobiEigenvalues([][]float64{{1, 2}, {2}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestDenseMatchesCSR(t *testing.T) {
+	gen := DefaultGraphene(4, 4, 2)
+	d := Dense(gen)
+	c := Full(gen)
+	for r := 0; r < c.LocalRows(); r++ {
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			if d[r][c.Col[k]] != c.Val[k] {
+				t.Fatalf("mismatch at (%d,%d)", r, c.Col[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package matrix
+
+// RandomSparse generates a deterministic unstructured sparse matrix:
+// every row has NNZPerRow entries at hash-derived column positions with
+// hash-derived values, plus a dominant diagonal. Unlike the lattice
+// generators its sparsity pattern has no banded locality, which exercises
+// the spMVM communication plan with many-partner, scattered halos. Not
+// symmetric — the spMVM layer does not require symmetry (only the Lanczos
+// solver does).
+type RandomSparse struct {
+	// N is the dimension.
+	N int64
+	// NNZPerRow counts off-diagonal entries per row (capped at N-1).
+	NNZPerRow int
+	// Seed selects the realization.
+	Seed uint64
+}
+
+// Dim implements Generator.
+func (r RandomSparse) Dim() int64 { return r.N }
+
+// Row implements Generator.
+func (r RandomSparse) Row(i int64, cols []int64, vals []float64) ([]int64, []float64) {
+	cols = append(cols, i)
+	vals = append(vals, float64(r.NNZPerRow)+1) // diagonal dominance
+	nnz := r.NNZPerRow
+	if int64(nnz) > r.N-1 {
+		nnz = int(r.N - 1)
+	}
+	h := r.Seed ^ uint64(i)*0x9E3779B97F4A7C15
+	for k := 0; k < nnz; k++ {
+		h = splitmix64(h)
+		col := int64(h % uint64(r.N))
+		if col == i {
+			col = (col + 1) % r.N
+		}
+		// Skip duplicates by accumulating (same convention as Graphene).
+		dup := false
+		for j, c := range cols {
+			if c == col {
+				vals[j] += -0.1
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			h = splitmix64(h)
+			v := float64(h>>11)/float64(1<<53) - 0.5 // uniform [-0.5, 0.5)
+			cols = append(cols, col)
+			vals = append(vals, v)
+		}
+	}
+	return cols, vals
+}

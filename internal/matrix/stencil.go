@@ -1,0 +1,71 @@
+package matrix
+
+// Laplacian1D generates the N×N tridiagonal matrix tridiag(-1, 2, -1):
+// the 1-D Dirichlet Laplacian. Its eigenvalues are known in closed form,
+//
+//	λ_k = 2 − 2·cos(kπ/(N+1)),  k = 1..N,
+//
+// which makes it the reference matrix for eigensolver tests.
+type Laplacian1D struct{ N int64 }
+
+// Dim implements Generator.
+func (l Laplacian1D) Dim() int64 { return l.N }
+
+// Row implements Generator.
+func (l Laplacian1D) Row(i int64, cols []int64, vals []float64) ([]int64, []float64) {
+	if i > 0 {
+		cols = append(cols, i-1)
+		vals = append(vals, -1)
+	}
+	cols = append(cols, i)
+	vals = append(vals, 2)
+	if i < l.N-1 {
+		cols = append(cols, i+1)
+		vals = append(vals, -1)
+	}
+	return cols, vals
+}
+
+// Laplacian2D generates the 5-point stencil Laplacian on an Nx×Ny grid
+// with Dirichlet boundaries: eigenvalues λ_{jk} = 4 − 2cos(jπ/(Nx+1))
+// − 2cos(kπ/(Ny+1)). Used by the heat-equation example.
+type Laplacian2D struct{ Nx, Ny int64 }
+
+// Dim implements Generator.
+func (l Laplacian2D) Dim() int64 { return l.Nx * l.Ny }
+
+// Row implements Generator.
+func (l Laplacian2D) Row(i int64, cols []int64, vals []float64) ([]int64, []float64) {
+	x, y := i%l.Nx, i/l.Nx
+	if y > 0 {
+		cols = append(cols, i-l.Nx)
+		vals = append(vals, -1)
+	}
+	if x > 0 {
+		cols = append(cols, i-1)
+		vals = append(vals, -1)
+	}
+	cols = append(cols, i)
+	vals = append(vals, 4)
+	if x < l.Nx-1 {
+		cols = append(cols, i+1)
+		vals = append(vals, -1)
+	}
+	if y < l.Ny-1 {
+		cols = append(cols, i+l.Nx)
+		vals = append(vals, -1)
+	}
+	return cols, vals
+}
+
+// Diagonal generates diag(Values): the trivially solvable spectrum, used by
+// tests that need exact eigenvalues.
+type Diagonal struct{ Values []float64 }
+
+// Dim implements Generator.
+func (d Diagonal) Dim() int64 { return int64(len(d.Values)) }
+
+// Row implements Generator.
+func (d Diagonal) Row(i int64, cols []int64, vals []float64) ([]int64, []float64) {
+	return append(cols, i), append(vals, d.Values[i])
+}

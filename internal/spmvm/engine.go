@@ -1,0 +1,277 @@
+package spmvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/gaspi"
+	"repro/internal/matrix"
+)
+
+// HaloQueue is the GASPI queue used for halo-exchange writes.
+const HaloQueue gaspi.QueueID = 1
+
+// splitCSR is a matrix part with narrow local column indices: either into
+// the owned vector chunk (local part) or into the halo buffer (remote
+// part).
+type splitCSR struct {
+	rowPtr []int64
+	col    []int32
+	val    []float64
+}
+
+// Engine executes distributed y = A·x with overlapping halo exchange, bound
+// to one halo segment and one communication plan.
+type Engine struct {
+	comm Comm
+	plan *Plan
+	seg  gaspi.SegmentID
+
+	local, remote splitCSR
+	haloIdx       map[int64]int32 // global col → halo slot
+
+	// Threads shards the compute loops (the paper runs 12 OpenMP threads
+	// per process; sharding preserves the compute structure).
+	Threads int
+
+	sendBuf []byte
+	recvSet []bool
+}
+
+// NewEngine builds an engine: it creates the halo segment, splits the local
+// matrix block into local and remote parts, and prepares gather buffers.
+// The plan must describe exactly the rows of csr.
+func NewEngine(c Comm, plan *Plan, csr *matrix.CSR, seg gaspi.SegmentID) (*Engine, error) {
+	if csr.RowOffset != plan.Lo || csr.RowOffset+int64(csr.LocalRows()) != plan.Hi {
+		return nil, fmt.Errorf("spmvm: plan rows [%d,%d) do not match matrix rows [%d,%d)",
+			plan.Lo, plan.Hi, csr.RowOffset, csr.RowOffset+int64(csr.LocalRows()))
+	}
+	e := &Engine{comm: c, plan: plan, seg: seg, Threads: 1}
+	e.haloIdx = make(map[int64]int32, len(plan.HaloCols))
+	for i, col := range plan.HaloCols {
+		e.haloIdx[col] = int32(i)
+	}
+	if err := e.split(csr); err != nil {
+		return nil, err
+	}
+	// Halo segment sized in float64s; one notification slot per producer.
+	size := 8 * len(plan.HaloCols)
+	if size == 0 {
+		size = 8
+	}
+	if err := c.Proc().SegmentCreate(seg, size); err != nil {
+		return nil, fmt.Errorf("spmvm: halo segment: %w", err)
+	}
+	// Segment creation is collective in GASPI: nobody may start pushing
+	// halo data before every peer's segment exists.
+	if err := c.Barrier(); err != nil {
+		return nil, fmt.Errorf("spmvm: halo segment barrier: %w", err)
+	}
+	e.recvSet = make([]bool, plan.Workers)
+	return e, nil
+}
+
+func (e *Engine) split(csr *matrix.CSR) error {
+	lo, hi := e.plan.Lo, e.plan.Hi
+	e.local.rowPtr = make([]int64, 1, csr.LocalRows()+1)
+	e.remote.rowPtr = make([]int64, 1, csr.LocalRows()+1)
+	for r := 0; r < csr.LocalRows(); r++ {
+		for k := csr.RowPtr[r]; k < csr.RowPtr[r+1]; k++ {
+			col, val := csr.Col[k], csr.Val[k]
+			if col >= lo && col < hi {
+				e.local.col = append(e.local.col, int32(col-lo))
+				e.local.val = append(e.local.val, val)
+			} else {
+				slot, ok := e.haloIdx[col]
+				if !ok {
+					return fmt.Errorf("spmvm: column %d missing from plan halo", col)
+				}
+				e.remote.col = append(e.remote.col, slot)
+				e.remote.val = append(e.remote.val, val)
+			}
+		}
+		e.local.rowPtr = append(e.local.rowPtr, int64(len(e.local.col)))
+		e.remote.rowPtr = append(e.remote.rowPtr, int64(len(e.remote.col)))
+	}
+	return nil
+}
+
+// Plan returns the engine's communication plan.
+func (e *Engine) Plan() *Plan { return e.plan }
+
+// LocalRows returns the number of owned rows.
+func (e *Engine) LocalRows() int { return int(e.plan.Hi - e.plan.Lo) }
+
+// notifVal tags a halo notification with (epoch, iteration) so stale
+// writes from pre-recovery zombies are recognized and discarded.
+func notifVal(epoch, it int64) int64 { return epoch<<40 | (it + 1) }
+
+// SpMV computes y = A·x for iteration `it`: post halo pushes, compute the
+// local part (overlap), collect halo notifications, compute the remote
+// part. x and y are the owned chunks (length LocalRows).
+func (e *Engine) SpMV(x, y []float64, it int64) error {
+	if len(x) != e.LocalRows() || len(y) != e.LocalRows() {
+		return fmt.Errorf("spmvm: vector length %d/%d, want %d", len(x), len(y), e.LocalRows())
+	}
+	epoch := e.comm.Epoch()
+	val := notifVal(epoch, it)
+	me := e.plan.Logical
+
+	// 1. Push my values to every consumer (the paper: owners write the RHS
+	// values via one-sided communication before every spMVM iteration).
+	for i := range e.plan.SendTo {
+		sp := &e.plan.SendTo[i]
+		need := 8 * len(sp.LocalIdx)
+		if cap(e.sendBuf) < need {
+			e.sendBuf = make([]byte, need)
+		}
+		buf := e.sendBuf[:need]
+		for k, li := range sp.LocalIdx {
+			binary.LittleEndian.PutUint64(buf[8*k:], math.Float64bits(x[li]))
+		}
+		err := e.comm.WriteNotify(sp.To, e.seg, 8*sp.DstOff, buf,
+			gaspi.NotificationID(me), val, HaloQueue)
+		if err != nil {
+			return err
+		}
+	}
+
+	// 2. Overlap: local part while the fabric moves the halo.
+	e.mul(&e.local, x, y, false)
+
+	// 3. Flush the queue (completions) and collect one notification per
+	// producer, validating the (epoch, iteration) tag.
+	if len(e.plan.SendTo) > 0 {
+		if err := e.comm.WaitQueue(HaloQueue); err != nil {
+			return err
+		}
+	}
+	if err := e.collectHalo(val); err != nil {
+		return err
+	}
+
+	// 4. Remote part from the halo buffer.
+	if len(e.plan.RecvFrom) > 0 {
+		halo, err := e.haloVector()
+		if err != nil {
+			return err
+		}
+		e.mul(&e.remote, halo, y, true)
+	}
+	return nil
+}
+
+// collectHalo waits until every producer's notification for this iteration
+// has fired. Stale tags (from an earlier epoch) are discarded, as happens
+// when a zombie's writes arrive after a recovery.
+func (e *Engine) collectHalo(want int64) error {
+	for i := range e.recvSet {
+		e.recvSet[i] = false
+	}
+	remaining := len(e.plan.RecvFrom)
+	p := e.comm.Proc()
+	for remaining > 0 {
+		id, err := e.comm.NotifyWaitsome(e.seg, 0, e.plan.Workers)
+		if err != nil {
+			return err
+		}
+		got, err := p.NotifyReset(e.seg, id)
+		if err != nil {
+			return err
+		}
+		if got == 0 {
+			continue // raced with another reset
+		}
+		if got != want {
+			continue // stale epoch/iteration: discard
+		}
+		idx := int(id)
+		for i := range e.plan.RecvFrom {
+			if e.plan.RecvFrom[i].From == idx && !e.recvSet[idx] {
+				e.recvSet[idx] = true
+				remaining--
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// haloVector decodes the halo segment into float64s. The notification
+// protocol guarantees the producers' writes happened before.
+func (e *Engine) haloVector() ([]float64, error) {
+	raw, err := e.comm.Proc().SegmentData(e.seg)
+	if err != nil {
+		return nil, err
+	}
+	n := len(e.plan.HaloCols)
+	halo := make([]float64, n)
+	for i := 0; i < n; i++ {
+		halo[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return halo, nil
+}
+
+// mul computes y = S·x (add=false) or y += S·x (add=true), sharded across
+// e.Threads goroutines.
+func (e *Engine) mul(s *splitCSR, x, y []float64, add bool) {
+	rows := len(s.rowPtr) - 1
+	if e.Threads <= 1 || rows < 4*e.Threads {
+		mulRange(s, x, y, add, 0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + e.Threads - 1) / e.Threads
+	for t := 0; t < e.Threads; t++ {
+		lo := t * chunk
+		hi := min(lo+chunk, rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(s, x, y, add, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func mulRange(s *splitCSR, x, y []float64, add bool, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		var acc float64
+		for k := s.rowPtr[r]; k < s.rowPtr[r+1]; k++ {
+			acc += s.val[k] * x[s.col[k]]
+		}
+		if add {
+			y[r] += acc
+		} else {
+			y[r] = acc
+		}
+	}
+}
+
+// Dot computes the global dot product of the owned chunks a·b via local
+// accumulation plus an Allreduce.
+func Dot(c Comm, a, b []float64) (float64, error) {
+	var local float64
+	for i := range a {
+		local += a[i] * b[i]
+	}
+	out, err := c.AllreduceF64([]float64{local}, gaspi.OpSum)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Norm2 computes the global 2-norm of the owned chunk.
+func Norm2(c Comm, a []float64) (float64, error) {
+	d, err := Dot(c, a, a)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(d), nil
+}

@@ -1,0 +1,342 @@
+// Package trace provides the overhead accounting used by the benchmark
+// harness: per-process phase timers matching the paper's overhead taxonomy
+// (computation, checkpointing, redo-work, re-initialization = OHF2+OHF3,
+// fault detection = OHF1), timestamped events for detection-latency
+// measurements, and rendering helpers for the tables and the Figure 4
+// stacked bar chart.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase classifies where a process spends its time.
+type Phase int
+
+// Phases, following the paper's Figure 4 decomposition plus the extra
+// splits used in the discussion of Section IV.E.
+const (
+	// PhaseCompute is useful forward progress (first execution of an
+	// iteration, including its communication).
+	PhaseCompute Phase = iota
+	// PhaseCheckpoint is time spent writing checkpoints (local part; the
+	// neighbor copy happens in the background).
+	PhaseCheckpoint
+	// PhaseRedoWork is re-execution of iterations lost since the last
+	// consistent checkpoint.
+	PhaseRedoWork
+	// PhaseReinit is recovery: group reconstruction (OHF2) plus data
+	// re-initialization from the checkpoint (OHF3).
+	PhaseReinit
+	// PhaseDetect is time between a process first stalling on a failure
+	// and receiving the failure acknowledgment (OHF1).
+	PhaseDetect
+	numPhases
+)
+
+// NumPhases is the number of defined phases.
+const NumPhases = int(numPhases)
+
+var phaseNames = [...]string{
+	"compute",
+	"checkpoint",
+	"redo-work",
+	"re-initialize",
+	"fault-detection",
+}
+
+func (p Phase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Event is a timestamped marker (e.g. "fault-injected", "ack-received").
+type Event struct {
+	Name string
+	At   time.Time
+}
+
+// Recorder accumulates one process's timings. All methods are safe for
+// concurrent use.
+type Recorder struct {
+	mu       sync.Mutex
+	durs     [numPhases]time.Duration
+	events   []Event
+	counters map[string]int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{counters: make(map[string]int64)}
+}
+
+// Add accumulates d into phase p.
+func (r *Recorder) Add(p Phase, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.durs[p] += d
+	r.mu.Unlock()
+}
+
+// Start begins timing phase p; the returned function stops the timer and
+// accumulates the elapsed time.
+func (r *Recorder) Start(p Phase) func() {
+	if r == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { r.Add(p, time.Since(t0)) }
+}
+
+// Event records a timestamped marker.
+func (r *Recorder) Event(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{Name: name, At: time.Now()})
+	r.mu.Unlock()
+}
+
+// Inc adds v to a named counter.
+func (r *Recorder) Inc(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += v
+	r.mu.Unlock()
+}
+
+// Counter returns a named counter's value.
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Duration returns the accumulated time of phase p.
+func (r *Recorder) Duration(p Phase) time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.durs[p]
+}
+
+// Durations returns a snapshot of all phase durations.
+func (r *Recorder) Durations() [NumPhases]time.Duration {
+	var out [NumPhases]time.Duration
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range out {
+		out[i] = r.durs[i]
+	}
+	return out
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// FirstEvent returns the earliest event with the given name, if any.
+func (r *Recorder) FirstEvent(name string) (Event, bool) {
+	if r == nil {
+		return Event{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best Event
+	found := false
+	for _, e := range r.events {
+		if e.Name == name && (!found || e.At.Before(best.At)) {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Summary aggregates phase durations across processes.
+type Summary struct {
+	// Max, Avg and Sum per phase across the aggregated recorders. Max is
+	// the critical-path estimate used for runtime decomposition.
+	Max [NumPhases]time.Duration
+	Avg [NumPhases]time.Duration
+	Sum [NumPhases]time.Duration
+	N   int
+}
+
+// Aggregate combines the recorders of all processes.
+func Aggregate(recs []*Recorder) Summary {
+	var s Summary
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		s.N++
+		d := r.Durations()
+		for p := 0; p < NumPhases; p++ {
+			s.Sum[p] += d[p]
+			if d[p] > s.Max[p] {
+				s.Max[p] = d[p]
+			}
+		}
+	}
+	if s.N > 0 {
+		for p := 0; p < NumPhases; p++ {
+			s.Avg[p] = s.Sum[p] / time.Duration(s.N)
+		}
+	}
+	return s
+}
+
+// MeanStddev returns the sample mean and standard deviation of xs.
+func MeanStddev(xs []float64) (mean, stddev float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// RenderStackedBars renders a Figure-4 style ASCII stacked bar chart:
+// one bar per scenario, stacked by component. Values are durations in
+// seconds; width is the maximum bar width in characters.
+func RenderStackedBars(scenarios []string, components []string, data [][]float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var total float64
+	totals := make([]float64, len(scenarios))
+	for i, row := range data {
+		for _, v := range row {
+			totals[i] += v
+		}
+		if totals[i] > total {
+			total = totals[i]
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	glyphs := []byte{'#', '=', '~', '+', '.', '%', '@'}
+	var b strings.Builder
+	labelW := 0
+	for _, s := range scenarios {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for i, s := range scenarios {
+		fmt.Fprintf(&b, "%-*s |", labelW, s)
+		for c, v := range data[i] {
+			n := int(v / total * float64(width))
+			b.Write(bytesRepeat(glyphs[c%len(glyphs)], n))
+		}
+		fmt.Fprintf(&b, " %.3fs\n", totals[i])
+	}
+	b.WriteString(strings.Repeat(" ", labelW) + " legend: ")
+	for c, name := range components {
+		fmt.Fprintf(&b, "%c=%s ", glyphs[c%len(glyphs)], name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func bytesRepeat(ch byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = ch
+	}
+	return out
+}
+
+// Table renders rows of cells with aligned columns, for Table-I style
+// output.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortedCounterNames returns a recorder's counter names in sorted order.
+func (r *Recorder) SortedCounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndDurations(t *testing.T) {
+	r := NewRecorder()
+	r.Add(PhaseCompute, time.Second)
+	r.Add(PhaseCompute, 2*time.Second)
+	r.Add(PhaseDetect, 500*time.Millisecond)
+	if got := r.Duration(PhaseCompute); got != 3*time.Second {
+		t.Fatalf("compute = %v", got)
+	}
+	d := r.Durations()
+	if d[PhaseDetect] != 500*time.Millisecond || d[PhaseCheckpoint] != 0 {
+		t.Fatalf("durations = %v", d)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	r := NewRecorder()
+	stop := r.Start(PhaseReinit)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	if got := r.Duration(PhaseReinit); got < 10*time.Millisecond {
+		t.Fatalf("reinit = %v", got)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(PhaseCompute, time.Second)
+	r.Start(PhaseCompute)()
+	r.Event("x")
+	r.Inc("c", 1)
+	if r.Duration(PhaseCompute) != 0 || r.Counter("c") != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+	if _, ok := r.FirstEvent("x"); ok {
+		t.Fatal("nil recorder has events")
+	}
+}
+
+func TestEventsAndFirstEvent(t *testing.T) {
+	r := NewRecorder()
+	r.Event("b")
+	r.Event("a")
+	r.Event("a")
+	if len(r.Events()) != 3 {
+		t.Fatalf("events = %v", r.Events())
+	}
+	e, ok := r.FirstEvent("a")
+	if !ok || e.Name != "a" {
+		t.Fatalf("first = %+v ok=%v", e, ok)
+	}
+	if _, ok := r.FirstEvent("zzz"); ok {
+		t.Fatal("found nonexistent event")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Inc("pings", 3)
+	r.Inc("pings", 4)
+	r.Inc("acks", 1)
+	if r.Counter("pings") != 7 || r.Counter("acks") != 1 {
+		t.Fatalf("counters: pings=%d acks=%d", r.Counter("pings"), r.Counter("acks"))
+	}
+	names := r.SortedCounterNames()
+	if len(names) != 2 || names[0] != "acks" || names[1] != "pings" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestConcurrentRecorder(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(PhaseCompute, time.Millisecond)
+				r.Inc("n", 1)
+				r.Event("e")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Duration(PhaseCompute) != 800*time.Millisecond {
+		t.Fatalf("compute = %v", r.Duration(PhaseCompute))
+	}
+	if r.Counter("n") != 800 {
+		t.Fatalf("n = %d", r.Counter("n"))
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	r1 := NewRecorder()
+	r1.Add(PhaseCompute, 2*time.Second)
+	r2 := NewRecorder()
+	r2.Add(PhaseCompute, 4*time.Second)
+	r2.Add(PhaseRedoWork, time.Second)
+	s := Aggregate([]*Recorder{r1, r2, nil})
+	if s.N != 2 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Max[PhaseCompute] != 4*time.Second {
+		t.Fatalf("max = %v", s.Max[PhaseCompute])
+	}
+	if s.Avg[PhaseCompute] != 3*time.Second {
+		t.Fatalf("avg = %v", s.Avg[PhaseCompute])
+	}
+	if s.Sum[PhaseRedoWork] != time.Second {
+		t.Fatalf("sum = %v", s.Sum[PhaseRedoWork])
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	m, s := MeanStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+	if math.Abs(s-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if m, s := MeanStddev(nil); m != 0 || s != 0 {
+		t.Fatal("empty input")
+	}
+	if m, s := MeanStddev([]float64{3}); m != 3 || s != 0 {
+		t.Fatal("single input")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseCompute.String() != "compute" || PhaseDetect.String() != "fault-detection" {
+		t.Fatal("phase names")
+	}
+	if !strings.Contains(Phase(99).String(), "99") {
+		t.Fatal("unknown phase")
+	}
+}
+
+func TestRenderStackedBars(t *testing.T) {
+	out := RenderStackedBars(
+		[]string{"baseline", "1 fail"},
+		[]string{"compute", "redo"},
+		[][]float64{{10, 0}, {10, 5}},
+		40,
+	)
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "legend") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The 1-fail bar must be longer than the baseline bar.
+	if strings.Count(lines[1], "#")+strings.Count(lines[1], "=") <= strings.Count(lines[0], "#") {
+		t.Fatalf("bar lengths:\n%s", out)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := Table([]string{"nodes", "time"}, [][]string{{"8", "0.010"}, {"256", "0.255"}})
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "0.255") {
+		t.Fatalf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}
