@@ -94,6 +94,9 @@ func (h *Heat) Init(ctx *core.Ctx, restore bool) error {
 		if err := ctx.CP.Write(ctx.Cfg.PlanName, ctx.Logical, core.PlanVersion, plan.Encode()); err != nil {
 			return err
 		}
+		// As in the Lanczos app: the once-written plan must be replicated
+		// before compute starts, or a rescue could find it unflushed.
+		ctx.CP.WaitIdle()
 	}
 	return nil
 }

@@ -95,6 +95,10 @@ func (a *Lanczos) Init(ctx *core.Ctx, restore bool) error {
 		if err := ctx.CP.Write(ctx.Cfg.PlanName, ctx.Logical, core.PlanVersion, plan.Encode()); err != nil {
 			return err
 		}
+		// The plan is written exactly once and every rescue depends on it:
+		// wait for replication (in async mode the write is otherwise only
+		// staged) before any iteration can fail.
+		ctx.CP.WaitIdle()
 	}
 	return nil
 }

@@ -1,0 +1,387 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/gaspi"
+)
+
+// testClusterStorage is testCluster with a storage cost model.
+func testClusterStorage(t *testing.T, nodes int, m cluster.StorageModel) *cluster.Cluster {
+	t.Helper()
+	cl := cluster.New(cluster.Config{
+		Nodes:   nodes,
+		Gaspi:   gaspi.Config{Latency: fabric.LatencyModel{Base: time.Microsecond}},
+		Storage: m,
+	}, func(ctx *cluster.ProcCtx) error { return nil })
+	t.Cleanup(cl.Close)
+	if _, ok := cl.WaitTimeout(10 * time.Second); !ok {
+		t.Fatal("cluster hung")
+	}
+	return cl
+}
+
+func asyncPayload(version int64) []byte {
+	p := make([]byte, 256)
+	binary.LittleEndian.PutUint64(p, uint64(version))
+	for i := 8; i < len(p); i++ {
+		p[i] = byte(version) + byte(i)
+	}
+	return p
+}
+
+// TestAsyncWriteHidesLocalCommitCost is the point of the async engine: the
+// application-visible Write cost must not include the node-local storage
+// commit.
+func TestAsyncWriteHidesLocalCommitCost(t *testing.T) {
+	const localCost = 30 * time.Millisecond
+	cl := testClusterStorage(t, 2, cluster.StorageModel{LocalLatency: localCost})
+
+	syncLib := New(cl, 0, Config{})
+	defer syncLib.Stop()
+	syncLib.SetWorkerNodes([]int{0, 1})
+	start := time.Now()
+	if err := syncLib.Write("state", 0, 1, asyncPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < localCost {
+		t.Fatalf("sync Write returned in %v, expected >= %v (local commit is synchronous)", d, localCost)
+	}
+
+	asyncLib := New(cl, 0, Config{CheckpointMode: Async})
+	defer asyncLib.Stop()
+	asyncLib.SetWorkerNodes([]int{0, 1})
+	start = time.Now()
+	if err := asyncLib.Write("astate", 0, 1, asyncPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > localCost/2 {
+		t.Fatalf("async Write blocked for %v, expected staging only", d)
+	}
+	asyncLib.WaitIdle()
+	got, err := asyncLib.Fetch("astate", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, asyncPayload(1)) {
+		t.Fatal("async payload mismatch after flush")
+	}
+	if s := asyncLib.Stats(); s.Staged != 1 || s.Flushed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestAsyncDoubleBufferBackPressure verifies the double-buffer discipline:
+// two checkpoints stage without waiting, the third must wait for a buffer
+// (the writer is two epochs behind) — observable as recorded stall time.
+func TestAsyncDoubleBufferBackPressure(t *testing.T) {
+	cl := testClusterStorage(t, 2, cluster.StorageModel{LocalLatency: 20 * time.Millisecond})
+	lib := New(cl, 0, Config{CheckpointMode: Async})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	for v := int64(1); v <= 3; v++ {
+		if err := lib.Write("state", 0, v, asyncPayload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.WaitIdle()
+	s := lib.Stats()
+	if s.Staged != 3 || s.Flushed != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.StallTime == 0 {
+		t.Fatal("third Write should have stalled on the double buffer")
+	}
+	if s.FlushTime == 0 {
+		t.Fatal("no background flush time recorded")
+	}
+	for v := int64(1); v <= 3; v++ {
+		if _, err := lib.Fetch("state", 0, v); err != nil {
+			t.Fatalf("version %d after flush: %v", v, err)
+		}
+	}
+}
+
+// TestAsyncTornFlushNeverRestored is the crash-consistency contract: a
+// writer node dying mid-flush leaves a torn (truncated, unsealed) neighbor
+// copy of the newest version, and recovery must restore the previous
+// complete version instead of tripping over the torn one.
+func TestAsyncTornFlushNeverRestored(t *testing.T) {
+	cl := testClusterStorage(t, 2, cluster.StorageModel{})
+	lib := New(cl, 0, Config{CheckpointMode: Async, ChunkBytes: 32})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+
+	// Version 1 flushes completely.
+	if err := lib.Write("state", 0, 1, asyncPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+
+	// Version 2's flush is interrupted: the writer node dies after the
+	// first replicated chunk (killing the node also wipes its local
+	// copies, exactly the scenario neighbor checkpoints exist for).
+	lib.async.chunkHook = func(chunk int) {
+		if chunk == 0 {
+			cl.KillNode(0)
+		}
+	}
+	if err := lib.Write("state", 0, 2, asyncPayload(2)); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+
+	// The neighbor node holds a torn prefix of v2 without a seal.
+	if blob, err := cl.Node(1).Get(Key("state", 0, 2), cl.Storage()); err == nil {
+		if len(blob) >= headerLen+256 {
+			t.Fatalf("v2 neighbor copy is complete (%d bytes); tear did not happen", len(blob))
+		}
+	}
+	if _, err := cl.Node(1).Get(SealKey(Key("state", 0, 2)), cl.Storage()); err == nil {
+		t.Fatal("torn v2 copy must not be sealed")
+	}
+
+	// A rescue process on the surviving node agrees on v1, not v2.
+	rescue := New(cl, 1, Config{})
+	defer rescue.Stop()
+	rescue.SetWorkerNodes([]int{1})
+	v, ok := rescue.FindLatest("state", 0)
+	if !ok || v != 1 {
+		t.Fatalf("FindLatest = %d ok=%v, want 1 (v2 is torn)", v, ok)
+	}
+	got, err := rescue.Fetch("state", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, asyncPayload(1)) {
+		t.Fatal("restored payload mismatch")
+	}
+	if _, err := rescue.Fetch("state", 0, 2); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Fetch(torn v2) = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestAsyncConcurrentWriteRestoreRace is the -race regression test for the
+// double buffer: a writer streams versions while readers concurrently run
+// FindLatest/Fetch and the neighbor ring is refreshed, with all
+// cross-goroutine assertions channel-synchronized.
+func TestAsyncConcurrentWriteRestoreRace(t *testing.T) {
+	const versions = 120
+	cl := testClusterStorage(t, 3, cluster.StorageModel{})
+	lib := New(cl, 0, Config{CheckpointMode: Async})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1, 2})
+
+	errCh := make(chan error, 16)
+	writerDone := make(chan struct{})
+
+	go func() {
+		defer close(writerDone)
+		for v := int64(1); v <= versions; v++ {
+			if err := lib.Write("state", 0, v, asyncPayload(v)); err != nil {
+				errCh <- fmt.Errorf("write v%d: %w", v, err)
+				return
+			}
+		}
+	}()
+
+	// Readers: every observed latest version must be fetchable and intact.
+	readerDone := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		go func() {
+			defer func() { readerDone <- struct{}{} }()
+			for {
+				select {
+				case <-writerDone:
+					return
+				default:
+				}
+				v, ok := lib.FindLatest("state", 0)
+				if !ok {
+					continue
+				}
+				got, err := lib.Fetch("state", 0, v)
+				if err != nil {
+					// The version can be pruned/raced away only if
+					// KeepVersions were set; here it must stay fetchable.
+					errCh <- fmt.Errorf("fetch v%d: %w", v, err)
+					return
+				}
+				if !bytes.Equal(got, asyncPayload(v)) {
+					errCh <- fmt.Errorf("payload mismatch at v%d", v)
+					return
+				}
+			}
+		}()
+	}
+
+	// Fault-aware neighbor refreshes while flushes are in flight.
+	flipDone := make(chan struct{})
+	go func() {
+		defer close(flipDone)
+		rings := [][]int{{0, 1, 2}, {0, 2}, {0, 1}}
+		for i := 0; ; i++ {
+			select {
+			case <-writerDone:
+				return
+			default:
+				lib.SetWorkerNodes(rings[i%len(rings)])
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	<-writerDone
+	<-readerDone
+	<-readerDone
+	<-flipDone
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	if v, ok := lib.FindLatest("state", 0); !ok || v != versions {
+		t.Fatalf("final FindLatest = %d ok=%v, want %d", v, ok, versions)
+	}
+	if s := lib.Stats(); s.Staged != versions || s.Flushed != versions {
+		t.Fatalf("stats = %+v, want %d staged+flushed", s, versions)
+	}
+}
+
+// failingTransport simulates a persistently failing neighbor push (e.g.
+// a frame outgrowing the stream segment).
+type failingTransport struct{}
+
+func (failingTransport) Push(int, string, []byte) error {
+	return errors.New("push always fails")
+}
+
+// TestAsyncPruneSparesNeighborOnFailedPush: with KeepVersions set and a
+// persistently failing replication path, pruning must not erase the
+// neighbor's older sealed replicas — they are the only off-node copies.
+func TestAsyncPruneSparesNeighborOnFailedPush(t *testing.T) {
+	cl := testClusterStorage(t, 2, cluster.StorageModel{})
+	lib := New(cl, 0, Config{CheckpointMode: Async, KeepVersions: 2})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+
+	// Versions 1-2 replicate normally.
+	for v := int64(1); v <= 2; v++ {
+		if err := lib.Write("state", 0, v, asyncPayload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.WaitIdle()
+
+	// From now on every push fails; local commits continue.
+	lib.SetTransport(failingTransport{})
+	for v := int64(3); v <= 6; v++ {
+		if err := lib.Write("state", 0, v, asyncPayload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.WaitIdle()
+	if lib.ErrCount() == 0 {
+		t.Fatal("failing pushes were not recorded")
+	}
+
+	// The writer node dies: recovery must still find the neighbor's last
+	// successfully replicated version, not nothing.
+	cl.KillNode(0)
+	rescue := New(cl, 1, Config{})
+	defer rescue.Stop()
+	rescue.SetWorkerNodes([]int{1})
+	v, ok := rescue.FindLatest("state", 0)
+	if !ok || v != 2 {
+		t.Fatalf("FindLatest = %d ok=%v, want 2 (the neighbor's last good replica)", v, ok)
+	}
+	if _, err := rescue.Fetch("state", 0, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncStopDrainsAndRejects mirrors the sync semantics: Stop completes
+// queued flushes, later Writes fail with ErrStopped.
+func TestAsyncStopDrainsAndRejects(t *testing.T) {
+	cl := testClusterStorage(t, 2, cluster.StorageModel{})
+	lib := New(cl, 0, Config{CheckpointMode: Async})
+	lib.SetWorkerNodes([]int{0, 1})
+	for v := int64(1); v <= 5; v++ {
+		if err := lib.Write("state", 0, v, asyncPayload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.Stop()
+	lib.WaitIdle()
+	if err := lib.Write("state", 0, 6, asyncPayload(6)); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Write after Stop = %v, want ErrStopped", err)
+	}
+	if v, ok := lib.FindLatest("state", 0); !ok || v != 5 {
+		t.Fatalf("FindLatest after drain = %d ok=%v, want 5", v, ok)
+	}
+}
+
+// TestAsyncStopWriteRace: Stop racing a concurrent Write must either
+// accept the checkpoint (drained by the flusher/copier) or refuse it
+// with ErrStopped — never leak a staged request that deadlocks WaitIdle.
+// Covers both commit disciplines (the handoff hazard exists in each).
+func TestAsyncStopWriteRace(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		mode := Sync
+		if i%2 == 0 {
+			mode = Async
+		}
+		cl := testClusterStorage(t, 2, cluster.StorageModel{})
+		lib := New(cl, 0, Config{CheckpointMode: mode})
+		lib.SetWorkerNodes([]int{0, 1})
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for v := int64(1); v <= 100; v++ {
+				if err := lib.Write("state", 0, v, asyncPayload(v)); errors.Is(err, ErrStopped) {
+					return
+				}
+			}
+		}()
+		lib.Stop()
+		<-writerDone
+		idle := make(chan struct{})
+		go func() { lib.WaitIdle(); close(idle) }()
+		select {
+		case <-idle:
+		case <-time.After(10 * time.Second):
+			t.Fatal("WaitIdle deadlocked after Stop/Write race (leaked staged buffer)")
+		}
+	}
+}
+
+// TestAsyncGlobalPFSMode: the async engine also backgrounds the expensive
+// global PFS checkpoint.
+func TestAsyncGlobalPFSMode(t *testing.T) {
+	cl := testClusterStorage(t, 2, cluster.StorageModel{})
+	lib := New(cl, 0, Config{Mode: ModeGlobalPFS, CheckpointMode: Async})
+	defer lib.Stop()
+	lib.SetWorkerNodes([]int{0, 1})
+	if err := lib.Write("state", 0, 1, asyncPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	lib.WaitIdle()
+	for n := 0; n < 2; n++ {
+		if len(cl.Node(n).Keys()) != 0 {
+			t.Fatalf("node %d has local objects in PFS mode", n)
+		}
+	}
+	if v, ok := lib.FindLatest("state", 0); !ok || v != 1 {
+		t.Fatalf("FindLatest = %d ok=%v", v, ok)
+	}
+	if _, err := lib.Fetch("state", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,23 @@
 // and versioned; Fetch transparently falls back from the local copy to any
 // surviving replica (neighbor copy or PFS), which is exactly what a rescue
 // process restoring a failed process's state needs.
+//
+// Two commit disciplines are available (CheckpointMode):
+//
+//   - Sync (the paper's library): Write blocks for the node-local commit,
+//     the copier thread replicates in the background.
+//   - Async (the follow-up work's asynchronous variant): Write stages the
+//     frame into one half of a double buffer and returns immediately; a
+//     dedicated writer goroutine flushes the other half — local commit,
+//     chunked neighbor replication, optional PFS copy — overlapping the
+//     whole checkpoint with computation. Write only blocks when both
+//     buffers are in flight (the writer is two checkpoints behind).
+//
+// Every committed replica is accompanied by a seal object written strictly
+// after its data. FindLatest counts only sealed replicas, so a flush torn
+// by a failure (a truncated neighbor copy, a data object without its seal)
+// is never selected for restore; Fetch additionally CRC-verifies whatever
+// it reads.
 package checkpoint
 
 import (
@@ -63,6 +80,22 @@ const (
 	ModeGlobalPFS
 )
 
+// CheckpointMode selects the commit discipline of Write.
+type CheckpointMode int
+
+// Commit disciplines.
+const (
+	// Sync commits the node-local copy inside Write (the application pays
+	// the local storage cost every checkpoint epoch); replication to the
+	// neighbor runs in the background. This is the paper's library.
+	Sync CheckpointMode = iota
+	// Async stages the encoded frame into a double buffer and returns;
+	// a dedicated writer goroutine performs the local commit and the
+	// neighbor replication while the application computes. Write blocks
+	// only when both buffers are still in flight.
+	Async
+)
+
 // Config parameterizes a Library.
 type Config struct {
 	// Mode selects neighbor-level (default) or global PFS checkpointing.
@@ -80,6 +113,34 @@ type Config struct {
 	Compress bool
 	// Name is the default checkpoint family name.
 	Name string
+	// CheckpointMode selects the synchronous (default) or the asynchronous
+	// double-buffered commit discipline.
+	CheckpointMode CheckpointMode
+	// ChunkBytes is the replication granularity of the async writer: the
+	// neighbor copy moves in chunks of this size, so a failure mid-flush
+	// leaves a detectably torn (unsealed, truncated) copy instead of
+	// silently losing arbitrary suffixes. Default 64 KiB.
+	ChunkBytes int
+	// StreamBytes caps the frame size of the GASPI checkpoint stream the
+	// framework wires in Async mode (the staging-segment capacity; 0 =
+	// ft.DefaultCPStreamBytes). Size it above the largest encoded state
+	// checkpoint or neighbor replication will fail (visible via Err and
+	// ErrCount).
+	StreamBytes int
+}
+
+// DefaultChunkBytes is the replication chunk granularity when
+// Config.ChunkBytes is zero.
+const DefaultChunkBytes = 64 << 10
+
+// ChunkSize returns ChunkBytes with the default applied; the framework
+// passes the resolved value to the GASPI checkpoint stream so the two
+// layers can never chunk at diverging sizes.
+func (c Config) ChunkSize() int {
+	if c.ChunkBytes > 0 {
+		return c.ChunkBytes
+	}
+	return DefaultChunkBytes
 }
 
 // Library is one process's handle to the C/R machinery. The background
@@ -89,16 +150,73 @@ type Library struct {
 	nodeID int
 	cfg    Config
 
-	mu       sync.Mutex
-	neighbor int // neighboring node id; -1 when none
-	stopped  bool
+	mu        sync.Mutex
+	neighbor  int // neighboring node id; -1 when none
+	stopped   bool
+	transport Transport
 
 	reqCh chan copyReq
 	wg    sync.WaitGroup // outstanding async copies
 	done  chan struct{}
+	abort <-chan struct{} // closed when the owning process dies
 
-	errMu   sync.Mutex
-	lastErr error
+	// sendMu makes the work handoff atomic with shutdown: Stop closes
+	// done while holding it, so a staged request either lands before the
+	// close (the final drain processes it) or the Write is refused — a
+	// request enqueued after the drain would leak the WaitGroup count
+	// and silently drop the checkpoint. The copier never takes sendMu,
+	// so a Write blocked on a full reqCh cannot deadlock the drain.
+	sendMu sync.Mutex
+
+	async *asyncWriter // non-nil in CheckpointMode Async
+
+	errMu    sync.Mutex
+	lastErr  error
+	errCount int64
+}
+
+// Transport replicates a checkpoint blob to a neighbor node. The contract
+// that makes torn-write detection work: the destination's seal must be
+// committed only after the complete data object is in place, so an aborted
+// push leaves an unsealed (or truncated) copy that FindLatest ignores.
+//
+// The default transport moves chunks over the cluster network; the core
+// framework substitutes a GASPI one-sided stream on a dedicated queue when
+// the async engine runs under the fault-tolerance framework.
+type Transport interface {
+	Push(nbNode int, key string, blob []byte) error
+}
+
+// SetTransport installs a replication transport (nil restores the default
+// chunked cluster transfer).
+func (l *Library) SetTransport(t Transport) {
+	l.mu.Lock()
+	l.transport = t
+	l.mu.Unlock()
+}
+
+// BindAbort ties the library to a process-death signal: a flush in progress
+// stops at the next chunk boundary once ch closes, leaving a torn copy at
+// the destination exactly like a real node loss interrupts an RDMA stream.
+func (l *Library) BindAbort(ch <-chan struct{}) {
+	l.mu.Lock()
+	l.abort = ch
+	l.mu.Unlock()
+}
+
+func (l *Library) aborted() bool {
+	l.mu.Lock()
+	ch := l.abort
+	l.mu.Unlock()
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 type copyReq struct {
@@ -125,7 +243,11 @@ func New(cl *cluster.Cluster, nodeID int, cfg Config) *Library {
 		reqCh:    make(chan copyReq, 64),
 		done:     make(chan struct{}),
 	}
-	go l.copier()
+	if cfg.CheckpointMode == Async {
+		l.async = newAsyncWriter(l)
+	} else {
+		go l.copier()
+	}
 	return l
 }
 
@@ -165,6 +287,26 @@ func Key(name string, logical int, version int64) string {
 	return fmt.Sprintf("cp/%s/%d/v%d", name, logical, version)
 }
 
+// sealSuffix marks the commit object written strictly after a checkpoint's
+// data; a data object without its seal in the same store is incomplete.
+const sealSuffix = "/ok"
+
+// SealKey returns the key of the seal object for a checkpoint key.
+func SealKey(key string) string { return key + sealSuffix }
+
+// sealBlob is the (tiny) seal object content: a magic plus the sealed
+// version. Readers key on the seal's PRESENCE only (seal keys are
+// version-unique, so a mismatched seal cannot arise by construction);
+// the content exists for debugging store dumps, not for validation.
+func sealBlob(version int64) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint32(b[0:], sealMagic)
+	binary.LittleEndian.PutUint64(b[4:], uint64(version))
+	return b
+}
+
+const sealMagic = uint32(0x4b4f4347) // "GCOK"
+
 // parseKey inverts Key; ok is false for foreign keys.
 func parseKey(key string) (name string, logical int, version int64, ok bool) {
 	parts := strings.Split(key, "/")
@@ -196,28 +338,34 @@ func (l *Library) Write(name string, logical int, version int64, payload []byte)
 		return ErrStopped
 	}
 	l.mu.Unlock()
+	if l.async != nil {
+		return l.async.stage(name, logical, version, payload)
+	}
 	blob, err := encode(logical, version, payload, l.cfg.Compress)
 	if err != nil {
 		return err
 	}
 	key := Key(name, logical, version)
 	if l.cfg.Mode == ModeGlobalPFS {
-		if err := l.cl.PFS().Put(key, blob); err != nil {
-			return fmt.Errorf("checkpoint: PFS write: %w", err)
+		if err := l.putPFS(key, blob, version); err != nil {
+			return err
 		}
 		return nil
 	}
-	if err := l.cl.Node(l.nodeID).Put(key, blob, l.storage()); err != nil {
-		return fmt.Errorf("checkpoint: local write: %w", err)
+	if err := l.putLocal(key, blob, version); err != nil {
+		return err
 	}
 	toPFS := l.cfg.PFSEvery > 0 && version%int64(l.cfg.PFSEvery) == 0
-	l.wg.Add(1)
+	l.sendMu.Lock()
 	select {
-	case l.reqCh <- copyReq{key: key, blob: blob, version: version, logical: logical, name: name, toPFS: toPFS}:
 	case <-l.done:
-		l.wg.Done()
+		l.sendMu.Unlock()
 		return ErrStopped
+	default:
 	}
+	l.wg.Add(1)
+	l.reqCh <- copyReq{key: key, blob: blob, version: version, logical: logical, name: name, toPFS: toPFS}
+	l.sendMu.Unlock()
 	return nil
 }
 
@@ -245,26 +393,86 @@ func (l *Library) copier() {
 }
 
 func (l *Library) doCopy(req copyReq) {
+	l.replicate(req.name, req.key, req.logical, req.version, req.blob, req.toPFS,
+		func(nb int) error { return l.pushNeighbor(nb, req.key, req.blob, req.version) })
+}
+
+// replicate is the post-local-commit sequence shared by both commit
+// disciplines: neighbor push (through pushFn, which differs per
+// discipline), optional PFS copy, and pruning. The neighbor is pruned
+// only when this version's replica landed there — under a persistently
+// failing push, pruning would otherwise erase the only off-node copies
+// version by version.
+func (l *Library) replicate(name, key string, logical int, version int64, blob []byte, toPFS bool, pushFn func(nb int) error) {
 	l.mu.Lock()
 	nb := l.neighbor
 	l.mu.Unlock()
+	pushed := false
 	if nb >= 0 {
-		if err := l.cl.Transfer(l.nodeID, nb, req.key, req.blob); err != nil {
-			l.setErr(fmt.Errorf("checkpoint: neighbor copy of %s to node %d: %w", req.key, nb, err))
+		if err := pushFn(nb); err != nil {
+			l.setErr(fmt.Errorf("checkpoint: neighbor copy of %s to node %d: %w", key, nb, err))
+		} else {
+			pushed = true
 		}
 	}
-	if req.toPFS {
-		if err := l.cl.PFS().Put(req.key, req.blob); err != nil {
-			l.setErr(fmt.Errorf("checkpoint: PFS copy of %s: %w", req.key, err))
+	if toPFS {
+		if err := l.putPFS(key, blob, version); err != nil {
+			l.setErr(err)
 		}
 	}
 	if l.cfg.KeepVersions > 0 {
-		l.prune(req.name, req.logical, req.version, nb)
+		pruneNb := -1
+		if pushed {
+			pruneNb = nb
+		}
+		l.prune(name, logical, version, pruneNb)
 	}
 }
 
-// prune removes versions older than the newest KeepVersions from the local
-// node and the current neighbor.
+// putLocal commits data plus seal to the node-local store. The seal is a
+// metadata put: it must land strictly after the data but rides the same
+// commit, so it carries no second store round trip.
+func (l *Library) putLocal(key string, blob []byte, version int64) error {
+	if err := l.cl.Node(l.nodeID).Put(key, blob, l.storage()); err != nil {
+		return fmt.Errorf("checkpoint: local write: %w", err)
+	}
+	if err := l.cl.Node(l.nodeID).PutMeta(SealKey(key), sealBlob(version)); err != nil {
+		return fmt.Errorf("checkpoint: local seal: %w", err)
+	}
+	return nil
+}
+
+// putPFS commits data plus seal to the parallel file system.
+func (l *Library) putPFS(key string, blob []byte, version int64) error {
+	if err := l.cl.PFS().Put(key, blob); err != nil {
+		return fmt.Errorf("checkpoint: PFS write of %s: %w", key, err)
+	}
+	if err := l.cl.PFS().PutMeta(SealKey(key), sealBlob(version)); err != nil {
+		return fmt.Errorf("checkpoint: PFS seal of %s: %w", key, err)
+	}
+	return nil
+}
+
+// pushNeighbor is the sync copier's replication step: through the
+// configured transport, or by default as one whole-blob transfer plus
+// seal over the cluster network (the sync copier has no mid-flush abort
+// to honor, so chunking buys nothing). The async flusher replicates via
+// asyncWriter.push instead, which chunks and honors the abort channel.
+func (l *Library) pushNeighbor(nb int, key string, blob []byte, version int64) error {
+	l.mu.Lock()
+	tr := l.transport
+	l.mu.Unlock()
+	if tr != nil {
+		return tr.Push(nb, key, blob)
+	}
+	if err := l.cl.Transfer(l.nodeID, nb, key, blob); err != nil {
+		return err
+	}
+	return l.cl.TransferMeta(l.nodeID, nb, SealKey(key), sealBlob(version))
+}
+
+// prune removes versions older than the newest KeepVersions (data and
+// seals) from the local node and the current neighbor.
 func (l *Library) prune(name string, logical int, newest int64, nb int) {
 	limit := newest - int64(l.cfg.KeepVersions) + 1
 	for _, nodeID := range []int{l.nodeID, nb} {
@@ -273,7 +481,7 @@ func (l *Library) prune(name string, logical int, newest int64, nb int) {
 		}
 		node := l.cl.Node(nodeID)
 		for _, k := range node.Keys() {
-			kn, kl, kv, ok := parseKey(k)
+			kn, kl, kv, ok := parseKey(strings.TrimSuffix(k, sealSuffix))
 			if ok && kn == name && kl == logical && kv < limit {
 				node.Delete(k)
 			}
@@ -285,7 +493,8 @@ func (l *Library) prune(name string, logical int, newest int64, nb int) {
 // and orderly shutdown use it; the application itself never has to.
 func (l *Library) WaitIdle() { l.wg.Wait() }
 
-// Stop shuts the copier down after draining queued copies.
+// Stop shuts the copier/flusher down after draining queued copies. The
+// close happens under sendMu so no handoff can slip in after the drain.
 func (l *Library) Stop() {
 	l.mu.Lock()
 	if l.stopped {
@@ -294,46 +503,68 @@ func (l *Library) Stop() {
 	}
 	l.stopped = true
 	l.mu.Unlock()
+	l.sendMu.Lock()
 	close(l.done)
+	l.sendMu.Unlock()
 }
 
-// Err returns the last background-copy error, if any.
+// Err returns the last background-copy error, if any. Background errors
+// are expected DURING failures (pushes racing a dying neighbor) and are
+// tolerated — recovery agrees on an older sealed version — but a non-zero
+// ErrCount on a failure-free run means replicas were silently lost; the
+// framework surfaces the count as the "core.cp_flush_errors" trace
+// counter and the experiments assert it is zero on clean runs.
 func (l *Library) Err() error {
 	l.errMu.Lock()
 	defer l.errMu.Unlock()
 	return l.lastErr
 }
 
+// ErrCount returns how many background-copy errors were recorded.
+func (l *Library) ErrCount() int64 {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.errCount
+}
+
 func (l *Library) setErr(err error) {
 	l.errMu.Lock()
 	l.lastErr = err
+	l.errCount++
 	l.errMu.Unlock()
 }
 
-// FindLatest returns the newest version of (name, logical) that is
-// fetchable from any alive node or the PFS. ok is false when none exists
-// anywhere.
+// FindLatest returns the newest COMPLETE version of (name, logical) that
+// is fetchable from any alive node or the PFS. Only sealed replicas count:
+// a copy whose flush was torn by a failure (data present, seal absent)
+// is invisible here, which is what lets the recovery path agree on the
+// newest restorable version instead of a version that exists nowhere
+// intact. ok is false when none exists anywhere.
 func (l *Library) FindLatest(name string, logical int) (int64, bool) {
 	best := int64(-1)
 	found := false
-	consider := func(k string) {
-		kn, kl, kv, ok := parseKey(k)
-		if ok && kn == name && kl == logical && kv > best {
-			best = kv
-			found = true
+	considerStore := func(keys []string) {
+		sealed := make(map[string]bool)
+		for _, k := range keys {
+			if strings.HasSuffix(k, sealSuffix) {
+				sealed[strings.TrimSuffix(k, sealSuffix)] = true
+			}
+		}
+		for _, k := range keys {
+			kn, kl, kv, ok := parseKey(k)
+			if ok && kn == name && kl == logical && kv > best && sealed[k] {
+				best = kv
+				found = true
+			}
 		}
 	}
 	for nodeID := 0; nodeID < l.cl.NumNodes(); nodeID++ {
 		if !l.cl.NodeAlive(nodeID) {
 			continue
 		}
-		for _, k := range l.cl.Node(nodeID).Keys() {
-			consider(k)
-		}
+		considerStore(l.cl.Node(nodeID).Keys())
 	}
-	for _, k := range l.cl.PFS().Keys() {
-		consider(k)
-	}
+	considerStore(l.cl.PFS().Keys())
 	if !found {
 		return 0, false
 	}
@@ -381,6 +612,25 @@ func (l *Library) Fetch(name string, logical int, version int64) ([]byte, error)
 
 func (l *Library) storage() cluster.StorageModel { return l.cl.Storage() }
 
+// StoreReplica commits a received checkpoint frame (data plus seal) to a
+// node's local store — the commit step a GASPI checkpoint-stream receiver
+// performs on behalf of its upstream neighbor. The frame is verified
+// before the seal is written, so a mangled stream can never produce a
+// sealed-but-corrupt replica.
+func StoreReplica(cl *cluster.Cluster, nodeID int, key string, blob []byte) error {
+	name, _, version, ok := parseKey(key)
+	if !ok {
+		return fmt.Errorf("checkpoint: replica under foreign key %q", key)
+	}
+	if _, _, _, err := decode(blob); err != nil {
+		return fmt.Errorf("checkpoint: replica %s/%s: %w", name, key, err)
+	}
+	if err := cl.Node(nodeID).Put(key, blob, cl.Storage()); err != nil {
+		return err
+	}
+	return cl.Node(nodeID).PutMeta(SealKey(key), sealBlob(version))
+}
+
 // --- wire format -------------------------------------------------------------
 
 const (
@@ -392,6 +642,13 @@ const (
 // encode frames a checkpoint payload with its identity and a CRC32
 // covering both the identity header and the (possibly compressed) payload.
 func encode(logical int, version int64, payload []byte, compress bool) ([]byte, error) {
+	return encodeInto(nil, logical, version, payload, compress)
+}
+
+// encodeInto is encode appending into dst's backing array (the async
+// writer reuses its two buffers across flushes instead of allocating a
+// fresh frame per checkpoint epoch).
+func encodeInto(dst []byte, logical int, version int64, payload []byte, compress bool) ([]byte, error) {
 	m := magic
 	if compress {
 		var buf bytes.Buffer
@@ -405,7 +662,13 @@ func encode(logical int, version int64, payload []byte, compress bool) ([]byte, 
 		payload = buf.Bytes()
 		m = magicGzip
 	}
-	blob := make([]byte, headerLen+len(payload))
+	need := headerLen + len(payload)
+	var blob []byte
+	if cap(dst) >= need {
+		blob = dst[:need]
+	} else {
+		blob = make([]byte, need)
+	}
 	binary.LittleEndian.PutUint32(blob[0:], m)
 	binary.LittleEndian.PutUint32(blob[4:], uint32(logical))
 	binary.LittleEndian.PutUint64(blob[8:], uint64(version))

@@ -233,6 +233,22 @@ func (n *Node) Put(key string, data []byte, m StorageModel) error {
 	return nil
 }
 
+// PutMeta stores a small metadata object (e.g. a checkpoint seal) without
+// modeled storage latency: metadata commits piggyback on the data write
+// they follow, so charging a second full store round trip would be a
+// modeling artifact.
+func (n *Node) PutMeta(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return ErrNodeDown
+	}
+	n.store[key] = cp
+	return nil
+}
+
 // Get retrieves an object from the node's local store.
 func (n *Node) Get(key string, m StorageModel) ([]byte, error) {
 	n.mu.Lock()
@@ -297,6 +313,52 @@ func (c *Cluster) Transfer(src, dst int, key string, data []byte) error {
 	return nil
 }
 
+// TransferMeta delivers a small metadata object (a seal) to dst without
+// modeled transfer latency — it rides the tail of the data transfer it
+// follows. Source and destination liveness rules match Transfer.
+func (c *Cluster) TransferMeta(src, dst int, key string, data []byte) error {
+	s := c.Node(src)
+	s.mu.Lock()
+	srcAlive := s.alive
+	s.mu.Unlock()
+	if !srcAlive {
+		return ErrNodeDown
+	}
+	return c.Node(dst).PutMeta(key, data)
+}
+
+// TransferChunk delivers one chunk of a larger object into dst's local
+// store, modeling the progressive arrival of a chunked RDMA transfer: the
+// destination holds a growing prefix under key until the final chunk
+// completes it, so a transfer aborted by a failure leaves a torn
+// (truncated) copy rather than a clean absence. off is the chunk's offset
+// and total the final object size; chunks must arrive in order (the
+// checkpoint flusher is the single writer per key).
+func (c *Cluster) TransferChunk(src, dst int, key string, off int, chunk []byte, total int) error {
+	s := c.Node(src)
+	s.mu.Lock()
+	srcAlive := s.alive
+	s.mu.Unlock()
+	if !srcAlive {
+		return ErrNodeDown
+	}
+	sleep(c.cfg.Storage.XferLatency + time.Duration(len(chunk))*c.cfg.Storage.XferPerByte)
+	d := c.Node(dst)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.alive {
+		return ErrNodeDown
+	}
+	buf := d.store[key]
+	if off == 0 {
+		buf = make([]byte, 0, total)
+	} else if len(buf) != off {
+		return fmt.Errorf("cluster: chunk for %s at offset %d, have %d bytes", key, off, len(buf))
+	}
+	d.store[key] = append(buf, chunk...)
+	return nil
+}
+
 // --- parallel file system ----------------------------------------------------
 
 // PFS is the shared parallel file system: durable (survives any node
@@ -321,6 +383,17 @@ func (p *PFS) Put(key string, data []byte) error {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	sleep(p.model.PFSLatency + time.Duration(len(data))*p.model.PFSPerByte)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.store[key] = cp
+	return nil
+}
+
+// PutMeta stores a small metadata object (a seal) without modeled PFS
+// latency and without occupying a parallel stream slot.
+func (p *PFS) PutMeta(key string, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	p.mu.Lock()

@@ -93,7 +93,10 @@ type Config struct {
 	// CheckpointEvery is the checkpoint interval in iterations (the paper
 	// uses 500 of 3500).
 	CheckpointEvery int64
-	// CP configures the checkpoint library.
+	// CP configures the checkpoint library. CP.CheckpointMode selects the
+	// commit discipline: checkpoint.Sync (the paper's library; default) or
+	// checkpoint.Async (double-buffered background commit, replicated to
+	// the neighbor over a GASPI one-sided stream on a dedicated queue).
 	CP checkpoint.Config
 	// FailPlan injects exit(-1) failures: at the start of iteration i,
 	// every logical rank in FailPlan[i] whose process is the ORIGINAL

@@ -176,7 +176,33 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 	if cfg.EnableCP {
 		ctx.CP = checkpoint.New(cctx.Cluster, cctx.NodeID, cfg.CP)
 		defer ctx.CP.Stop()
+		ctx.CP.BindAbort(p.Dead())
 		ctx.CP.SetWorkerNodes(workerNodes(cctx.Cluster, w.RankMap().Snapshot()))
+		// Async engine: replicate over a GASPI one-sided stream on the
+		// dedicated checkpoint queue. Every worker is both a sender (its
+		// flusher pushes to the neighbor) and a receiver (the applier
+		// commits the upstream neighbor's frames to this node's local
+		// store). Restricted to one process per node: the staging segment
+		// has a single writer slot, and co-hosted senders would interleave
+		// chunk writes into the same receiver segment. With several procs
+		// per node the engine stays async on the library's chunked
+		// cluster transport (per-key destinations, no interleaving).
+		// p.NumProcs (immutable on the Proc) rather than Cluster.NumProcs:
+		// the latter reads the job field the launching cluster.New is
+		// still assigning while early workers already run.
+		if cfg.CP.CheckpointMode == checkpoint.Async &&
+			p.NumProcs() == cctx.Cluster.NumNodes() {
+			cps, err := ft.NewCPStream(p, cfg.CP.StreamBytes, cfg.CP.ChunkSize(), cfg.FT.CommTimeout)
+			if err != nil {
+				return err
+			}
+			w.AttachCPStream(cps)
+			go cps.Serve(func(key string, blob []byte) error {
+				return checkpoint.StoreReplica(cctx.Cluster, cctx.NodeID, key, blob)
+			})
+			defer cps.Stop()
+			ctx.CP.SetTransport(&cpStreamTransport{cctx: cctx, w: w})
+		}
 	}
 
 	var iter int64
@@ -264,6 +290,25 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		}
 	}
 
+	// Surface background replication losses (never fatal — during
+	// failures they are expected and recovery compensates — but on a
+	// failure-free run a non-zero count means replicas silently went
+	// missing; the experiments assert on it). Drain in-flight flushes
+	// first or tail-end errors would escape the count.
+	if ctx.CP != nil {
+		ctx.CP.WaitIdle()
+		if w.CPStream() != nil {
+			// Couple sender drain to receiver lifetime: without this
+			// barrier a fast-finishing worker stops its Serve applier
+			// while the upstream neighbor's final flush still awaits the
+			// consumption ack, turning a clean completion into a spurious
+			// replication error. Best effort — a failure this late is
+			// handled by the FD/shutdown machinery.
+			_ = w.Barrier()
+		}
+		rec.Inc("core.cp_flush_errors", ctx.CP.ErrCount())
+	}
+
 	// The logical root reports completion: FD and idle spares shut down.
 	if ctx.Logical == 0 {
 		if err := ft.SignalShutdown(p, lay); err != nil {
@@ -316,6 +361,24 @@ func reload(ctx *Ctx, app App) (int64, error) {
 	}
 	ctx.Rec.Inc("core.restores", 1)
 	return version, nil
+}
+
+// cpStreamTransport adapts the checkpoint library's node-addressed
+// replication to the rank-addressed GASPI stream: the neighbor NODE is
+// mapped to the worker rank currently hosted there (through the live rank
+// map, so after a recovery pushes reach the rescue process).
+type cpStreamTransport struct {
+	cctx *cluster.ProcCtx
+	w    *ft.Worker
+}
+
+func (t *cpStreamTransport) Push(nbNode int, key string, blob []byte) error {
+	for _, r := range t.w.RankMap().Snapshot() {
+		if t.cctx.Cluster.NodeOf(r) == nbNode {
+			return t.w.CPStream().Push(r, key, blob)
+		}
+	}
+	return fmt.Errorf("core: no worker rank hosted on neighbor node %d", nbNode)
 }
 
 // workerNodes maps the current worker physical ranks to their hosting

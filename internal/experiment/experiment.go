@@ -1,9 +1,11 @@
 // Package experiment regenerates the paper's evaluation: Figure 4 (runtime
 // decomposition of the fault-tolerant Lanczos under various failure
-// scenarios), Table I (fault-detector scaling), and the Section IV.A.b
-// detector ablation. Everything runs on the simulated cluster with latency
-// parameters calibrated to the paper's testbed divided by a time-scale
-// factor; results report both measured (wall-clock) and model
+// scenarios), Table I (fault-detector scaling), the Section IV.A.b
+// detector ablation, the checkpoint strategy/interval study (cpsweep.go),
+// and the sync-versus-async checkpoint commit study from the follow-up
+// work (async_sweep.go). Everything runs on the simulated cluster with
+// latency parameters calibrated to the paper's testbed divided by a
+// time-scale factor; results report both measured (wall-clock) and model
 // (scaled-back) times.
 package experiment
 

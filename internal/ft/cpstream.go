@@ -1,0 +1,241 @@
+package ft
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gaspi"
+)
+
+// The asynchronous checkpoint engine replicates to the neighbor over a
+// GASPI one-sided stream instead of the simulated cluster network: the
+// flusher posts the frame in chunks with gaspi_write on a queue dedicated
+// to checkpoint traffic (so bulk checkpoint data never delays the halo
+// exchange or the notice-board writes), then commits with a notification.
+// The receiving worker runs a small applier goroutine that stores each
+// complete frame into its node-local store — the node-level copy that
+// survives the sender's death.
+const (
+	// SegCP is the checkpoint-stream staging segment (board=1, halo=2).
+	SegCP gaspi.SegmentID = 3
+	// CPQueue is the queue dedicated to checkpoint chunk writes.
+	CPQueue gaspi.QueueID = 7
+	// CPAckQueue carries the receiver's acknowledgments, kept off CPQueue
+	// so the applier never waits behind the flusher's bulk writes.
+	CPAckQueue gaspi.QueueID = 6
+	// NotifCPCommit signals a complete frame in the receiver's segment.
+	NotifCPCommit gaspi.NotificationID = 0
+	// NotifCPAck signals frame consumption back to the sender.
+	NotifCPAck gaspi.NotificationID = 1
+)
+
+// DefaultCPStreamBytes is the default staging-segment capacity; one frame
+// (key + encoded checkpoint) must fit.
+const DefaultCPStreamBytes = 1 << 20
+
+// cpFrameHeader is [4B sender rank][4B key length][4B blob length].
+const cpFrameHeader = 12
+
+// ErrCPFrameTooLarge reports a checkpoint frame exceeding the staging
+// segment; the flusher records it and recovery falls back to an older
+// sealed version.
+var ErrCPFrameTooLarge = errors.New("ft: checkpoint frame exceeds stream segment")
+
+// errCPDied reports a push cut short because the local process died.
+var errCPDied = errors.New("ft: checkpoint stream: process died")
+
+// CPStream is one process's endpoint of the checkpoint replication
+// stream: Push sends sealed frames to a neighbor's segment, Serve applies
+// frames arriving from the upstream neighbor. A single flusher goroutine
+// calls Push; Serve runs in its own goroutine. Both survive recovery —
+// queues are purged by Recover, which simply fails the in-flight push, and
+// the per-frame sequence keeps stale acknowledgments harmless.
+type CPStream struct {
+	p       *gaspi.Proc
+	segSize int
+	chunk   int
+	timeout time.Duration
+
+	mu  sync.Mutex // serializes Push (defense; the flusher is single)
+	seq int64
+
+	stopped atomic.Bool
+	serving atomic.Bool
+	served  chan struct{} // closed when Serve returns
+}
+
+// NewCPStream creates the staging segment and returns the endpoint.
+// segBytes is the frame capacity (DefaultCPStreamBytes when 0), chunk the
+// write granularity (64 KiB when 0), timeout the per-wait poll interval —
+// the worker's communication timeout is the natural choice.
+func NewCPStream(p *gaspi.Proc, segBytes, chunk int, timeout time.Duration) (*CPStream, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultCPStreamBytes
+	}
+	if chunk <= 0 {
+		chunk = 64 << 10
+	}
+	if timeout <= 0 {
+		timeout = 50 * time.Millisecond
+	}
+	if err := p.SegmentCreate(SegCP, cpFrameHeader+segBytes); err != nil {
+		return nil, err
+	}
+	return &CPStream{
+		p:       p,
+		segSize: segBytes,
+		chunk:   chunk,
+		timeout: timeout,
+		served:  make(chan struct{}),
+	}, nil
+}
+
+// Push replicates one frame to the receiver rank: chunked one-sided
+// writes on CPQueue, a commit notification carrying the frame sequence,
+// then a wait for the receiver's acknowledgment (the flow control GASPI
+// itself does not provide — without it the next flush could overwrite an
+// unconsumed frame). Safe to call from the flusher goroutine of a process
+// that may die mid-push: the killedPanic is absorbed and surfaces as an
+// error.
+func (s *CPStream) Push(to gaspi.Rank, key string, blob []byte) (err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if died := gaspi.Protect(func() { err = s.push(to, key, blob) }); died {
+		return errCPDied
+	}
+	return err
+}
+
+func (s *CPStream) push(to gaspi.Rank, key string, blob []byte) error {
+	if len(key)+len(blob) > s.segSize {
+		return fmt.Errorf("%w: %d bytes > %d", ErrCPFrameTooLarge, len(key)+len(blob), s.segSize)
+	}
+	// Header+key go as one small write; the blob is chunked directly from
+	// the caller's (reused) buffer — no full-frame copy per epoch. Write
+	// copies each posted slice, so the buffer may be reused immediately.
+	hdr := make([]byte, cpFrameHeader+len(key))
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(s.p.Rank()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(blob)))
+	copy(hdr[cpFrameHeader:], key)
+	if err := s.p.Write(to, SegCP, 0, hdr, CPQueue); err != nil {
+		return err
+	}
+	base := int64(len(hdr))
+	for off := 0; off < len(blob); off += s.chunk {
+		end := min(off+s.chunk, len(blob))
+		if err := s.p.Write(to, SegCP, base+int64(off), blob[off:end], CPQueue); err != nil {
+			return err
+		}
+	}
+	if err := s.waitQueue(CPQueue); err != nil {
+		return fmt.Errorf("ft: checkpoint chunk flush to rank %d: %w", to, err)
+	}
+	s.seq++
+	if err := s.p.Notify(to, SegCP, NotifCPCommit, s.seq, CPQueue); err != nil {
+		return err
+	}
+	if err := s.waitQueue(CPQueue); err != nil {
+		return fmt.Errorf("ft: checkpoint commit to rank %d: %w", to, err)
+	}
+	// Await the consumption acknowledgment; stale acks (an earlier push
+	// aborted after its commit landed) are drained by sequence.
+	deadline := time.Now().Add(10 * s.timeout)
+	for {
+		_, err := s.p.NotifyWaitsome(SegCP, NotifCPAck, 1, s.timeout)
+		if err != nil && !errors.Is(err, gaspi.ErrTimeout) {
+			return err
+		}
+		if err == nil {
+			ack, rerr := s.p.NotifyReset(SegCP, NotifCPAck)
+			if rerr != nil {
+				return rerr
+			}
+			if ack == s.seq {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: no checkpoint ack from rank %d", gaspi.ErrTimeout, to)
+		}
+	}
+}
+
+// waitQueue flushes a queue with the poll timeout, resuming timed-out
+// waits up to a bounded deadline (matching the library's timeout-based
+// blocking discipline).
+func (s *CPStream) waitQueue(q gaspi.QueueID) error {
+	deadline := time.Now().Add(10 * s.timeout)
+	for {
+		err := s.p.WaitQueue(q, s.timeout)
+		if !errors.Is(err, gaspi.ErrTimeout) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+	}
+}
+
+// Serve is the applier loop: it waits for commit notifications, copies the
+// staged frame out of the segment, hands it to store (which commits data
+// plus seal to the node-local store), and acknowledges. It returns after
+// Stop or when the process dies; run it in its own goroutine.
+func (s *CPStream) Serve(store func(key string, blob []byte) error) {
+	s.serving.Store(true)
+	defer close(s.served)
+	gaspi.Protect(func() {
+		for !s.stopped.Load() {
+			_, err := s.p.NotifyWaitsome(SegCP, NotifCPCommit, 1, s.timeout)
+			if errors.Is(err, gaspi.ErrTimeout) {
+				continue
+			}
+			if err != nil {
+				return
+			}
+			seq, err := s.p.NotifyReset(SegCP, NotifCPCommit)
+			if err != nil {
+				return
+			}
+			if seq == 0 {
+				continue
+			}
+			hdr, err := s.p.SegmentCopyOut(SegCP, 0, cpFrameHeader)
+			if err != nil {
+				return
+			}
+			sender := gaspi.Rank(int32(binary.LittleEndian.Uint32(hdr[0:])))
+			keyLen := int(binary.LittleEndian.Uint32(hdr[4:]))
+			blobLen := int(binary.LittleEndian.Uint32(hdr[8:]))
+			if keyLen <= 0 || blobLen < 0 || keyLen+blobLen > s.segSize {
+				continue // mangled frame (e.g. two transient senders): drop, no ack
+			}
+			body, err := s.p.SegmentCopyOut(SegCP, cpFrameHeader, keyLen+blobLen)
+			if err != nil {
+				return
+			}
+			key := string(body[:keyLen])
+			blob := body[keyLen:] // SegmentCopyOut already returned a private copy
+			if store(key, blob) != nil {
+				continue // corrupt frame: drop without ack, sender times out
+			}
+			if err := s.p.Notify(sender, SegCP, NotifCPAck, seq, CPAckQueue); err != nil {
+				continue
+			}
+			_ = s.p.WaitQueue(CPAckQueue, s.timeout) // best effort
+		}
+	})
+}
+
+// Stop makes Serve return at its next poll and waits for it to exit
+// (a no-op when Serve was never started).
+func (s *CPStream) Stop() {
+	s.stopped.Store(true)
+	if s.serving.Load() {
+		<-s.served
+	}
+}

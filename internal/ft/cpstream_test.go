@@ -1,0 +1,170 @@
+package ft
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gaspi"
+)
+
+// cpStore is a channel-free, mutex-synchronized frame sink for Serve.
+type cpStore struct {
+	mu     sync.Mutex
+	frames map[string][]byte
+}
+
+func newCPStore() *cpStore { return &cpStore{frames: make(map[string][]byte)} }
+
+func (s *cpStore) put(key string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+func (s *cpStore) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.frames[key]
+	return b, ok
+}
+
+func (s *cpStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frames)
+}
+
+// TestCPStreamDelivers pushes frames (including multi-chunk ones) from
+// rank 0 to rank 1 and verifies byte-exact arrival and acknowledgment flow
+// control.
+func TestCPStreamDelivers(t *testing.T) {
+	store := newCPStore()
+	job := gaspi.Launch(testGaspiCfg(2), func(p *gaspi.Proc) error {
+		s, err := NewCPStream(p, 4096, 64, 20*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		switch p.Rank() {
+		case 0:
+			defer s.Stop()
+			for i := 0; i < 5; i++ {
+				blob := bytes.Repeat([]byte{byte(i + 1)}, 300) // ~5 chunks
+				if err := s.Push(1, fmt.Sprintf("cp/state/0/v%d", i), blob); err != nil {
+					return fmt.Errorf("push %d: %w", i, err)
+				}
+			}
+			// Tell the receiver we are done (reuse the ack slot backwards).
+			if err := p.Notify(1, SegCP, NotifCPAck, 1, CPAckQueue); err != nil {
+				return err
+			}
+			return p.WaitQueue(CPAckQueue, gaspi.Block)
+		default:
+			go s.Serve(store.put)
+			if _, err := p.NotifyWaitsome(SegCP, NotifCPAck, 1, gaspi.Block); err != nil {
+				return err
+			}
+			s.Stop()
+			return nil
+		}
+	})
+	defer job.Close()
+	for _, r := range job.Wait() {
+		if r.Err != nil || r.Death != nil {
+			t.Fatalf("rank %d: err=%v death=%+v", r.Rank, r.Err, r.Death)
+		}
+	}
+	if store.len() != 5 {
+		t.Fatalf("stored %d frames, want 5", store.len())
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := store.get(fmt.Sprintf("cp/state/0/v%d", i))
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, 300)) {
+			t.Fatalf("frame %d wrong (present=%v)", i, ok)
+		}
+	}
+}
+
+// TestCPStreamReceiverDeath: a receiver dying mid-stream must surface as a
+// push error on the sender, never as a partial frame in the store.
+func TestCPStreamReceiverDeath(t *testing.T) {
+	store := newCPStore()
+	job := gaspi.Launch(testGaspiCfg(2), func(p *gaspi.Proc) error {
+		s, err := NewCPStream(p, 1<<16, 128, 20*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		switch p.Rank() {
+		case 0:
+			defer s.Stop()
+			blob := bytes.Repeat([]byte{7}, 1<<15) // many chunks
+			for i := 0; ; i++ {
+				err := s.Push(1, fmt.Sprintf("cp/state/0/v%d", i), blob)
+				if err != nil {
+					return nil // expected once the receiver is dead
+				}
+				if i > 1000 {
+					return errors.New("receiver death never surfaced")
+				}
+			}
+		default:
+			go s.Serve(store.put)
+			time.Sleep(5 * time.Millisecond)
+			p.Exit(-1)
+			return nil
+		}
+	})
+	defer job.Close()
+	results, ok := job.WaitTimeout(20 * time.Second)
+	if !ok {
+		t.Fatal("hung")
+	}
+	for _, r := range results {
+		if r.Rank == 0 && r.Err != nil {
+			t.Fatalf("sender error: %v", r.Err)
+		}
+	}
+	// Whatever frames were stored must be complete.
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	for k, b := range store.frames {
+		if len(b) != 1<<15 {
+			t.Fatalf("partial frame %s committed (%d bytes)", k, len(b))
+		}
+	}
+}
+
+// TestCPStreamFrameTooLarge: oversized frames are rejected locally.
+func TestCPStreamFrameTooLarge(t *testing.T) {
+	job := gaspi.Launch(testGaspiCfg(2), func(p *gaspi.Proc) error {
+		s, err := NewCPStream(p, 256, 64, 10*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		defer s.Stop()
+		if p.Rank() != 0 {
+			return nil
+		}
+		err = s.Push(1, "cp/state/0/v1", make([]byte, 1024))
+		if !errors.Is(err, ErrCPFrameTooLarge) {
+			return fmt.Errorf("Push oversize = %v, want ErrCPFrameTooLarge", err)
+		}
+		return nil
+	})
+	defer job.Close()
+	for _, r := range job.Wait() {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+}

@@ -18,6 +18,11 @@
 //     rank) of the failed ones, the worker group is deleted and a new one
 //     is created and committed (Listing 2), and data is re-initialized
 //     from the last consistent checkpoint.
+//   - CPStream (cpstream.go) is the data plane of the asynchronous
+//     checkpoint engine: chunked one-sided writes on a dedicated queue
+//     push sealed checkpoint frames into the ring neighbor's staging
+//     segment, where an applier goroutine commits complete frames to the
+//     node-local store — the replica that survives the sender's death.
 //
 // The package also contains the two alternative detectors the paper
 // investigated and rejected (all-to-all ping and neighbor-ring ping) for

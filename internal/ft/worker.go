@@ -47,6 +47,8 @@ type Worker struct {
 	gid     gaspi.GroupID
 	epoch   uint64
 	hc      bool
+
+	cps *CPStream // async checkpoint replication endpoint; nil in sync mode
 }
 
 // NewWorker wraps a process acting as logical rank `logical`.
@@ -87,6 +89,16 @@ func (w *Worker) RankMap() *RankMap { return w.rm }
 // SetLogical rebinds the wrapper to a logical rank (used by a rescue
 // process adopting a failed identity).
 func (w *Worker) SetLogical(l int) { w.logical = l }
+
+// AttachCPStream hands the worker the checkpoint-stream endpoint used by
+// the asynchronous checkpoint engine. The stream survives recovery:
+// Recover purges the queues (failing any in-flight push, which the
+// flusher records and tolerates) and the per-frame sequence keeps stale
+// acknowledgments harmless.
+func (w *Worker) AttachCPStream(s *CPStream) { w.cps = s }
+
+// CPStream returns the attached checkpoint stream (nil in sync mode).
+func (w *Worker) CPStream() *CPStream { return w.cps }
 
 // checkNotice polls the failure-acknowledgment notification (without
 // consuming it) and decodes the board when a new epoch is visible.

@@ -21,6 +21,11 @@
 // (another goroutine) services remote operations even while the application
 // code computes, which is what makes one-sided progress and the dedicated
 // fault-detector design work.
+//
+// Queues are independent completion domains: traffic classes that must not
+// delay each other (halo exchange, notice-board writes, bulk checkpoint
+// replication) post on separate queues and flush them separately — the
+// idiom the ft layer's dedicated checkpoint queue relies on.
 package gaspi
 
 import (

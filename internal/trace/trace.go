@@ -189,11 +189,19 @@ type Summary struct {
 	Avg [NumPhases]time.Duration
 	Sum [NumPhases]time.Duration
 	N   int
+	// MaxCounter and SumCounter aggregate the named counters across the
+	// recorders (e.g. "core.checkpoints" per slowest rank, total
+	// "core.restores").
+	MaxCounter map[string]int64
+	SumCounter map[string]int64
 }
 
 // Aggregate combines the recorders of all processes.
 func Aggregate(recs []*Recorder) Summary {
-	var s Summary
+	s := Summary{
+		MaxCounter: make(map[string]int64),
+		SumCounter: make(map[string]int64),
+	}
 	for _, r := range recs {
 		if r == nil {
 			continue
@@ -204,6 +212,13 @@ func Aggregate(recs []*Recorder) Summary {
 			s.Sum[p] += d[p]
 			if d[p] > s.Max[p] {
 				s.Max[p] = d[p]
+			}
+		}
+		for _, name := range r.SortedCounterNames() {
+			v := r.Counter(name)
+			s.SumCounter[name] += v
+			if v > s.MaxCounter[name] {
+				s.MaxCounter[name] = v
 			}
 		}
 	}
