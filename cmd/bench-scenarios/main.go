@@ -1,0 +1,62 @@
+// Command bench-scenarios runs the full fault-scenario matrix: every
+// failure mode the paper validates (process exit, kill -9, network loss,
+// whole-node death) plus the compound cases the recovery epoch state
+// machine handles — a second failure during a recovery epoch, a failure
+// racing the asynchronous checkpoint flusher, and the loss of a node
+// together with the node holding its checkpoint replicas (PFS fallback).
+// Each scenario is classified as recovered / unrecoverable / wrong-answer
+// / hung and checked against its specification; any deviation exits
+// non-zero.
+//
+// Examples:
+//
+//	bench-scenarios
+//	bench-scenarios -workers 8 -iters 120 -cp-every 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		workers   = flag.Int("workers", 4, "worker processes")
+		iters     = flag.Int("iters", 60, "Lanczos iterations")
+		cpEvery   = flag.Int64("cp-every", 10, "checkpoint interval")
+		nx        = flag.Int("nx", 16, "graphene cells in x")
+		ny        = flag.Int("ny", 8, "graphene cells in y")
+		stepDelay = flag.Duration("step-delay", 2*time.Millisecond, "compute time per iteration")
+		timeout   = flag.Duration("timeout", 90*time.Second, "per-scenario hang deadline")
+		seed      = flag.Int64("seed", 7, "seed for disorder and jitter")
+	)
+	flag.Parse()
+
+	res, err := experiment.RunScenarioMatrix(experiment.ScenarioMatrixConfig{
+		Workers:         *workers,
+		Iters:           *iters,
+		CheckpointEvery: *cpEvery,
+		Nx:              *nx, Ny: *ny,
+		StepDelay: *stepDelay,
+		Timeout:   *timeout,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-scenarios:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	if bad := res.Mismatches(); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "bench-scenarios: %d scenario(s) deviated from their specification:\n", len(bad))
+		for _, row := range bad {
+			fmt.Fprintf(os.Stderr, "  %s: outcome %v (want %v) %s\n",
+				row.Spec.Scenario.Name, row.Outcome, row.Spec.Expect, row.Detail)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all scenarios matched their specification")
+}

@@ -24,8 +24,16 @@ func main() {
 	lay := ft.Layout{Procs: nodes, Spares: 3}
 	cal := experiment.PaperCalibration()
 	const timeScale = 100
+	// The same calibrated configuration the production FD runs with
+	// (cmd/ftlanczos, the benchmarks): paper timing constants compressed
+	// by the time scale, plus the retry-tolerant ping budget that keeps
+	// the aggressive compression free of false positives on shared-CPU
+	// hosts. The example must match production behavior, so it takes the
+	// config from the same constructor instead of hand-rolling one.
 	ftcfg := experiment.FTConfig(cal, timeScale, 8)
 	rec := trace.NewRecorder()
+	fmt.Printf("FD config: scan every %v, ping timeout %v x%d retries, %d scan threads\n",
+		ftcfg.ScanInterval, ftcfg.PingTimeout, ftcfg.PingRetries, ftcfg.Threads)
 
 	noticeCh := make(chan *ft.Notice, nodes)
 	cl := cluster.New(experiment.ClusterConfig(nodes, cal, timeScale, 1), func(ctx *cluster.ProcCtx) error {

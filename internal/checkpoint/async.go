@@ -160,6 +160,7 @@ func (w *asyncWriter) flush(b *cpBuffer) {
 	if l.aborted() {
 		return
 	}
+	l.noteFlush(b.logical, b.version)
 	if l.cfg.Mode == ModeGlobalPFS {
 		if err := l.putPFS(b.key, b.data, b.version); err != nil {
 			l.setErr(err)

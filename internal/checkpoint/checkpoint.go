@@ -154,6 +154,7 @@ type Library struct {
 	neighbor  int // neighboring node id; -1 when none
 	stopped   bool
 	transport Transport
+	flushHook func(logical int, version int64)
 
 	reqCh chan copyReq
 	wg    sync.WaitGroup // outstanding async copies
@@ -193,6 +194,27 @@ func (l *Library) SetTransport(t Transport) {
 	l.mu.Lock()
 	l.transport = t
 	l.mu.Unlock()
+}
+
+// SetFlushHook installs an observer called when a background flush of a
+// checkpoint begins (the sync copier picking up a replication request, or
+// the async writer starting a buffer flush). The scenario engine uses it
+// for during-checkpoint-flush fault triggers: the fault then races the
+// very replication the hook announced.
+func (l *Library) SetFlushHook(fn func(logical int, version int64)) {
+	l.mu.Lock()
+	l.flushHook = fn
+	l.mu.Unlock()
+}
+
+// noteFlush fires the flush hook, if any.
+func (l *Library) noteFlush(logical int, version int64) {
+	l.mu.Lock()
+	fn := l.flushHook
+	l.mu.Unlock()
+	if fn != nil {
+		fn(logical, version)
+	}
 }
 
 // BindAbort ties the library to a process-death signal: a flush in progress
@@ -393,6 +415,7 @@ func (l *Library) copier() {
 }
 
 func (l *Library) doCopy(req copyReq) {
+	l.noteFlush(req.logical, req.version)
 	l.replicate(req.name, req.key, req.logical, req.version, req.blob, req.toPFS,
 		func(nb int) error { return l.pushNeighbor(nb, req.key, req.blob, req.version) })
 }
@@ -571,14 +594,62 @@ func (l *Library) FindLatest(name string, logical int) (int64, bool) {
 	return best, true
 }
 
-// Fetch retrieves and verifies checkpoint (name, logical, version). It
-// tries the local node first, then every other alive node (the neighbor
-// copy of a failed process lives on the failed process's neighbor), and
-// finally the PFS. Corrupt replicas are skipped — a damaged local copy
-// falls back to the neighbor's.
+// RestoreSource classifies where a restored checkpoint replica was found
+// — the storage-tier fallback order FetchFrom walks.
+type RestoreSource int
+
+// Restore sources.
+const (
+	// RestoreNone: no intact replica anywhere.
+	RestoreNone RestoreSource = iota
+	// RestoreLocal: this process's own node-local store.
+	RestoreLocal
+	// RestoreNeighbor: the current ring neighbor's node store (where this
+	// node's replicas are pushed — and where a failed predecessor's
+	// replica survives its node's death).
+	RestoreNeighbor
+	// RestoreRemote: some other alive node's store (e.g. the failed
+	// process's own node, still alive after a mere process death).
+	RestoreRemote
+	// RestorePFS: the parallel file system (survives any node failure).
+	RestorePFS
+)
+
+func (s RestoreSource) String() string {
+	switch s {
+	case RestoreLocal:
+		return "local"
+	case RestoreNeighbor:
+		return "neighbor"
+	case RestoreRemote:
+		return "remote"
+	case RestorePFS:
+		return "pfs"
+	default:
+		return "none"
+	}
+}
+
+// Fetch retrieves and verifies checkpoint (name, logical, version),
+// falling back local → neighbor → other alive nodes → PFS.
 func (l *Library) Fetch(name string, logical int, version int64) ([]byte, error) {
+	payload, _, err := l.FetchFrom(name, logical, version)
+	return payload, err
+}
+
+// FetchFrom is Fetch reporting the replica's source. The walk order is
+// the node-down recovery policy: the local store first (intact after a
+// mere process death), then the ring neighbor (the replica that survives
+// a whole-node loss), then every other alive node (a replica can sit on
+// the failed process's own still-alive node, or on a pre-recovery
+// neighbor after the ring moved), and the PFS last. Corrupt replicas are
+// skipped — a damaged local copy falls back to the neighbor's.
+func (l *Library) FetchFrom(name string, logical int, version int64) ([]byte, RestoreSource, error) {
 	key := Key(name, logical, version)
 	tryNode := func(nodeID int) ([]byte, bool) {
+		if nodeID < 0 || !l.cl.NodeAlive(nodeID) {
+			return nil, false
+		}
 		blob, err := l.cl.Node(nodeID).Get(key, l.storage())
 		if err != nil {
 			return nil, false
@@ -589,25 +660,27 @@ func (l *Library) Fetch(name string, logical int, version int64) ([]byte, error)
 		}
 		return payload, true
 	}
-	if l.cl.NodeAlive(l.nodeID) {
-		if p, ok := tryNode(l.nodeID); ok {
-			return p, nil
-		}
+	if p, ok := tryNode(l.nodeID); ok {
+		return p, RestoreLocal, nil
+	}
+	nb := l.Neighbor()
+	if p, ok := tryNode(nb); ok {
+		return p, RestoreNeighbor, nil
 	}
 	for nodeID := 0; nodeID < l.cl.NumNodes(); nodeID++ {
-		if nodeID == l.nodeID || !l.cl.NodeAlive(nodeID) {
+		if nodeID == l.nodeID || nodeID == nb {
 			continue
 		}
 		if p, ok := tryNode(nodeID); ok {
-			return p, nil
+			return p, RestoreRemote, nil
 		}
 	}
 	if blob, err := l.cl.PFS().Get(key); err == nil {
 		if payload, lr, v, derr := decode(blob); derr == nil && lr == logical && v == version {
-			return payload, nil
+			return payload, RestorePFS, nil
 		}
 	}
-	return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, key)
+	return nil, RestoreNone, fmt.Errorf("%w: %s", ErrNoCheckpoint, key)
 }
 
 func (l *Library) storage() cluster.StorageModel { return l.cl.Storage() }

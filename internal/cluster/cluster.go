@@ -50,6 +50,10 @@ type Config struct {
 	Gaspi gaspi.Config
 	// Storage is the storage cost model.
 	Storage StorageModel
+	// Scenario, when non-nil, arms a declarative fault schedule: an
+	// Injector is attached to the cluster and the framework's progress
+	// hooks fire the scheduled events (see scenario.go).
+	Scenario *Scenario
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +72,7 @@ type Cluster struct {
 	job   *gaspi.Job
 	nodes []*Node
 	pfs   *PFS
+	inj   *Injector // non-nil when a Scenario is armed
 }
 
 // Node is one compute node: some ranks plus a local store that survives
@@ -103,6 +108,9 @@ func New(cfg Config, main func(*ProcCtx) error) *Cluster {
 	for i := range cl.nodes {
 		cl.nodes[i] = &Node{id: i, alive: true, store: make(map[string][]byte)}
 	}
+	if cfg.Scenario != nil {
+		cl.inj = NewInjector(cl, cfg.Scenario)
+	}
 	gcfg := cfg.Gaspi
 	gcfg.Procs = cfg.Nodes * cfg.ProcsPerNode
 	cl.job = gaspi.Launch(gcfg, func(p *gaspi.Proc) error {
@@ -118,6 +126,10 @@ func New(cfg Config, main func(*ProcCtx) error) *Cluster {
 
 // Job exposes the underlying GASPI job.
 func (c *Cluster) Job() *gaspi.Job { return c.job }
+
+// Injector returns the armed fault injector, or nil when the cluster runs
+// without a scenario.
+func (c *Cluster) Injector() *Injector { return c.inj }
 
 // PFS exposes the shared parallel file system.
 func (c *Cluster) PFS() *PFS { return c.pfs }

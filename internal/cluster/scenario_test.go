@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/gaspi"
+)
+
+// scenarioCluster launches an idle cluster with the given scenario armed;
+// ranks return immediately and linger, which is all the injector needs.
+func scenarioCluster(t *testing.T, nodes int, sc *Scenario) *Cluster {
+	t.Helper()
+	cl := New(Config{
+		Nodes:    nodes,
+		Scenario: sc,
+		Gaspi:    gaspi.Config{Latency: fabric.LatencyModel{Base: time.Microsecond}},
+	}, func(ctx *ProcCtx) error { return nil })
+	t.Cleanup(cl.Close)
+	if _, ok := cl.WaitTimeout(10 * time.Second); !ok {
+		t.Fatal("cluster hung")
+	}
+	return cl
+}
+
+func TestInjectorIterationTriggers(t *testing.T) {
+	sc := &Scenario{Name: "t", Events: []FaultEvent{
+		{Kind: ProcExit, Logical: 0, Trigger: Trigger{Kind: AtIteration, Iter: 5}},
+		{Kind: ProcKill, Logical: 1, Trigger: Trigger{Kind: AtIteration, Iter: 7}},
+	}}
+	cl := scenarioCluster(t, 4, sc)
+	inj := cl.Injector()
+	if inj == nil {
+		t.Fatal("no injector armed")
+	}
+	if inj.NoteIteration(0, 0, 4) {
+		t.Fatal("fired below the iteration threshold")
+	}
+	if !inj.NoteIteration(0, 0, 5) {
+		t.Fatal("ProcExit at the trigger iteration must ask the caller to exit")
+	}
+	if inj.NoteIteration(0, 0, 6) {
+		t.Fatal("an event fires only once")
+	}
+	// The kill trigger matches the first iteration AT OR BEYOND the
+	// threshold (recovery can roll iterations back and forward again).
+	if inj.NoteIteration(1, 1, 9) {
+		t.Fatal("ProcKill is external: the caller must not exit itself")
+	}
+	if len(inj.Fired()) != 2 || len(inj.Pending()) != 0 {
+		t.Fatalf("fired %v pending %v", inj.Fired(), inj.Pending())
+	}
+}
+
+func TestInjectorNodeDownAndVictims(t *testing.T) {
+	sc := &Scenario{Name: "t", Events: []FaultEvent{
+		{Kind: NodeDown, Logical: 2, Trigger: Trigger{Kind: AtIteration, Iter: 3}},
+	}}
+	cl := scenarioCluster(t, 4, sc)
+	inj := cl.Injector()
+	victimRank := gaspi.Rank(3)
+	inj.NoteIteration(victimRank, 2, 3)
+	node := cl.NodeOf(victimRank)
+	if cl.NodeAlive(node) {
+		t.Fatal("node must be down after the event fired")
+	}
+	victims := inj.FiredVictims()
+	for _, r := range cl.RanksOf(node) {
+		if !victims[r] {
+			t.Fatalf("rank %d of downed node %d missing from victims", r, node)
+		}
+	}
+}
+
+func TestInjectorFlushAndRecoveryTriggers(t *testing.T) {
+	sc := &Scenario{Name: "t", Events: []FaultEvent{
+		{Kind: ProcKill, Logical: 1, Trigger: Trigger{Kind: DuringFlush, Version: 20}},
+		{Kind: ProcKill, Logical: 2, Trigger: Trigger{Kind: DuringRecovery, Epoch: 2}},
+	}}
+	cl := scenarioCluster(t, 4, sc)
+	inj := cl.Injector()
+
+	inj.NoteFlush(1, 1, 10) // below the version threshold
+	inj.NoteFlush(1, 0, 30) // wrong logical rank
+	if len(inj.Fired()) != 0 {
+		t.Fatalf("premature flush fire: %v", inj.Fired())
+	}
+	inj.NoteFlush(1, 1, 20)
+	if len(inj.Fired()) != 1 {
+		t.Fatal("flush trigger did not fire at the threshold version")
+	}
+
+	inj.NoteRecovery(2, 2, 1, true)  // epoch below the trigger
+	inj.NoteRecovery(2, 2, 2, false) // not an epoch-entry transition
+	inj.NoteRecovery(3, 1, 2, true)  // wrong logical rank
+	if len(inj.Fired()) != 1 {
+		t.Fatalf("premature recovery fire: %v", inj.Fired())
+	}
+	// Epoch 3 >= the triggering epoch 2: a victim that skipped straight
+	// past the targeted epoch (board view raced ahead) still gets hit.
+	inj.NoteRecovery(2, 2, 3, true)
+	if len(inj.Fired()) != 2 || len(inj.Pending()) != 0 {
+		t.Fatalf("fired %v pending %v", inj.Fired(), inj.Pending())
+	}
+}
+
+func TestInjectorBackgroundProcExitDegradesToKill(t *testing.T) {
+	// A ProcExit matched by a background hook (flush / recovery) cannot
+	// be executed by the victim's own goroutine, so the injector must
+	// apply it as an external kill rather than silently recording a
+	// fired-but-never-applied fault.
+	sc := &Scenario{Name: "t", Events: []FaultEvent{
+		{Kind: ProcExit, Logical: 1, Trigger: Trigger{Kind: DuringFlush, Version: 1}},
+	}}
+	cl := scenarioCluster(t, 4, sc)
+	inj := cl.Injector()
+	victim := gaspi.Rank(1)
+	if !cl.Job().Proc(victim).Alive() {
+		t.Fatal("victim dead before the event fired")
+	}
+	inj.NoteFlush(victim, 1, 1)
+	if len(inj.Fired()) != 1 || len(inj.Pending()) != 0 {
+		t.Fatalf("fired %v pending %v", inj.Fired(), inj.Pending())
+	}
+	if cl.Job().Proc(victim).Alive() {
+		t.Fatal("background ProcExit must kill the victim")
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var inj *Injector
+	if inj.NoteIteration(0, 0, 0) {
+		t.Fatal("nil injector fired")
+	}
+	inj.NoteFlush(0, 0, 0)
+	inj.NoteRecovery(0, 0, 0, true)
+}

@@ -259,6 +259,12 @@ func TestNetworkFailureFalsePositive(t *testing.T) {
 	cfg := core.Config{
 		Spares: 2, FT: ftCfg(), EnableHC: true, EnableCP: true, CheckpointEvery: 10,
 	}
+	// The partition below heals after 100 ms; the retry-tolerant default
+	// ping budget (DefaultPingRetries spaced timeouts ≈ 200 ms) would
+	// outlast it and see a healthy rank again. Two retries keep the
+	// detection inside the window — this test WANTS the transient
+	// failure detected so the kill enforcement can be observed.
+	cfg.FT.PingRetries = 2
 	lay := ft.Layout{Procs: 1 + cfg.Spares + testWorker, Spares: cfg.Spares}
 	job, eigs := launchLanczos(t, cfg, lay.Procs)
 	time.Sleep(40 * time.Millisecond)
@@ -572,8 +578,11 @@ func TestTwoProcsPerNodeNodeFailure(t *testing.T) {
 			t.Fatalf("rank %d: %v", r.Rank, r.Err)
 		}
 	}
-	if got := job.Recorders[0].Counter("fd.recoveries"); got != 1 {
-		t.Fatalf("recoveries = %d, want 1 (both deaths in one scan)", got)
+	// Usually both deaths land in one scan (one epoch); a scan already in
+	// progress when the node dies can legitimately split them in two —
+	// the same race the simultaneous-failure tests tolerate.
+	if got := job.Recorders[0].Counter("fd.recoveries"); got < 1 || got > 2 {
+		t.Fatalf("recoveries = %d, want 1 (tolerating a scan-split 2)", got)
 	}
 	var got []float64
 	mu.Lock()

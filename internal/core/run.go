@@ -173,10 +173,27 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		Rec:     rec,
 		Cfg:     cfg,
 	}
+	inj := cctx.Cluster.Injector()
+	if inj != nil {
+		// The scenario engine's during-recovery triggers observe this
+		// worker's recovery machine; epoch-entry transitions (Acked, and
+		// GroupRebuild for drivers that skip a separate ack report) arm
+		// them. The classification happens here because the cluster layer
+		// cannot name ft's states.
+		w.Machine().SetObserver(func(tr ft.Transition) {
+			entry := tr.To == ft.StateAcked || tr.To == ft.StateGroupRebuild
+			inj.NoteRecovery(p.Rank(), ctx.Logical, tr.Epoch, entry)
+		})
+	}
 	if cfg.EnableCP {
 		ctx.CP = checkpoint.New(cctx.Cluster, cctx.NodeID, cfg.CP)
 		defer ctx.CP.Stop()
 		ctx.CP.BindAbort(p.Dead())
+		if inj != nil {
+			ctx.CP.SetFlushHook(func(logical int, version int64) {
+				inj.NoteFlush(p.Rank(), logical, version)
+			})
+		}
 		ctx.CP.SetWorkerNodes(workerNodes(cctx.Cluster, w.RankMap().Snapshot()))
 		// Async engine: replicate over a GASPI one-sided stream on the
 		// dedicated checkpoint queue. Every worker is both a sender (its
@@ -213,10 +230,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		if err := app.Init(ctx, true); err != nil {
 			return fmt.Errorf("core: rescue init (logical %d): %w", ctx.Logical, err)
 		}
-		if err := w.Recover(activation); err != nil {
-			return err
-		}
-		it, err := reload(ctx, app)
+		it, err := recoverAndReload(ctx, app, activation)
 		if err != nil {
 			return err
 		}
@@ -243,6 +257,13 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		if logicals, ok := cfg.FailPlan[iter]; ok &&
 			slices.Contains(logicals, ctx.Logical) &&
 			p.Rank() == lay.InitialPhysical(ctx.Logical) {
+			p.Exit(-1)
+		}
+		// Scenario-engine iteration triggers. A self-targeted external
+		// fault (kill -9, node down) marks this process dead here; it
+		// unwinds at the next communication call, like a real signal
+		// landing mid-compute.
+		if inj != nil && inj.NoteIteration(p.Rank(), ctx.Logical, iter) {
 			p.Exit(-1)
 		}
 
@@ -273,10 +294,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 			if !errors.As(err, &fde) {
 				return fmt.Errorf("core: step %d (logical %d): %w", iter, ctx.Logical, err)
 			}
-			if rerr := w.Recover(fde.Notice); rerr != nil {
-				return rerr
-			}
-			it, rerr := reload(ctx, app)
+			it, rerr := recoverAndReload(ctx, app, fde.Notice)
 			if rerr != nil {
 				return rerr
 			}
@@ -318,6 +336,33 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 	return nil
 }
 
+// recoverAndReload drives the recovery epoch state machine to completion:
+// group reconstruction (Worker.Recover: Acked → GroupRebuild), data
+// re-initialization (reload, in StateRestore), and Resume. A FURTHER
+// failure acknowledged during the restore phase — the compound-fault case
+// the state machine exists for — restarts the epoch with the fresher
+// notice instead of aborting the job: the machine's Ack from StateRestore
+// re-enters Acked, and the loop rebuilds against the newer group view.
+// It returns the iteration to resume from.
+func recoverAndReload(ctx *Ctx, app App, n *ft.Notice) (int64, error) {
+	w := ctx.Worker
+	for {
+		if err := w.Recover(n); err != nil {
+			return 0, err
+		}
+		it, err := reload(ctx, app)
+		if err == nil {
+			return it, w.Machine().Resume()
+		}
+		var fde *ft.FailureDetectedError
+		if !errors.As(err, &fde) {
+			return 0, err
+		}
+		ctx.Rec.Inc("core.recovery_restarts", 1)
+		n = fde.Notice
+	}
+}
+
 // reload is the data re-initialization step (OHF3): refresh the
 // fault-aware checkpoint library, agree on the last globally consistent
 // checkpoint version (minimum of every member's newest fetchable version),
@@ -352,7 +397,7 @@ func reload(ctx *Ctx, app App) (int64, error) {
 		ctx.Rec.Inc("core.restarts_from_scratch", 1)
 		return 0, nil
 	}
-	payload, err := ctx.CP.Fetch(ctx.Cfg.StateName, ctx.Logical, version)
+	payload, src, err := ctx.CP.FetchFrom(ctx.Cfg.StateName, ctx.Logical, version)
 	if err != nil {
 		return 0, err
 	}
@@ -360,6 +405,9 @@ func reload(ctx *Ctx, app App) (int64, error) {
 		return 0, err
 	}
 	ctx.Rec.Inc("core.restores", 1)
+	// Where the replica came from (local / neighbor / remote / pfs):
+	// the node-down scenarios assert the fallback actually exercised.
+	ctx.Rec.Inc("core.restore_from_"+src.String(), 1)
 	return version, nil
 }
 

@@ -89,12 +89,18 @@ func ClusterConfig(nodes int, cal Calibration, timeScale float64, seed int64) cl
 }
 
 // FTConfig builds the fault-tolerance timing knobs from the calibration.
+// The retry-tolerant ping budget (ft.DefaultPingRetries) is set
+// explicitly: at the default 1/100 time scale a single ping timeout is
+// 10 ms REAL time, which a shared-CPU host's scheduler can exceed for a
+// perfectly healthy rank — the retries are what keep the aggressive time
+// compression free of detector false positives.
 func FTConfig(cal Calibration, timeScale float64, threads int) ft.Config {
 	return ft.Config{
 		ScanInterval: scale(cal.ScanInterval, timeScale),
 		PingTimeout:  scale(cal.CommTimeout, timeScale),
 		CommTimeout:  scale(cal.CommTimeout, timeScale),
 		Threads:      threads,
+		PingRetries:  ft.DefaultPingRetries,
 		StallLimit:   scale(100*cal.CommTimeout, timeScale),
 	}
 }

@@ -131,10 +131,15 @@ func TestTable1SmallEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	// A wide node-count gap (5 vs 23 ping targets) and a few extra scans
+	// in the average keep the scan-time-grows assertion robust against
+	// scheduler noise when other heavy test packages run in parallel on a
+	// small host; at {6,10} nodes the µs-scale means sit ~7% apart and
+	// flake.
 	res, err := RunTable1(Table1Config{
-		NodeCounts: []int{6, 10},
+		NodeCounts: []int{6, 24},
 		Runs:       2,
-		CleanScans: 2,
+		CleanScans: 4,
 		TimeScale:  500,
 		Seed:       5,
 	})

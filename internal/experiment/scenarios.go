@@ -1,0 +1,455 @@
+package experiment
+
+// The scenario matrix: the repo's compound-fault validation suite. Where
+// fig4.go reproduces the paper's seven bars (single and simultaneous
+// exit(-1) kills), the matrix drives the declarative fault-scenario
+// engine (cluster.Scenario) through the failure modes the paper names —
+// process exit, kill -9, network loss, whole-node death — and the
+// compound cases the recovery epoch state machine exists for: a second
+// failure while a recovery epoch is in flight, a failure racing the
+// asynchronous checkpoint flusher, and the loss of a node together with
+// the node holding its checkpoint replicas (forcing the PFS fallback).
+// Every scenario must terminate as recovered-with-correct-result or as a
+// crisp unrecoverable abort — never hang, never produce a wrong answer.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+	"repro/internal/lanczos"
+	"repro/internal/matrix"
+	"repro/internal/trace"
+)
+
+// ScenarioOutcome classifies how a scenario run ended.
+type ScenarioOutcome int
+
+// Outcomes.
+const (
+	// OutcomeRecovered: the job completed and the surviving result
+	// matches the serial reference.
+	OutcomeRecovered ScenarioOutcome = iota
+	// OutcomeUnrecoverable: the job aborted crisply — the FD declared the
+	// failure unrecoverable (restriction 1), or workers detected the loss
+	// of detection capability and stalled out (restriction 2). Both are
+	// the acceptable "fail loudly" terminations.
+	OutcomeUnrecoverable
+	// OutcomeWrongAnswer: the job completed but the result is wrong —
+	// silent corruption, the one absolutely forbidden outcome.
+	OutcomeWrongAnswer
+	// OutcomeHung: the job did not terminate within the deadline.
+	OutcomeHung
+	// OutcomeFailed: a rank failed with an unexpected error (a harness or
+	// protocol bug, not a classified fault outcome).
+	OutcomeFailed
+)
+
+func (o ScenarioOutcome) String() string {
+	switch o {
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomeUnrecoverable:
+		return "unrecoverable"
+	case OutcomeWrongAnswer:
+		return "WRONG-ANSWER"
+	case OutcomeHung:
+		return "HUNG"
+	default:
+		return "FAILED"
+	}
+}
+
+// ScenarioSpec is one row of the matrix: a fault schedule plus the
+// configuration it runs under and the outcome it must produce.
+type ScenarioSpec struct {
+	// Scenario is the declarative fault schedule.
+	Scenario cluster.Scenario
+	// Spares is the idle-spare count for this row (the FD is extra).
+	Spares int
+	// Async runs the asynchronous double-buffered checkpoint engine.
+	Async bool
+	// PFSEvery writes every k-th checkpoint version also to the PFS.
+	PFSEvery int
+	// Expect is the required outcome.
+	Expect ScenarioOutcome
+	// WantPFSRestore additionally requires at least one restore served
+	// from the PFS (the double-node-loss fallback proof).
+	WantPFSRestore bool
+}
+
+// ScenarioMatrixConfig parameterizes a matrix run. Timing is NOT taken
+// from the paper calibration: the matrix is a correctness suite meant to
+// run under -short and the race detector, so it uses scheduler-tolerant
+// test timings (millisecond-scale FT timeouts over a microsecond-latency
+// fabric) rather than aggressively compressed paper constants.
+type ScenarioMatrixConfig struct {
+	// Workers is the worker count (default 4).
+	Workers int
+	// Iters is the Lanczos iteration count (default 60).
+	Iters int
+	// CheckpointEvery is the checkpoint interval (default 10).
+	CheckpointEvery int64
+	// Nx, Ny size the graphene sheet (default 16×8).
+	Nx, Ny int
+	// StepDelay slows iterations so mid-compute triggers land mid-compute
+	// (default 2 ms).
+	StepDelay time.Duration
+	// Timeout is the per-scenario hang deadline (default 90 s).
+	Timeout time.Duration
+	// Seed controls disorder and fabric jitter.
+	Seed int64
+	// FT overrides the fault-tolerance timing knobs (zero: robust test
+	// defaults).
+	FT ft.Config
+}
+
+// WithDefaults fills the matrix defaults.
+func (c ScenarioMatrixConfig) WithDefaults() ScenarioMatrixConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Iters <= 0 {
+		c.Iters = 60
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 10
+	}
+	if c.Nx <= 0 {
+		c.Nx = 16
+	}
+	if c.Ny <= 0 {
+		c.Ny = 8
+	}
+	if c.StepDelay <= 0 {
+		c.StepDelay = 2 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 90 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.FT == (ft.Config{}) {
+		c.FT = ft.Config{
+			ScanInterval: 5 * time.Millisecond,
+			PingTimeout:  10 * time.Millisecond,
+			CommTimeout:  10 * time.Millisecond,
+			Threads:      4,
+			StallLimit:   2 * time.Second,
+		}
+	}
+	return c
+}
+
+// Specs builds the default scenario matrix. Fault iterations sit
+// mid-checkpoint-interval (and away from checkpoint boundaries, so a
+// victim's last act is computation, not a storage write).
+func (c ScenarioMatrixConfig) Specs() []ScenarioSpec {
+	cp := c.CheckpointEvery
+	mid := 2*cp + cp/2 // e.g. 25 for the default interval 10
+	at := func(kind cluster.FaultKind, logical int, iter int64) cluster.FaultEvent {
+		return cluster.FaultEvent{Kind: kind, Logical: logical,
+			Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: iter}}
+	}
+	return []ScenarioSpec{
+		{
+			Scenario: cluster.Scenario{Name: "baseline"},
+			Spares:   2, Expect: OutcomeRecovered,
+		},
+		{
+			Scenario: cluster.Scenario{Name: "single exit(-1)",
+				Events: []cluster.FaultEvent{at(cluster.ProcExit, 1, mid)}},
+			Spares: 2, Expect: OutcomeRecovered,
+		},
+		{
+			Scenario: cluster.Scenario{Name: "single kill -9",
+				Events: []cluster.FaultEvent{at(cluster.ProcKill, 1, mid)}},
+			Spares: 2, Expect: OutcomeRecovered,
+		},
+		{
+			Scenario: cluster.Scenario{Name: "simultaneous double kill",
+				Events: []cluster.FaultEvent{
+					at(cluster.ProcKill, 1, mid),
+					at(cluster.ProcKill, 2, mid)}},
+			Spares: 2, Expect: OutcomeRecovered,
+		},
+		{
+			Scenario: cluster.Scenario{Name: "kill during recovery epoch 1",
+				Events: []cluster.FaultEvent{
+					at(cluster.ProcExit, 1, mid),
+					{Kind: cluster.ProcKill, Logical: 2,
+						Trigger: cluster.Trigger{Kind: cluster.DuringRecovery, Epoch: 1}}}},
+			Spares: 2, Expect: OutcomeRecovered,
+		},
+		{
+			Scenario: cluster.Scenario{Name: "kill during async flush",
+				Events: []cluster.FaultEvent{
+					{Kind: cluster.ProcKill, Logical: 1,
+						Trigger: cluster.Trigger{Kind: cluster.DuringFlush, Version: mid}}}},
+			Spares: 2, Async: true, Expect: OutcomeRecovered,
+		},
+		{
+			Scenario: cluster.Scenario{Name: "network drop",
+				Events: []cluster.FaultEvent{at(cluster.NetworkDrop, 1, mid)}},
+			Spares: 2, Expect: OutcomeRecovered,
+		},
+		{
+			Scenario: cluster.Scenario{Name: "whole node down",
+				Events: []cluster.FaultEvent{at(cluster.NodeDown, 1, mid)}},
+			Spares: 2, Expect: OutcomeRecovered,
+		},
+		{
+			// The victim node AND the node holding its neighbor replicas
+			// both die: only the periodic PFS copy can restore the victim.
+			Scenario: cluster.Scenario{Name: "node + replica node down",
+				Events: []cluster.FaultEvent{
+					at(cluster.NodeDown, 1, mid),
+					at(cluster.NodeDown, 2, mid)}},
+			Spares: 3, PFSEvery: 1, Expect: OutcomeRecovered, WantPFSRestore: true,
+		},
+		{
+			// Three simultaneous kills against one spare (plus the FD
+			// joining): restriction 1 — must abort crisply, never hang.
+			Scenario: cluster.Scenario{Name: "spares exhausted",
+				Events: []cluster.FaultEvent{
+					at(cluster.ProcKill, 1, mid),
+					at(cluster.ProcKill, 2, mid),
+					at(cluster.ProcKill, 3, mid)}},
+			Spares: 1, Expect: OutcomeUnrecoverable,
+		},
+	}
+}
+
+// ScenarioResult is one classified matrix row.
+type ScenarioResult struct {
+	Spec    ScenarioSpec
+	Outcome ScenarioOutcome
+	Wall    time.Duration
+	// Recoveries is the total recovery-epoch count acknowledged by
+	// detectors (primary or promoted).
+	Recoveries int64
+	// EpochRestarts counts recovery epochs restarted by a further failure
+	// while in flight (the compound-fault path).
+	EpochRestarts int64
+	// AckNS/RebuildNS/RestoreNS decompose recovery time by machine phase
+	// (max across ranks — the critical path).
+	AckNS, RebuildNS, RestoreNS int64
+	// Restores by replica source, summed across ranks.
+	RestoreLocal, RestoreNeighbor, RestoreRemote, RestorePFS int64
+	// Unfired lists scheduled events whose trigger never matched — a
+	// scenario-specification bug.
+	Unfired []cluster.FaultEvent
+	// Detail carries the classified error text, when any.
+	Detail string
+}
+
+// Ok reports whether the row met its spec.
+func (r ScenarioResult) Ok() bool {
+	if r.Outcome != r.Spec.Expect || len(r.Unfired) > 0 {
+		return false
+	}
+	if r.Spec.WantPFSRestore && r.RestorePFS == 0 {
+		return false
+	}
+	return true
+}
+
+// ScenarioMatrixResult is the full matrix outcome.
+type ScenarioMatrixResult struct {
+	Cfg     ScenarioMatrixConfig
+	RefEigs []float64
+	Rows    []ScenarioResult
+}
+
+// Mismatches lists the rows that failed their spec.
+func (r *ScenarioMatrixResult) Mismatches() []ScenarioResult {
+	var out []ScenarioResult
+	for _, row := range r.Rows {
+		if !row.Ok() {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// scenarioClusterConfig builds the scheduler-tolerant testbed.
+func scenarioClusterConfig(c ScenarioMatrixConfig, procs int, sc *cluster.Scenario) cluster.Config {
+	return cluster.Config{
+		Nodes:    procs,
+		Scenario: sc,
+		Gaspi: gaspi.Config{
+			Latency: fabric.LatencyModel{Base: 2 * time.Microsecond, PerByte: time.Nanosecond},
+			Seed:    c.Seed,
+		},
+		Storage: cluster.StorageModel{
+			LocalPerByte: time.Nanosecond / 4,
+			XferPerByte:  time.Nanosecond,
+			PFSPerByte:   4 * time.Nanosecond,
+			PFSWidth:     2,
+		},
+	}
+}
+
+// RunScenarioMatrix executes every scenario and classifies its outcome
+// against the serial Lanczos reference.
+func RunScenarioMatrix(c ScenarioMatrixConfig) (*ScenarioMatrixResult, error) {
+	c = c.WithDefaults()
+	gen := matrix.DefaultGraphene(c.Nx, c.Ny, uint64(c.Seed))
+	ref, err := lanczos.SerialLowestEigs(gen, c.Iters, 2, uint64(c.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("scenario matrix: serial reference: %w", err)
+	}
+	res := &ScenarioMatrixResult{Cfg: c, RefEigs: ref}
+	for _, spec := range c.Specs() {
+		res.Rows = append(res.Rows, runScenario(c, gen, spec, ref[0]))
+	}
+	return res, nil
+}
+
+func runScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec, wantEig float64) ScenarioResult {
+	out := ScenarioResult{Spec: spec}
+	procs := 1 + spec.Spares + c.Workers
+	sc := spec.Scenario // copy; the injector consumes events
+	ccfg := scenarioClusterConfig(c, procs, &sc)
+	cpMode := checkpoint.Sync
+	if spec.Async {
+		cpMode = checkpoint.Async
+	}
+	cfg := core.Config{
+		Spares:          spec.Spares,
+		FT:              c.FT,
+		EnableHC:        true,
+		EnableCP:        true,
+		CheckpointEvery: c.CheckpointEvery,
+		CP: checkpoint.Config{
+			CheckpointMode: cpMode,
+			PFSEvery:       spec.PFSEvery,
+		},
+	}
+	collect := newResultCollector()
+	start := time.Now()
+	job := core.Launch(ccfg, cfg, func() core.App {
+		a := apps.NewLanczos(apps.LanczosConfig{
+			Gen:       gen,
+			Opts:      lanczos.Options{MaxIters: c.Iters, NumEigs: 2, CheckEvery: int(c.CheckpointEvery), Seed: uint64(c.Seed)},
+			StepDelay: c.StepDelay,
+		})
+		collect.add(a)
+		return a
+	})
+	defer job.Close()
+
+	results, done := job.WaitTimeout(c.Timeout)
+	out.Wall = time.Since(start)
+	inj := job.Cluster.Injector()
+	out.Unfired = inj.Pending()
+	if !done {
+		out.Outcome = OutcomeHung
+		out.Detail = "deadline exceeded"
+		job.Cluster.Shutdown() // reap the stuck ranks
+		return out
+	}
+
+	sum := trace.Aggregate(job.Recorders)
+	out.Recoveries = sum.SumCounter["fd.recoveries"]
+	out.EpochRestarts = sum.SumCounter[ft.CounterEpochRestarts]
+	out.AckNS = sum.MaxCounter[ft.CounterAckNS]
+	out.RebuildNS = sum.MaxCounter[ft.CounterRebuildNS]
+	out.RestoreNS = sum.MaxCounter[ft.CounterRestoreNS]
+	out.RestoreLocal = sum.SumCounter["core.restore_from_local"]
+	out.RestoreNeighbor = sum.SumCounter["core.restore_from_neighbor"]
+	out.RestoreRemote = sum.SumCounter["core.restore_from_remote"]
+	out.RestorePFS = sum.SumCounter["core.restore_from_pfs"]
+
+	// Classify. Victims (ranks hit by fired events, including every rank
+	// of a downed node) may die — or, when a fault lands between a
+	// storage access and the next communication call, surface an error
+	// instead; both count as the injected death. Any OTHER rank erroring
+	// is either the crisp unrecoverable abort or a harness failure.
+	victims := inj.FiredVictims()
+	unrecoverable := false
+	for _, r := range results {
+		if r.Death != nil || victims[r.Rank] {
+			continue
+		}
+		if r.Err == nil {
+			continue
+		}
+		if errors.Is(r.Err, ft.ErrUnrecoverable) || errors.Is(r.Err, ft.ErrStalled) {
+			unrecoverable = true
+			if out.Detail == "" {
+				out.Detail = r.Err.Error()
+			}
+			continue
+		}
+		out.Outcome = OutcomeFailed
+		out.Detail = fmt.Sprintf("rank %d: %v", r.Rank, r.Err)
+		return out
+	}
+	if unrecoverable {
+		out.Outcome = OutcomeUnrecoverable
+		return out
+	}
+	eigs := collect.eigs()
+	if len(eigs) == 0 {
+		out.Outcome = OutcomeFailed
+		out.Detail = "no surviving worker finished with a result"
+		return out
+	}
+	// Recovery legitimately regroups the allreduce reduction tree, so
+	// only the converged lowest eigenvalue is comparable bit-for-bit-ish.
+	if scale := math.Max(1, math.Abs(wantEig)); math.Abs(eigs[0]-wantEig) > 1e-6*scale {
+		out.Outcome = OutcomeWrongAnswer
+		out.Detail = fmt.Sprintf("eig0 %v, reference %v", eigs[0], wantEig)
+		return out
+	}
+	out.Outcome = OutcomeRecovered
+	return out
+}
+
+// Render formats the matrix as a table plus the recovery-phase
+// decomposition.
+func (r *ScenarioMatrixResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario matrix — %d workers, %d iters, CP every %d (reference eig0 %.9f)\n\n",
+		r.Cfg.Workers, r.Cfg.Iters, r.Cfg.CheckpointEvery, r.RefEigs[0])
+	ms := func(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1e6) }
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		status := "ok"
+		if !row.Ok() {
+			status = "SPEC-MISMATCH"
+			if len(row.Unfired) > 0 {
+				status = fmt.Sprintf("UNFIRED:%d", len(row.Unfired))
+			}
+		}
+		src := fmt.Sprintf("%d/%d/%d/%d",
+			row.RestoreLocal, row.RestoreNeighbor, row.RestoreRemote, row.RestorePFS)
+		rows = append(rows, []string{
+			row.Spec.Scenario.Name,
+			row.Outcome.String(),
+			status,
+			fmt.Sprintf("%.2f", row.Wall.Seconds()),
+			fmt.Sprintf("%d", row.Recoveries),
+			fmt.Sprintf("%d", row.EpochRestarts),
+			ms(row.AckNS), ms(row.RebuildNS), ms(row.RestoreNS),
+			src,
+			row.Detail,
+		})
+	}
+	b.WriteString(trace.Table([]string{
+		"scenario", "outcome", "spec", "wall[s]", "recov", "restart",
+		"ack[ms]", "rebuild[ms]", "restore[ms]", "src l/n/r/p", "detail"},
+		rows))
+	return b.String()
+}

@@ -37,6 +37,7 @@ type Detector struct {
 	lay Layout
 	cfg Config
 	rec *trace.Recorder
+	sm  *RecoveryMachine
 
 	status  []ProcStatus
 	actPhys []Rank
@@ -52,6 +53,7 @@ func NewDetector(p *gaspi.Proc, lay Layout, cfg Config, rec *trace.Recorder) *De
 		lay:     lay,
 		cfg:     cfg.withDefaults(),
 		rec:     rec,
+		sm:      NewRecoveryMachine(rec),
 		status:  make([]ProcStatus, lay.Procs),
 		actPhys: lay.InitialActPhys(),
 		avoid:   make([]bool, lay.Procs),
@@ -91,16 +93,28 @@ func (d *Detector) Run() (DetectorOutcome, *Notice, error) {
 		}
 		d.rec.Event("fd:detect")
 		notice := d.handleFailures(failed)
+		// The FD drives its machine through the Acked phase only: it
+		// enforces the deaths and broadcasts the acknowledgment, but has
+		// no group to rebuild and no data to restore.
+		if err := d.sm.Ack(notice); err != nil {
+			return DetectorShutdown, nil, err
+		}
 		if err := d.WriteBoards(notice); err != nil {
 			return DetectorShutdown, nil, fmt.Errorf("ft: acknowledging failures: %w", err)
 		}
 		d.rec.Event("fd:ack")
 		d.rec.Inc("fd.recoveries", 1)
 		if notice.Unrecoverable {
+			// Terminal: the machine stays Acked and the job aborts crisply.
 			return DetectorUnrecoverable, notice, nil
 		}
 		if d.joined {
+			// The FD becomes a worker; its rescue identity's Worker gets a
+			// fresh machine that re-acks this notice via AdoptIdentity.
 			return DetectorJoinWorkers, notice, nil
+		}
+		if err := d.sm.Resume(); err != nil {
+			return DetectorShutdown, nil, err
 		}
 	}
 }
@@ -127,7 +141,7 @@ func (d *Detector) Scan() []Rank {
 	}
 	if threads <= 1 {
 		for _, r := range targets {
-			if d.p.ProcPing(r, d.cfg.PingTimeout) != nil {
+			if pingDead(d.p, r, d.cfg) {
 				failed = append(failed, r)
 			}
 		}
@@ -145,7 +159,7 @@ func (d *Detector) Scan() []Rank {
 				defer wg.Done()
 				gaspi.Protect(func() { // the FD itself may be killed mid-scan
 					for _, r := range rs {
-						if d.p.ProcPing(r, d.cfg.PingTimeout) != nil {
+						if pingDead(d.p, r, d.cfg) {
 							mu.Lock()
 							failed = append(failed, r)
 							mu.Unlock()
@@ -168,6 +182,30 @@ func (d *Detector) Scan() []Rank {
 		d.avoid[r] = true // protects messaging already discovered failed processes
 	}
 	return failed
+}
+
+// pingDead is the retry-tolerant liveness probe shared by the FD scan and
+// the standby's FD watch. A broken connection (NACK) is conclusive on the
+// first attempt — the rank is dead; only timeouts are retried, giving a
+// healthy rank whose NIC goroutine was stalled by the host scheduler up
+// to PingRetries chances to answer. Between attempts the prober SLEEPS
+// for a ping timeout rather than re-pinging back to back: on an
+// oversubscribed host the starved NIC goroutine needs the prober to yield
+// the CPU, or the retries would only measure the prober's own busy loop.
+func pingDead(p *gaspi.Proc, r Rank, cfg Config) bool {
+	for attempt := 1; ; attempt++ {
+		err := p.ProcPing(r, cfg.PingTimeout)
+		if err == nil {
+			return false
+		}
+		if !errors.Is(err, gaspi.ErrTimeout) {
+			return true // NACK: conclusively dead
+		}
+		if attempt >= cfg.PingRetries {
+			return true
+		}
+		time.Sleep(cfg.PingTimeout)
+	}
 }
 
 // handleFailures updates the global state for newly failed ranks: failed
@@ -266,6 +304,9 @@ func (d *Detector) WriteBoards(n *Notice) error {
 
 // Epoch returns the detector's current recovery epoch.
 func (d *Detector) Epoch() uint64 { return d.epoch }
+
+// Machine exposes the detector's recovery epoch state machine.
+func (d *Detector) Machine() *RecoveryMachine { return d.sm }
 
 // Status returns a copy of the detector's status array (for tests).
 func (d *Detector) Status() []ProcStatus {

@@ -163,6 +163,16 @@ func (s ProcStatus) String() string {
 	}
 }
 
+// DefaultPingRetries is the ping retry budget when Config.PingRetries is
+// zero. Ten spaced attempts give a slow-but-healthy rank ≈200 ms of real
+// time (at the default 10 ms timeout) to answer before it is declared
+// failed — calibrated to a heavily oversubscribed host (all simulated
+// ranks sharing one core), where a rank's NIC goroutine can starve for
+// tens of milliseconds while a recovery is churning. The budget is free
+// against real process deaths (a dead rank NACKs on the first attempt);
+// it only delays the detection of unreachable-but-alive ranks.
+const DefaultPingRetries = 10
+
 // Config holds the fault-tolerance timing parameters (paper Section VI:
 // scan every 3 s, communication timeout 1 s).
 type Config struct {
@@ -176,6 +186,17 @@ type Config struct {
 	// Threads is the FD's scan parallelism (the paper uses 8 so multiple
 	// simultaneous failures are detected at the cost of one).
 	Threads int
+	// PingRetries is how many consecutive timed-out pings the FD needs
+	// before declaring a rank failed. A NACKed ping (broken connection —
+	// the rank is conclusively dead) fails on the first attempt, so
+	// retries cost nothing against real process deaths; they only slow
+	// the detection of unreachable (partitioned) ranks by
+	// (PingRetries-1)×PingTimeout. This is the host calibration that
+	// makes the default 1/100 time scale (10 ms real-time ping timeout)
+	// robust on shared-CPU machines, where scheduler stalls of a healthy
+	// rank's NIC goroutine can exceed a single timeout. Zero means
+	// DefaultPingRetries.
+	PingRetries int
 	// StallLimit aborts a worker stuck retrying without acknowledgment
 	// (e.g. when the FD itself died — the paper's restriction 2). Zero
 	// means 100×CommTimeout.
@@ -194,6 +215,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Threads <= 0 {
 		c.Threads = 1
+	}
+	if c.PingRetries <= 0 {
+		c.PingRetries = DefaultPingRetries
 	}
 	if c.StallLimit <= 0 {
 		c.StallLimit = 100 * c.CommTimeout

@@ -31,25 +31,33 @@ func SetupInitialGroup(p *gaspi.Proc, lay Layout, timeout time.Duration) error {
 }
 
 // Recover executes the paper's Listing 2 on a worker (or a freshly
-// activated rescue): apply the new identity map, enforce the death of the
-// failed processes, repair the communication infrastructure, and rebuild
-// and commit the worker group. If a further failure is acknowledged while
-// committing, recovery restarts with the newer notice. On return the
-// worker's group id points at the committed replacement group; data
-// re-initialization from the checkpoint is the caller's next step.
+// activated rescue) by driving the recovery epoch state machine through
+// Acked and GroupRebuild: apply the new identity map, enforce the death
+// of the failed processes, repair the communication infrastructure, and
+// rebuild and commit the worker group. If a further failure is
+// acknowledged while committing, the epoch restarts with the newer notice
+// (GroupRebuild→Acked). On success the machine is left in StateRestore:
+// data re-initialization from the checkpoint is the caller's next step,
+// completed with Machine().Resume().
 func (w *Worker) Recover(n *Notice) error {
 	stop := w.rec.Start(trace.PhaseReinit)
 	defer stop()
 	deadline := time.Now().Add(w.cfg.StallLimit)
 	for {
 		if n.Unrecoverable {
+			_ = w.sm.Ack(n) // terminal: the machine stays Acked
 			return ErrUnrecoverable
+		}
+		// Usually a no-op: checkNotice (or AdoptIdentity) already acked
+		// this epoch; a caller handing a notice straight in is also legal.
+		if err := w.sm.Ack(n); err != nil {
+			return err
 		}
 		w.rm.Set(n.ActPhys)
 		w.epoch = n.Epoch
 
-		// Enforce the death of every suspect (handles transient failures
-		// and false positives, as in the paper).
+		// Acked phase: enforce the death of every suspect (handles
+		// transient failures and false positives, as in the paper).
 		for _, r := range n.NewlyFailed {
 			_ = w.p.ProcKill(r, gaspi.Block)
 		}
@@ -57,6 +65,10 @@ func (w *Worker) Recover(n *Notice) error {
 		// Repair communication infrastructure: abandon operations stuck
 		// towards dead or unreachable ranks.
 		w.p.PurgeQueues()
+
+		if err := w.sm.BeginRebuild(); err != nil {
+			return err
+		}
 
 		// Tear down the old group; rescues that never held it are fine
 		// (delete of an unknown group is a no-op).
@@ -80,11 +92,13 @@ func (w *Worker) Recover(n *Notice) error {
 			if err == nil {
 				w.gid = newGid
 				w.rec.Inc("ft.recoveries", 1)
-				return nil
+				return w.sm.BeginRestore()
 			}
 			if !errors.Is(err, gaspi.ErrTimeout) {
 				return fmt.Errorf("ft: group reconstruction: %w", err)
 			}
+			// checkNotice acks a fresher epoch into the machine
+			// (GroupRebuild→Acked, counted as an epoch restart).
 			n2, nerr := w.checkNotice()
 			if nerr != nil {
 				return nerr
@@ -115,6 +129,9 @@ func AdoptIdentity(p *gaspi.Proc, lay Layout, cfg Config, n *Notice, logical int
 	// The rescue never held the pre-failure group: point the group id at
 	// the previous epoch's id so Recover's delete is a harmless no-op.
 	w.gid = WorkerGroupID(n.Epoch - 1)
+	// The activation IS the acknowledgment: the rescue joins the epoch
+	// already acked, mid-recovery.
+	_ = w.sm.Ack(n)
 	return w
 }
 

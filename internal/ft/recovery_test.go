@@ -1,0 +1,165 @@
+package ft
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func testNotice(epoch uint64) *Notice {
+	return &Notice{Epoch: epoch, WorkerFailed: true}
+}
+
+func TestRecoveryMachineHappyPath(t *testing.T) {
+	rec := trace.NewRecorder()
+	m := NewRecoveryMachine(rec)
+	if m.State() != StateHealthy {
+		t.Fatalf("initial state %v", m.State())
+	}
+	if err := m.Ack(testNotice(1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateAcked || m.Epoch() != 1 {
+		t.Fatalf("after ack: %v epoch %d", m.State(), m.Epoch())
+	}
+	if err := m.BeginRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginRestore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateHealthy {
+		t.Fatalf("after resume: %v", m.State())
+	}
+	if rec.Counter(CounterEpochs) != 1 {
+		t.Fatalf("epochs = %d", rec.Counter(CounterEpochs))
+	}
+	if rec.Counter(CounterEpochRestarts) != 0 {
+		t.Fatalf("restarts = %d", rec.Counter(CounterEpochRestarts))
+	}
+	// Every phase was visited, so every phase counter accumulated time.
+	for _, c := range []string{CounterAckNS, CounterRebuildNS, CounterRestoreNS} {
+		if rec.Counter(c) <= 0 {
+			t.Fatalf("phase counter %s = %d", c, rec.Counter(c))
+		}
+	}
+	// Transition log: Healthy→Acked→GroupRebuild→Restore→Resume→Healthy.
+	want := []RecoveryState{StateAcked, StateGroupRebuild, StateRestore, StateResume, StateHealthy}
+	trs := m.Transitions()
+	if len(trs) != len(want) {
+		t.Fatalf("transitions: %v", trs)
+	}
+	for i, tr := range trs {
+		if tr.To != want[i] {
+			t.Fatalf("transition %d: %v→%v, want to %v", i, tr.From, tr.To, want[i])
+		}
+	}
+}
+
+func TestRecoveryMachineCompoundRestart(t *testing.T) {
+	rec := trace.NewRecorder()
+	m := NewRecoveryMachine(rec)
+	if err := m.Ack(testNotice(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// A further failure while rebuilding: epoch restarts with the newer
+	// notice.
+	if err := m.Ack(testNotice(2)); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateAcked || m.Epoch() != 2 {
+		t.Fatalf("after compound ack: %v epoch %d", m.State(), m.Epoch())
+	}
+	if err := m.BeginRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginRestore(); err != nil {
+		t.Fatal(err)
+	}
+	// And once more from Restore (failure during data re-initialization).
+	if err := m.Ack(testNotice(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginRestore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter(CounterEpochRestarts); got != 2 {
+		t.Fatalf("restarts = %d, want 2", got)
+	}
+	if got := rec.Counter(CounterEpochs); got != 1 {
+		t.Fatalf("completed epochs = %d, want 1", got)
+	}
+}
+
+func TestRecoveryMachineStaleAckIsNoop(t *testing.T) {
+	m := NewRecoveryMachine(nil)
+	if err := m.Ack(testNotice(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-delivery of the pending epoch and of an older one: no-ops.
+	if err := m.Ack(testNotice(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ack(testNotice(1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateAcked || m.Epoch() != 2 {
+		t.Fatalf("state %v epoch %d", m.State(), m.Epoch())
+	}
+	if got := len(m.Transitions()); got != 1 {
+		t.Fatalf("transitions = %d, want 1", got)
+	}
+}
+
+func TestRecoveryMachineIllegalTransitions(t *testing.T) {
+	m := NewRecoveryMachine(nil)
+	if err := m.BeginRebuild(); err == nil {
+		t.Fatal("rebuild from Healthy must fail")
+	}
+	if err := m.BeginRestore(); err == nil {
+		t.Fatal("restore from Healthy must fail")
+	}
+	if err := m.Resume(); err == nil {
+		t.Fatal("resume from Healthy must fail")
+	}
+	if err := m.Ack(testNotice(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginRestore(); err == nil {
+		t.Fatal("restore from Acked must fail")
+	}
+}
+
+func TestRecoveryMachineObserverAndFDPath(t *testing.T) {
+	m := NewRecoveryMachine(nil)
+	var seen []Transition
+	m.SetObserver(func(tr Transition) { seen = append(seen, tr) })
+	if err := m.Ack(testNotice(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The FD path: acknowledge, broadcast, resume — no rebuild/restore.
+	if err := m.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateHealthy {
+		t.Fatalf("state %v", m.State())
+	}
+	if len(seen) != 3 { // →Acked, →Resume, →Healthy
+		t.Fatalf("observer saw %v", seen)
+	}
+	if seen[0].To != StateAcked || seen[0].Epoch != 1 {
+		t.Fatalf("first observed transition: %+v", seen[0])
+	}
+}

@@ -79,8 +79,10 @@ func WaitStandby(p *gaspi.Proc, lay Layout, cfg Config, rec *trace.Recorder) (St
 			}
 		}
 		// Probe the FD (management questions go over the data plane like
-		// every ping; a dead or partitioned FD fails the probe).
-		if err := p.ProcPing(0, cfg.PingTimeout); err != nil {
+		// every ping; a dead or partitioned FD fails the probe). The probe
+		// uses the same retry-tolerant policy as the FD's own scan, so the
+		// standby does not promote itself on a single scheduler stall.
+		if pingDead(p, 0, cfg) {
 			rec.Event("standby:fd-dead")
 			rec.Inc("standby.promotions", 1)
 			d := promoteStandby(p, lay, cfg, rec, lastNotice)

@@ -42,6 +42,7 @@ type Worker struct {
 	cfg Config
 	rm  *RankMap
 	rec *trace.Recorder
+	sm  *RecoveryMachine
 
 	logical int
 	gid     gaspi.GroupID
@@ -61,11 +62,17 @@ func NewWorker(p *gaspi.Proc, lay Layout, cfg Config, logical int, hc bool, rec 
 		cfg:     cfg.withDefaults(),
 		rm:      NewRankMap(lay.InitialActPhys()),
 		rec:     rec,
+		sm:      NewRecoveryMachine(rec),
 		logical: logical,
 		gid:     WorkerGroupID(0),
 		hc:      hc,
 	}
 }
+
+// Machine exposes the worker's recovery epoch state machine. The
+// framework consumes its transitions (and the scenario engine observes
+// them for during-recovery fault triggers).
+func (w *Worker) Machine() *RecoveryMachine { return w.sm }
 
 // Proc implements spmvm.Comm.
 func (w *Worker) Proc() *gaspi.Proc { return w.p }
@@ -128,13 +135,31 @@ func (w *Worker) checkNotice() (*Notice, error) {
 		return nil, nil
 	}
 	if n.Unrecoverable {
+		// Terminal: the machine stays Acked; the job aborts crisply.
+		_ = w.sm.Ack(n)
 		return n, ErrUnrecoverable
 	}
 	if !n.WorkerFailed {
-		// Only a spare died: bookkeeping, no recovery needed.
+		// Only a spare died: bookkeeping, no recovery needed — a
+		// degenerate epoch that passes straight from Acked to Resume.
+		// When the notice lands MID-RECOVERY (a spare dying while this
+		// worker rebuilds or restores a previous epoch), only the
+		// bookkeeping applies: the in-flight epoch keeps its machine
+		// state, and the epoch counter advancing past the spare's notice
+		// is safe because group ids derive from worker-failure notices,
+		// which every member shares.
 		w.epoch = n.Epoch
 		w.rm.Set(n.ActPhys)
+		if w.sm.State() == StateHealthy {
+			if err := w.sm.Ack(n); err != nil {
+				return nil, err
+			}
+			return nil, w.sm.Resume()
+		}
 		return nil, nil
+	}
+	if err := w.sm.Ack(n); err != nil {
+		return nil, err
 	}
 	return n, nil
 }
