@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+	"repro/internal/matrix"
+	"repro/internal/spmvm"
+)
+
+// The hot-path benchmarks measure the zero-copy data plane introduced with
+// the registered-segment fast path:
+//
+//   - BenchmarkSpMV: steady-state distributed spMVM iterations over the
+//     zero-copy path, free-running on the parity-buffered halo (no
+//     inter-iteration barrier). MUST report 0 allocs/op: the gather lands
+//     in the registered send region, the remote part reads the halo in
+//     place, completions are pooled and the hot waits poll before parking.
+//   - BenchmarkSpMVLegacy: the same computation through the preserved
+//     pre-optimization path (per-iteration allocations, copying writes,
+//     barrier-separated iterations) — the "before" of the trajectory.
+//   - BenchmarkCPStreamPush: checkpoint-stream flush throughput, zero-copy
+//     vs copying chunk posts.
+//
+// cmd/bench-hotpath runs the same workloads standalone and emits
+// BENCH_hotpath.json.
+
+func benchSpMVJob(b *testing.B, legacy bool, threads int) {
+	const workers = 2
+	gen := matrix.DefaultGraphene(64, 32, 5)
+	const warm = 64
+	benchJobCfg(b, gaspi.Config{
+		Procs:   workers,
+		Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
+		// Dedicated data-plane run: poll hard enough that the hot waits
+		// never park (and so never allocate), even on one core.
+		SpinYields: 512,
+	}, func(p *gaspi.Proc) error {
+		c := &spmvm.Direct{P: p, Base: 0, Workers: workers, Group: gaspi.GroupAll}
+		lo, hi := matrix.BlockRange(gen.Dim(), workers, c.Logical())
+		csr := matrix.Build(gen, lo, hi)
+		plan, err := spmvm.Preprocess(c, csr)
+		if err != nil {
+			return err
+		}
+		eng, err := spmvm.NewEngine(c, plan, csr, 7)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		eng.Legacy = legacy
+		eng.Threads = threads
+		x := make([]float64, hi-lo)
+		y := make([]float64, hi-lo)
+		for i := range x {
+			x[i] = float64(i%17) * 0.25
+		}
+		sync := func() error {
+			if legacy {
+				return c.Barrier() // the legacy path requires it
+			}
+			return nil
+		}
+		// Warm up: grow freelists, pump heaps and caches to steady state.
+		for i := 0; i < warm; i++ {
+			if err := eng.SpMV(x, y, int64(i)); err != nil {
+				return err
+			}
+			if err := sync(); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Logical() == 0 {
+			runtime.GC()
+			b.ReportAllocs()
+			b.ResetTimer()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		for i := 0; i < b.N; i++ {
+			if err := eng.SpMV(x, y, int64(warm+i)); err != nil {
+				return err
+			}
+			if err := sync(); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Logical() == 0 {
+			b.StopTimer()
+		}
+		return nil
+	})
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	benchSpMVJob(b, false, 1)
+}
+
+func BenchmarkSpMVLegacy(b *testing.B) {
+	benchSpMVJob(b, true, 1)
+}
+
+func BenchmarkCPStreamPush(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		copying bool
+	}{{"zerocopy", false}, {"copying", true}} {
+		for _, size := range []int{64 << 10, 512 << 10} {
+			b.Run(fmt.Sprintf("%s-bytes-%d", mode.name, size), func(b *testing.B) {
+				blob := make([]byte, size)
+				b.SetBytes(int64(size))
+				job := gaspi.Launch(gaspi.Config{
+					Procs:   2,
+					Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
+				}, func(p *gaspi.Proc) error {
+					s, err := ft.NewCPStream(p, size+4096, 64<<10, 50*time.Millisecond)
+					if err != nil {
+						return err
+					}
+					s.SetCopying(mode.copying)
+					if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+						return err
+					}
+					if p.Rank() == 0 {
+						defer s.Stop()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if err := s.Push(1, "cp/bench/0/v1", blob); err != nil {
+								return err
+							}
+						}
+						b.StopTimer()
+						if err := p.Notify(1, ft.SegCP, ft.NotifCPAck, 1, ft.CPAckQueue); err != nil {
+							return err
+						}
+						return p.WaitQueue(ft.CPAckQueue, gaspi.Block)
+					}
+					go s.Serve(func(string, []byte) error { return nil })
+					if _, err := p.NotifyWaitsome(ft.SegCP, ft.NotifCPAck, 1, gaspi.Block); err != nil {
+						return err
+					}
+					s.Stop()
+					return nil
+				})
+				res, ok := job.WaitTimeout(5 * time.Minute)
+				if !ok {
+					b.Fatal("bench job hung")
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatalf("rank %d: %v", r.Rank, r.Err)
+					}
+				}
+				job.Close()
+			})
+		}
+	}
+}

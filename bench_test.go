@@ -167,10 +167,15 @@ func BenchmarkDetectorAblation(b *testing.B) {
 
 func benchJob(b *testing.B, procs int, main func(p *gaspi.Proc) error) {
 	b.Helper()
-	job := gaspi.Launch(gaspi.Config{
+	benchJobCfg(b, gaspi.Config{
 		Procs:   procs,
 		Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
 	}, main)
+}
+
+func benchJobCfg(b *testing.B, cfg gaspi.Config, main func(p *gaspi.Proc) error) {
+	b.Helper()
+	job := gaspi.Launch(cfg, main)
 	res, ok := job.WaitTimeout(5 * time.Minute)
 	if !ok {
 		b.Fatal("bench job hung")

@@ -1,0 +1,305 @@
+// Command bench-hotpath seeds the repo's performance trajectory: it
+// measures the zero-copy registered-segment data plane against the
+// preserved pre-optimization (legacy) path in the same binary and emits
+// BENCH_hotpath.json.
+//
+// Three measurements:
+//
+//   - spMVM iteration throughput: the distributed y = A·x hot loop,
+//     legacy (copying writes, per-iteration allocations, barrier-separated
+//     iterations) vs fast path (gather into the registered send region,
+//     zero-copy WriteNotify, parity-buffered free-running iterations).
+//   - spMVM steady-state allocations per iteration on the fast path
+//     (must be ~0; go test -bench BenchmarkSpMV cross-checks with 0
+//     allocs/op).
+//   - Checkpoint-stream flush throughput: copying vs zero-copy chunk
+//     posts through ft.CPStream.
+//
+// Usage: go run ./cmd/bench-hotpath [-iters N] [-workers W] [-out FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+	"repro/internal/matrix"
+	"repro/internal/spmvm"
+)
+
+type spmvmResult struct {
+	Workers            int     `json:"workers"`
+	Dim                int64   `json:"dim"`
+	Iters              int     `json:"iters"`
+	Threads            int     `json:"threads"`
+	BaselineItersPerS  float64 `json:"baseline_iters_per_sec"`
+	FastpathItersPerS  float64 `json:"fastpath_iters_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	FastAllocsPerIter  float64 `json:"fastpath_allocs_per_iter"`
+	FastBytesPerIter   float64 `json:"fastpath_bytes_per_iter"`
+	FastDeliveredFrac  float64 `json:"fastpath_delivered_fraction"`
+	BaselineNsPerIter  float64 `json:"baseline_ns_per_iter"`
+	FastpathNsPerIter  float64 `json:"fastpath_ns_per_iter"`
+}
+
+type cpResult struct {
+	FrameBytes     int     `json:"frame_bytes"`
+	Frames         int     `json:"frames"`
+	CopyingMBperS  float64 `json:"copying_mb_per_sec"`
+	ZeroCopyMBperS float64 `json:"zero_copy_mb_per_sec"`
+	Speedup        float64 `json:"speedup"`
+}
+
+type output struct {
+	Benchmark string      `json:"benchmark"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	SpMVM     spmvmResult `json:"spmvm"`
+	CPStream  cpResult    `json:"cpstream"`
+}
+
+func gaspiCfg(n int) gaspi.Config {
+	return gaspi.Config{
+		Procs:   n,
+		Latency: fabric.LatencyModel{Base: 2 * time.Microsecond, PerByte: 0, PerByteNs: 0.25},
+		Seed:    11,
+		// Dedicated data-plane benchmark: poll hard so the hot waits
+		// never park (see gaspi.DefaultSpinYields for the trade-off).
+		SpinYields: 512,
+	}
+}
+
+// runSpMV executes `iters` steady-state spMVM iterations over `workers`
+// ranks and returns the wall time of the measured section plus the
+// process-wide allocation delta (all ranks are in steady state during the
+// window, so the delta is attributable to the hot loop).
+func runSpMV(gen matrix.Generator, workers, iters, threads int, legacy bool) (wall time.Duration, allocs, bytes float64, fastFrac float64, err error) {
+	const warm = 50
+	var mu sync.Mutex
+	job := gaspi.Launch(gaspiCfg(workers), func(p *gaspi.Proc) error {
+		c := &spmvm.Direct{P: p, Base: 0, Workers: workers, Group: gaspi.GroupAll}
+		lo, hi := matrix.BlockRange(gen.Dim(), workers, c.Logical())
+		csr := matrix.Build(gen, lo, hi)
+		plan, err := spmvm.Preprocess(c, csr)
+		if err != nil {
+			return err
+		}
+		eng, err := spmvm.NewEngine(c, plan, csr, 7)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		eng.Legacy = legacy
+		eng.Threads = threads
+		x := make([]float64, hi-lo)
+		y := make([]float64, hi-lo)
+		for i := range x {
+			x[i] = float64(i%13) * 0.5
+		}
+		step := func(it int) error {
+			if err := eng.SpMV(x, y, int64(it)); err != nil {
+				return err
+			}
+			if legacy {
+				return c.Barrier() // the legacy protocol requires it
+			}
+			return nil
+		}
+		for i := 0; i < warm; i++ {
+			if err := step(i); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		var m0, m1 runtime.MemStats
+		var t0 time.Time
+		if c.Logical() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 = time.Now()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		for i := 0; i < iters; i++ {
+			if err := step(warm + i); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Logical() == 0 {
+			el := time.Since(t0)
+			runtime.ReadMemStats(&m1)
+			mu.Lock()
+			wall = el
+			allocs = float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+			bytes = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters)
+			mu.Unlock()
+		}
+		return nil
+	})
+	defer job.Close()
+	res, ok := job.WaitTimeout(10 * time.Minute)
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("spmvm job hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("rank %d: %w", r.Rank, r.Err)
+		}
+	}
+	st := job.Transport().Stats()
+	if st.Delivered > 0 {
+		fastFrac = float64(st.FastDelivered) / float64(st.Delivered)
+	}
+	return wall, allocs, bytes, fastFrac, nil
+}
+
+// runCPStream pushes `frames` frames of `size` bytes through the
+// checkpoint stream and returns the wall time.
+func runCPStream(size, frames int, copying bool) (time.Duration, error) {
+	var mu sync.Mutex
+	var wall time.Duration
+	job := gaspi.Launch(gaspiCfg(2), func(p *gaspi.Proc) error {
+		s, err := ft.NewCPStream(p, size+4096, 64<<10, 50*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		s.SetCopying(copying)
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			defer s.Stop()
+			blob := make([]byte, size)
+			if err := s.Push(1, "cp/bench/0/v0", blob); err != nil { // warm
+				return err
+			}
+			t0 := time.Now()
+			for i := 0; i < frames; i++ {
+				if err := s.Push(1, "cp/bench/0/v1", blob); err != nil {
+					return err
+				}
+			}
+			mu.Lock()
+			wall = time.Since(t0)
+			mu.Unlock()
+			if err := p.Notify(1, ft.SegCP, ft.NotifCPAck, 1, ft.CPAckQueue); err != nil {
+				return err
+			}
+			return p.WaitQueue(ft.CPAckQueue, gaspi.Block)
+		}
+		go s.Serve(func(string, []byte) error { return nil })
+		if _, err := p.NotifyWaitsome(ft.SegCP, ft.NotifCPAck, 1, gaspi.Block); err != nil {
+			return err
+		}
+		s.Stop()
+		return nil
+	})
+	defer job.Close()
+	res, ok := job.WaitTimeout(10 * time.Minute)
+	if !ok {
+		return 0, fmt.Errorf("cpstream job hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			return 0, fmt.Errorf("rank %d: %w", r.Rank, r.Err)
+		}
+	}
+	return wall, nil
+}
+
+func main() {
+	iters := flag.Int("iters", 3000, "measured spMVM iterations")
+	workers := flag.Int("workers", 4, "spMVM worker ranks")
+	threads := flag.Int("threads", 1, "compute threads per rank")
+	frames := flag.Int("frames", 200, "checkpoint frames")
+	frameBytes := flag.Int("framebytes", 256<<10, "checkpoint frame size")
+	out := flag.String("out", "BENCH_hotpath.json", "output file")
+	flag.Parse()
+
+	gen := matrix.DefaultGraphene(32, 16, 5)
+
+	fmt.Printf("spMVM: %d workers, dim %d, %d iters\n", *workers, gen.Dim(), *iters)
+	legacyWall, _, _, _, err := runSpMV(gen, *workers, *iters, *threads, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "legacy run:", err)
+		os.Exit(1)
+	}
+	fastWall, allocs, bytes, fastFrac, err := runSpMV(gen, *workers, *iters, *threads, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastpath run:", err)
+		os.Exit(1)
+	}
+
+	res := output{
+		Benchmark: "hotpath",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		SpMVM: spmvmResult{
+			Workers:           *workers,
+			Dim:               gen.Dim(),
+			Iters:             *iters,
+			Threads:           *threads,
+			BaselineItersPerS: float64(*iters) / legacyWall.Seconds(),
+			FastpathItersPerS: float64(*iters) / fastWall.Seconds(),
+			Speedup:           legacyWall.Seconds() / fastWall.Seconds(),
+			FastAllocsPerIter: allocs,
+			FastBytesPerIter:  bytes,
+			FastDeliveredFrac: fastFrac,
+			BaselineNsPerIter: float64(legacyWall.Nanoseconds()) / float64(*iters),
+			FastpathNsPerIter: float64(fastWall.Nanoseconds()) / float64(*iters),
+		},
+	}
+	fmt.Printf("  baseline: %.0f iters/s (%.1f µs/iter)\n", res.SpMVM.BaselineItersPerS, res.SpMVM.BaselineNsPerIter/1e3)
+	fmt.Printf("  fastpath: %.0f iters/s (%.1f µs/iter), %.2f allocs/iter, %.0f%% sink-delivered\n",
+		res.SpMVM.FastpathItersPerS, res.SpMVM.FastpathNsPerIter/1e3, allocs, fastFrac*100)
+	fmt.Printf("  speedup:  %.2fx\n", res.SpMVM.Speedup)
+
+	fmt.Printf("checkpoint stream: %d frames x %d KiB\n", *frames, *frameBytes>>10)
+	copyWall, err := runCPStream(*frameBytes, *frames, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "copying stream:", err)
+		os.Exit(1)
+	}
+	zcWall, err := runCPStream(*frameBytes, *frames, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zero-copy stream:", err)
+		os.Exit(1)
+	}
+	mb := float64(*frames) * float64(*frameBytes) / (1 << 20)
+	res.CPStream = cpResult{
+		FrameBytes:     *frameBytes,
+		Frames:         *frames,
+		CopyingMBperS:  mb / copyWall.Seconds(),
+		ZeroCopyMBperS: mb / zcWall.Seconds(),
+		Speedup:        copyWall.Seconds() / zcWall.Seconds(),
+	}
+	fmt.Printf("  copying:   %.0f MB/s\n", res.CPStream.CopyingMBperS)
+	fmt.Printf("  zero-copy: %.0f MB/s (%.2fx)\n", res.CPStream.ZeroCopyMBperS, res.CPStream.Speedup)
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

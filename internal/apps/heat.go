@@ -104,6 +104,7 @@ func (h *Heat) Init(ctx *core.Ctx, restore bool) error {
 // Rebuild implements core.App.
 func (h *Heat) Rebuild(ctx *core.Ctx) error {
 	if h.eng != nil {
+		h.eng.Close() // release the old engine's worker pool
 		if err := ctx.Proc.SegmentDelete(HaloSeg); err != nil {
 			return err
 		}
@@ -112,6 +113,7 @@ func (h *Heat) Rebuild(ctx *core.Ctx) error {
 	if err != nil {
 		return err
 	}
+	eng.Rec = ctx.Rec
 	h.eng = eng
 	n := eng.LocalRows()
 	if h.u == nil {
@@ -119,6 +121,14 @@ func (h *Heat) Rebuild(ctx *core.Ctx) error {
 	}
 	h.w = make([]float64, n)
 	return nil
+}
+
+// Close releases the engine's worker pool; the framework calls it when
+// the worker flow ends (Rebuild already closes superseded engines).
+func (h *Heat) Close() {
+	if h.eng != nil {
+		h.eng.Close()
+	}
 }
 
 // Checkpoint implements core.App: the solution chunk plus the step count.

@@ -107,6 +107,7 @@ func (a *Lanczos) Init(ctx *core.Ctx, restore bool) error {
 // worker group. Collective (engine creation barriers).
 func (a *Lanczos) Rebuild(ctx *core.Ctx) error {
 	if a.eng != nil {
+		a.eng.Close() // release the old engine's worker pool
 		if err := ctx.Proc.SegmentDelete(HaloSeg); err != nil {
 			return err
 		}
@@ -118,6 +119,7 @@ func (a *Lanczos) Rebuild(ctx *core.Ctx) error {
 	if a.cfg.Threads > 1 {
 		eng.Threads = a.cfg.Threads
 	}
+	eng.Rec = ctx.Rec
 	a.eng = eng
 	if a.solver == nil {
 		a.solver = lanczos.NewShell(ctx.Comm, eng, a.cfg.Opts)
@@ -125,6 +127,14 @@ func (a *Lanczos) Rebuild(ctx *core.Ctx) error {
 		a.solver.SetEngine(eng)
 	}
 	return nil
+}
+
+// Close releases the engine's worker pool; the framework calls it when
+// the worker flow ends (Rebuild already closes superseded engines).
+func (a *Lanczos) Close() {
+	if a.eng != nil {
+		a.eng.Close()
+	}
 }
 
 // Checkpoint implements core.App.

@@ -172,29 +172,41 @@ func (w *asyncWriter) flush(b *cpBuffer) {
 		return
 	}
 	l.replicate(b.name, b.key, b.logical, b.version, b.data, b.toPFS && !l.aborted(),
-		func(nb int) error { return w.push(nb, b.key, b.data, b.version) })
+		func(nb int) error { return w.push(b, nb) })
 }
 
 // push replicates to the neighbor node: through the installed transport
-// (the GASPI one-sided stream under the framework) or, by default, in
-// chunks over the cluster network. Either way the seal lands only after
-// the complete data object, and the abort channel is honored at chunk
-// granularity so a dying process leaves a detectably torn copy.
-func (w *asyncWriter) push(nb int, key string, blob []byte, version int64) error {
+// (the GASPI one-sided zero-copy stream under the framework) or, by
+// default, in chunks over the cluster network. Either way the seal lands
+// only after the complete data object, and the abort channel is honored at
+// chunk granularity so a dying process leaves a detectably torn copy.
+//
+// The stream transport posts the buffer zero-copy, so a FAILED stream push
+// (timeout, queue purge by recovery, receiver death) may leave in-flight
+// messages still borrowing b.data. The buffer is abandoned to the garbage
+// collector in that case — the next checkpoint staged into this half
+// simply allocates a fresh frame. Failed pushes are rare (they accompany
+// failures), so the occasional reallocation costs nothing in steady state.
+func (w *asyncWriter) push(b *cpBuffer, nb int) error {
 	l := w.l
 	l.mu.Lock()
 	tr := l.transport
 	l.mu.Unlock()
 	if tr != nil {
-		return tr.Push(nb, key, blob)
+		if err := tr.Push(nb, b.key, b.data); err != nil {
+			b.data = nil // in-flight zero-copy chunks may still borrow it
+			return err
+		}
+		return nil
 	}
+	blob := b.data
 	chunk := l.cfg.ChunkSize()
 	for off, i := 0, 0; off < len(blob); off, i = off+chunk, i+1 {
 		if l.aborted() {
 			return errAborted
 		}
 		end := min(off+chunk, len(blob))
-		if err := l.cl.TransferChunk(l.nodeID, nb, key, off, blob[off:end], len(blob)); err != nil {
+		if err := l.cl.TransferChunk(l.nodeID, nb, b.key, off, blob[off:end], len(blob)); err != nil {
 			return err
 		}
 		if h := w.chunkHook; h != nil {
@@ -204,7 +216,7 @@ func (w *asyncWriter) push(nb int, key string, blob []byte, version int64) error
 	if l.aborted() {
 		return errAborted
 	}
-	return l.cl.TransferMeta(l.nodeID, nb, SealKey(key), sealBlob(version))
+	return l.cl.TransferMeta(l.nodeID, nb, SealKey(b.key), sealBlob(b.version))
 }
 
 // Stats returns the async writer's counters; zero when the library runs in

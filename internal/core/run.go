@@ -163,6 +163,14 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		}
 	}()
 	app := newApp()
+	// Apps owning background resources (the spMVM engine's worker pool)
+	// expose Close; without this the last engine of every rank would leak
+	// its pool goroutines in long-lived multi-job processes (experiment
+	// sweeps, scenario matrices). Rebuild closes superseded engines; this
+	// closes the final one on every exit path.
+	if closer, ok := app.(interface{ Close() }); ok {
+		defer closer.Close()
+	}
 	ctx := &Ctx{
 		Proc:    p,
 		Comm:    w,

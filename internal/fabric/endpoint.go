@@ -3,11 +3,30 @@ package fabric
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by Send when the sending endpoint itself has been
 // closed (the local process is dead).
 var ErrClosed = errors.New("fabric: endpoint closed")
+
+// Sink is a delivery-time message handler: the registered-memory fast
+// path. When an endpoint has a sink, the delivery pump offers each
+// data-plane message to it at the moment the message becomes due; a sink
+// that returns true has consumed the message (typically by copying the
+// payload directly into its destination memory region), bypassing the
+// receive-channel hop and the consumer goroutine entirely — the way a real
+// RDMA NIC lands a one-sided write in registered memory without involving
+// the target CPU. A sink that returns false declines, and the message is
+// enqueued into the receive channel as usual.
+//
+// Contract: the sink runs on the delivery pump's goroutine and must not
+// block. Messages the sink consumes keep the fabric's per-(source,
+// destination) FIFO order relative to each other and are always applied
+// no later than a subsequently delivered channel message is processed, so
+// write-before-notification ordering holds across both paths. Management
+// plane messages are never offered to the sink.
+type Sink func(m Message) bool
 
 // Endpoint is one simulated process's attachment point to the fabric.
 // Send posts messages asynchronously; Recv exposes the delivery channel,
@@ -18,6 +37,20 @@ type Endpoint struct {
 	in   chan Message
 	done chan struct{}
 	once sync.Once
+	sink atomic.Value // Sink
+}
+
+// SetSink registers the endpoint's delivery-time fast-path handler.
+// Register before traffic starts; replacing a sink mid-flight is safe but
+// in-flight messages may still be offered to the old one.
+func (e *Endpoint) SetSink(s Sink) {
+	e.sink.Store(s)
+}
+
+// trySink offers a due data-plane message to the registered sink, if any.
+func (e *Endpoint) trySink(m Message) bool {
+	s, _ := e.sink.Load().(Sink)
+	return s != nil && s(m)
 }
 
 // Rank returns the endpoint's rank.

@@ -1,7 +1,6 @@
 package fabric
 
 import (
-	"container/heap"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -41,23 +40,58 @@ type pumpItem struct {
 	msg  Message
 }
 
+// msgHeap is a hand-rolled binary min-heap over pumpItem. container/heap
+// would box every item into an interface{} on Push and Pop — two heap
+// allocations per delivered message, which the zero-copy data plane cannot
+// afford; the monomorphic implementation allocates only on slice growth.
 type msgHeap []pumpItem
 
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
+func (h msgHeap) less(i, j int) bool {
 	if !h[i].due.Equal(h[j].due) {
 		return h[i].due.Before(h[j].due)
 	}
 	return h[i].seq < h[j].seq
 }
-func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(pumpItem)) }
-func (h *msgHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *msgHeap) push(it pumpItem) {
+	*h = append(*h, it)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *msgHeap) pop() pumpItem {
+	a := *h
+	n := len(a) - 1
+	top := a[0]
+	a[0] = a[n]
+	a[n] = pumpItem{} // release the payload reference for the collector
+	*h = a[:n]
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
 }
 
 func newPump(t *Transport, dst Rank, seed int64) *pump {
@@ -84,7 +118,7 @@ func (p *pump) push(m Message, d time.Duration, mgmt bool) {
 	}
 	p.lastDue[m.From] = due
 	p.seq++
-	heap.Push(&p.h, pumpItem{due: due, seq: p.seq, mgmt: mgmt, msg: m})
+	p.h.push(pumpItem{due: due, seq: p.seq, mgmt: mgmt, msg: m})
 	p.mu.Unlock()
 	select {
 	case p.wake <- struct{}{}:
@@ -109,7 +143,7 @@ func (p *pump) run() {
 		now := time.Now()
 		next := p.h[0]
 		if !next.due.After(now) {
-			heap.Pop(&p.h)
+			p.h.pop()
 			p.mu.Unlock()
 			p.t.deliver(next.msg, next.mgmt)
 			continue

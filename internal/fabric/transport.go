@@ -75,6 +75,10 @@ type Stats struct {
 	Dropped   uint64 // swallowed by partitions / downed links
 	Nacks     uint64
 	Bytes     uint64
+	// FastDelivered counts messages consumed by an endpoint's delivery
+	// sink (the registered-memory fast path) instead of traversing the
+	// receive channel. Always a subset of Delivered.
+	FastDelivered uint64
 	// PerKind counts sent messages by kind value.
 	PerKind [256]uint64
 }
@@ -97,6 +101,7 @@ type Transport struct {
 	dropped   atomic.Uint64
 	nacks     atomic.Uint64
 	bytes     atomic.Uint64
+	fast      atomic.Uint64
 	perKind   [256]atomic.Uint64
 }
 
@@ -203,6 +208,7 @@ func (t *Transport) Stats() Stats {
 	s.Dropped = t.dropped.Load()
 	s.Nacks = t.nacks.Load()
 	s.Bytes = t.bytes.Load()
+	s.FastDelivered = t.fast.Load()
 	for i := range s.PerKind {
 		s.PerKind[i] = t.perKind[i].Load()
 	}
@@ -235,6 +241,25 @@ func (t *Transport) deliver(m Message, mgmt bool) {
 	}
 	if !mgmt && !t.linkOK(m.From, m.To) {
 		t.dropped.Add(1)
+		return
+	}
+	// Registered-memory fast path: offer the due message to the
+	// endpoint's delivery sink. A consumed message never touches the
+	// receive channel — the payload lands in its destination region on
+	// this (pump) goroutine, like an RDMA write into registered memory.
+	if !mgmt && dst.trySink(m) {
+		t.delivered.Add(1)
+		t.fast.Add(1)
+		if dst.Closed() {
+			// The endpoint closed while the sink was applying: any
+			// completion the sink tried to post from the now-closed
+			// endpoint was dropped, so convert to a NACK exactly like
+			// the channel path's <-dst.done arm. If the completion DID
+			// get out first, the late NACK resolves an already-resolved
+			// token and is ignored — the same success/broken-connection
+			// ambiguity a real fabric has at connection teardown.
+			t.nack(m)
+		}
 		return
 	}
 	select {

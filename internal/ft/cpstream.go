@@ -63,10 +63,23 @@ type CPStream struct {
 	mu  sync.Mutex // serializes Push (defense; the flusher is single)
 	seq int64
 
+	// hdrBuf is the reused header+key staging buffer. Like the blob it is
+	// posted zero-copy, so it is owned by the fabric until the chunk flush
+	// completes; error paths abandon it (nil) instead of reusing it.
+	hdrBuf []byte
+	// copying disables the zero-copy chunk posts (benchmark knob: the
+	// pre-PR per-chunk copy discipline).
+	copying bool
+
 	stopped atomic.Bool
 	serving atomic.Bool
 	served  chan struct{} // closed when Serve returns
 }
+
+// SetCopying switches the chunk posts back to the copying Write
+// (benchmarks use it to measure the zero-copy delta). Call before any
+// Push.
+func (s *CPStream) SetCopying(v bool) { s.copying = v }
 
 // NewCPStream creates the staging segment and returns the endpoint.
 // segBytes is the frame capacity (DefaultCPStreamBytes when 0), chunk the
@@ -94,18 +107,31 @@ func NewCPStream(p *gaspi.Proc, segBytes, chunk int, timeout time.Duration) (*CP
 	}, nil
 }
 
-// Push replicates one frame to the receiver rank: chunked one-sided
-// writes on CPQueue, a commit notification carrying the frame sequence,
-// then a wait for the receiver's acknowledgment (the flow control GASPI
-// itself does not provide — without it the next flush could overwrite an
-// unconsumed frame). Safe to call from the flusher goroutine of a process
-// that may die mid-push: the killedPanic is absorbed and surfaces as an
-// error.
+// Push replicates one frame to the receiver rank: chunked zero-copy
+// one-sided writes on CPQueue (each chunk is read once, from the caller's
+// buffer straight into the receiver's segment at delivery time — the
+// flusher no longer pays a per-chunk copy), a commit notification carrying
+// the frame sequence, then a wait for the receiver's acknowledgment (the
+// flow control GASPI itself does not provide — without it the next flush
+// could overwrite an unconsumed frame). Safe to call from the flusher
+// goroutine of a process that may die mid-push: the killedPanic is
+// absorbed and surfaces as an error.
+//
+// Ownership: blob is borrowed by the fabric until Push returns nil. If
+// Push returns an error (timeout, purge, death), in-flight writes may
+// still reference blob — the caller must abandon the buffer to the
+// garbage collector rather than reuse it (the async checkpoint writer
+// does exactly that).
 func (s *CPStream) Push(to gaspi.Rank, key string, blob []byte) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if died := gaspi.Protect(func() { err = s.push(to, key, blob) }); died {
-		return errCPDied
+		err = errCPDied
+	}
+	if err != nil {
+		// The header buffer may still ride an undelivered message;
+		// reusing it next Push would race the delivery-time read.
+		s.hdrBuf = nil
 	}
 	return err
 }
@@ -115,20 +141,28 @@ func (s *CPStream) push(to gaspi.Rank, key string, blob []byte) error {
 		return fmt.Errorf("%w: %d bytes > %d", ErrCPFrameTooLarge, len(key)+len(blob), s.segSize)
 	}
 	// Header+key go as one small write; the blob is chunked directly from
-	// the caller's (reused) buffer — no full-frame copy per epoch. Write
-	// copies each posted slice, so the buffer may be reused immediately.
-	hdr := make([]byte, cpFrameHeader+len(key))
+	// the caller's (reused) buffer — no full-frame copy per epoch, and
+	// with the zero-copy posts no per-chunk copy either.
+	need := cpFrameHeader + len(key)
+	if cap(s.hdrBuf) < need {
+		s.hdrBuf = make([]byte, need)
+	}
+	hdr := s.hdrBuf[:need]
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(s.p.Rank()))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(blob)))
 	copy(hdr[cpFrameHeader:], key)
-	if err := s.p.Write(to, SegCP, 0, hdr, CPQueue); err != nil {
+	post := s.p.WriteFrom
+	if s.copying {
+		post = s.p.Write
+	}
+	if err := post(to, SegCP, 0, hdr, CPQueue); err != nil {
 		return err
 	}
 	base := int64(len(hdr))
 	for off := 0; off < len(blob); off += s.chunk {
 		end := min(off+s.chunk, len(blob))
-		if err := s.p.Write(to, SegCP, base+int64(off), blob[off:end], CPQueue); err != nil {
+		if err := post(to, SegCP, base+int64(off), blob[off:end], CPQueue); err != nil {
 			return err
 		}
 	}

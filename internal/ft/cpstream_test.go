@@ -92,6 +92,61 @@ func TestCPStreamDelivers(t *testing.T) {
 	}
 }
 
+// TestCPStreamZeroCopyBufferReuse mirrors the async writer's production
+// pattern: one staging buffer refilled and pushed repeatedly. The chunks
+// are posted zero-copy, so a successful Push must mean the fabric holds no
+// more references — refilling the buffer afterwards must neither race
+// (checked under -race) nor corrupt previously delivered frames.
+func TestCPStreamZeroCopyBufferReuse(t *testing.T) {
+	store := newCPStore()
+	const frames = 8
+	job := gaspi.Launch(testGaspiCfg(2), func(p *gaspi.Proc) error {
+		s, err := NewCPStream(p, 4096, 64, 20*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		switch p.Rank() {
+		case 0:
+			defer s.Stop()
+			buf := make([]byte, 777) // reused across every push
+			for i := 0; i < frames; i++ {
+				for j := range buf {
+					buf[j] = byte(i + 1)
+				}
+				if err := s.Push(1, fmt.Sprintf("cp/state/0/v%d", i), buf); err != nil {
+					return fmt.Errorf("push %d: %w", i, err)
+				}
+			}
+			if err := p.Notify(1, SegCP, NotifCPAck, 1, CPAckQueue); err != nil {
+				return err
+			}
+			return p.WaitQueue(CPAckQueue, gaspi.Block)
+		default:
+			go s.Serve(store.put)
+			if _, err := p.NotifyWaitsome(SegCP, NotifCPAck, 1, gaspi.Block); err != nil {
+				return err
+			}
+			s.Stop()
+			return nil
+		}
+	})
+	defer job.Close()
+	for _, r := range job.Wait() {
+		if r.Err != nil || r.Death != nil {
+			t.Fatalf("rank %d: err=%v death=%+v", r.Rank, r.Err, r.Death)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		got, ok := store.get(fmt.Sprintf("cp/state/0/v%d", i))
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, 777)) {
+			t.Fatalf("frame %d corrupted by buffer reuse (present=%v)", i, ok)
+		}
+	}
+}
+
 // TestCPStreamReceiverDeath: a receiver dying mid-stream must surface as a
 // push error on the sender, never as a partial frame in the store.
 func TestCPStreamReceiverDeath(t *testing.T) {

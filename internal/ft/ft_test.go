@@ -337,11 +337,28 @@ func (h *ftHarness) waitRecoveries(t *testing.T, want int64) {
 	time.Sleep(20 * time.Millisecond)
 }
 
+// waitScans blocks until the detector has completed at least `want` ping
+// scans. Counter-based rather than wall-clock: on a loaded shared-CPU
+// host (1-core container, race detector) a fixed sleep may not buy the
+// FD process a single time slice, so "sleep then assert scans > 0" is
+// inherently flaky while the property under test — the detector makes
+// scan progress during a failure-free run — is not.
+func (h *ftHarness) waitScans(t *testing.T, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for h.recs[0].Counter("fd.scans") < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("detector completed %d scans, want %d", h.recs[0].Counter("fd.scans"), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // --- integration tests ---------------------------------------------------------
 
 func TestFailureFreeRunAndShutdown(t *testing.T) {
 	h := newFTHarness(t, Layout{Procs: 7, Spares: 2}, testFTCfg())
-	time.Sleep(50 * time.Millisecond) // let some scans happen
+	h.waitScans(t, 1) // let some scans happen
 	for _, r := range h.finish(t) {
 		if r.Err != nil {
 			t.Fatalf("rank %d: %v", r.Rank, r.Err)
@@ -542,7 +559,7 @@ func TestFDJoinsWorkersWhenSparesExhausted(t *testing.T) {
 func TestDetectorScanCountsPings(t *testing.T) {
 	lay := Layout{Procs: 6, Spares: 1}
 	h := newFTHarness(t, lay, testFTCfg())
-	time.Sleep(60 * time.Millisecond)
+	h.waitScans(t, 2)
 	res := h.finish(t)
 	for _, r := range res {
 		if r.Err != nil {
@@ -749,7 +766,7 @@ func TestDetectorAvoidListSkipsKnownFailed(t *testing.T) {
 	// discovered failed processes").
 	lay := Layout{Procs: 6, Spares: 2}
 	h := newFTHarness(t, lay, testFTCfg())
-	time.Sleep(30 * time.Millisecond)
+	h.waitScans(t, 1)
 	h.job.Kill(lay.InitialPhysical(0), "avoid-list test")
 	h.waitRecoveries(t, 1)
 	rec := h.recs[0]
@@ -757,7 +774,7 @@ func TestDetectorAvoidListSkipsKnownFailed(t *testing.T) {
 	pingsAt := rec.Counter("fd.pings")
 	// Let several more scans run; each must ping exactly procs-2 targets
 	// (all minus self minus the dead one).
-	time.Sleep(10 * testFTCfg().ScanInterval)
+	h.waitScans(t, scansAt+2)
 	scans := rec.Counter("fd.scans") - scansAt
 	pings := rec.Counter("fd.pings") - pingsAt
 	if scans < 2 {

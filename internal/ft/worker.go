@@ -230,6 +230,14 @@ func (w *Worker) WriteNotify(to int, seg gaspi.SegmentID, off int64, data []byte
 	return w.p.WriteNotify(w.rm.Phys(to), seg, off, data, id, val, q)
 }
 
+// WriteNotifyFrom implements spmvm.FastComm: the zero-copy post. The
+// caller owns the buffer until the queue flush completes; on a flush
+// error (the recovery path) the engine is rebuilt with fresh buffers, so
+// in-flight references to the old registered region stay read-only.
+func (w *Worker) WriteNotifyFrom(to int, seg gaspi.SegmentID, off int64, data []byte, id gaspi.NotificationID, val int64, q gaspi.QueueID) error {
+	return w.p.WriteNotifyFrom(w.rm.Phys(to), seg, off, data, id, val, q)
+}
+
 // WaitQueue implements spmvm.Comm.
 func (w *Worker) WaitQueue(q gaspi.QueueID) error {
 	return w.retry(func(t time.Duration) error { return w.p.WaitQueue(q, t) })

@@ -21,7 +21,32 @@ func (p *Proc) nicLoop() {
 	}
 }
 
-func (p *Proc) handleMessage(m fabric.Message) {
+// fastSink is the delivery-time handler registered with the fabric
+// endpoint: the simulated RDMA unit. It consumes every one-sided segment
+// operation at the moment the fabric delivers it — the payload is copied
+// exactly once, from the (registered) source buffer straight into the
+// destination segment's memory — so one-sided traffic never crosses the
+// receive channel or waits for the NIC goroutine to be scheduled.
+//
+// Routing ALL segment-targeted kinds (writes, notifications, reads,
+// atomics) through the sink keeps their mutual execution order identical
+// to their delivery order, which is what the GASPI write-before-notify
+// guarantee rests on. Everything else (completions, passive, collectives,
+// pings) still flows through the NIC goroutine.
+func (p *Proc) fastSink(m fabric.Message) bool {
+	switch m.Kind {
+	case kWrite, kNotify, kRead, kAtomic:
+		p.applyOneSided(m)
+		return true
+	}
+	return false
+}
+
+// applyOneSided executes a one-sided segment operation at the target and
+// posts the completion back to the initiator. Runs on the delivery pump
+// goroutine (fast path) or the NIC goroutine (when no sink is registered);
+// it must not block.
+func (p *Proc) applyOneSided(m fabric.Message) {
 	switch m.Kind {
 	case kWrite:
 		code := int64(remBadSegment)
@@ -48,6 +73,23 @@ func (p *Proc) handleMessage(m fabric.Message) {
 		}
 		p.reply(m.From, fabric.Message{Kind: kReadResp, Token: m.Token, Args: [4]int64{code}, Payload: data})
 
+	case kAtomic:
+		code := int64(remBadSegment)
+		var old int64
+		if s, err := p.segLookup(SegmentID(m.Args[0])); err == nil {
+			old, code = s.applyAtomic(m.Args[2], m.Args[1], m.Args[3], m.Payload)
+		}
+		p.reply(m.From, fabric.Message{Kind: kAtomicResp, Token: m.Token, Args: [4]int64{code, old}})
+	}
+}
+
+func (p *Proc) handleMessage(m fabric.Message) {
+	switch m.Kind {
+	case kWrite, kNotify, kRead, kAtomic:
+		// Only reachable when no sink is registered (raw-fabric setups);
+		// under Launch the delivery sink consumes these kinds.
+		p.applyOneSided(m)
+
 	case kWriteAck:
 		p.completeToken(m.Token, opResult{err: remoteErr(m.Args[0])})
 
@@ -65,14 +107,6 @@ func (p *Proc) handleMessage(m fabric.Message) {
 
 	case kPassiveAck:
 		p.completeToken(m.Token, opResult{err: remoteErr(m.Args[0])})
-
-	case kAtomic:
-		code := int64(remBadSegment)
-		var old int64
-		if s, err := p.segLookup(SegmentID(m.Args[0])); err == nil {
-			old, code = s.applyAtomic(m.Args[2], m.Args[1], m.Args[3], m.Payload)
-		}
-		p.reply(m.From, fabric.Message{Kind: kAtomicResp, Token: m.Token, Args: [4]int64{code, old}})
 
 	case kAtomicResp:
 		p.completeToken(m.Token, opResult{err: remoteErr(m.Args[0]), val: m.Args[1]})

@@ -2,6 +2,7 @@ package gaspi
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/fabric"
@@ -12,24 +13,46 @@ import (
 // is posted on queue q; completion is observed with WaitQueue.
 //
 // Unlike the C API (which reads from a local segment), data is passed
-// directly; the fabric copies it, so the caller may reuse the slice.
+// directly; the slice is copied at post time, so the caller may reuse it
+// immediately. For the zero-copy discipline of the C API use WriteFrom.
 func (p *Proc) Write(rank Rank, seg SegmentID, off int64, data []byte, q QueueID) error {
-	return p.writeInternal(rank, seg, off, data, q, -1, 0)
+	return p.writeInternal(rank, seg, off, data, q, -1, 0, false)
 }
 
 // WriteNotify posts a one-sided write followed by a notification
 // (gaspi_write_notify). The GASPI guarantee holds: the remote notification
 // value becomes visible only after the written data is in place, because the
-// fabric preserves per-pair FIFO order and the NIC applies the write before
-// setting the notification.
+// fabric preserves per-pair FIFO order and the write is applied before the
+// notification is set.
 func (p *Proc) WriteNotify(rank Rank, seg SegmentID, off int64, data []byte, notifID NotificationID, notifVal int64, q QueueID) error {
 	if notifVal == 0 {
 		return fmt.Errorf("%w: notification value must be non-zero", ErrInvalid)
 	}
-	return p.writeInternal(rank, seg, off, data, q, int64(notifID), notifVal)
+	return p.writeInternal(rank, seg, off, data, q, int64(notifID), notifVal, false)
 }
 
-func (p *Proc) writeInternal(rank Rank, seg SegmentID, off int64, data []byte, q QueueID, notifID, notifVal int64) error {
+// WriteFrom is the zero-copy variant of Write, matching the C API's
+// registered-buffer discipline: data is NOT copied at post time — the
+// fabric reads it once, at delivery time, directly into the destination
+// segment. In exchange the caller must keep data unmodified until the
+// queue has been flushed successfully with WaitQueue (exactly the contract
+// gaspi_write imposes on the local segment region). If WaitQueue reports
+// an error or times out, the buffer may still be referenced by in-flight
+// traffic and must be abandoned to the garbage collector, not reused.
+func (p *Proc) WriteFrom(rank Rank, seg SegmentID, off int64, data []byte, q QueueID) error {
+	return p.writeInternal(rank, seg, off, data, q, -1, 0, true)
+}
+
+// WriteNotifyFrom is the zero-copy variant of WriteNotify; see WriteFrom
+// for the buffer-stability contract.
+func (p *Proc) WriteNotifyFrom(rank Rank, seg SegmentID, off int64, data []byte, notifID NotificationID, notifVal int64, q QueueID) error {
+	if notifVal == 0 {
+		return fmt.Errorf("%w: notification value must be non-zero", ErrInvalid)
+	}
+	return p.writeInternal(rank, seg, off, data, q, int64(notifID), notifVal, true)
+}
+
+func (p *Proc) writeInternal(rank Rank, seg SegmentID, off int64, data []byte, q QueueID, notifID, notifVal int64, borrow bool) error {
 	p.checkAlive()
 	qu, err := p.queue(q)
 	if err != nil {
@@ -38,14 +61,17 @@ func (p *Proc) writeInternal(rank Rank, seg SegmentID, off int64, data []byte, q
 	if err := p.validRank(rank); err != nil {
 		return err
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	payload := data
+	if !borrow {
+		payload = make([]byte, len(data))
+		copy(payload, data)
+	}
 	tok := p.postQueued(kWrite, rank, qu, nil, 0)
 	m := fabric.Message{
 		Kind:    kWrite,
 		Token:   tok,
 		Args:    [4]int64{int64(seg), off, notifID + 1, notifVal},
-		Payload: buf,
+		Payload: payload,
 	}
 	if err := p.ep.Send(rank, m); err != nil {
 		p.completeToken(tok, opResult{err: ErrConnection})
@@ -113,7 +139,10 @@ func (p *Proc) Read(rank Rank, srcSeg SegmentID, srcOff int64, dstSeg SegmentID,
 
 // NotifyWaitsome blocks until one of the notification slots
 // [begin, begin+num) of the local segment holds a non-zero value, returning
-// the first such slot (gaspi_notify_waitsome).
+// the first such slot (gaspi_notify_waitsome). Like a real GPI-2 process it
+// first polls the slots in user space (bounded), so a notification that
+// arrives while the caller overlaps computation is picked up without any
+// blocking machinery.
 func (p *Proc) NotifyWaitsome(seg SegmentID, begin NotificationID, num int, timeout time.Duration) (NotificationID, error) {
 	p.checkAlive()
 	s, err := p.segLookup(seg)
@@ -123,17 +152,25 @@ func (p *Proc) NotifyWaitsome(seg SegmentID, begin NotificationID, num int, time
 	if begin < 0 || num <= 0 || int(begin)+num > len(s.notifVals) {
 		return 0, fmt.Errorf("%w: notification range [%d,%d)", ErrInvalid, begin, int(begin)+num)
 	}
+	if id, ok := s.scanNotif(begin, num); ok {
+		return id, nil
+	}
+	if timeout == Test {
+		return 0, ErrTimeout
+	}
+	for i, n := 0, p.cfg.SpinYields; i < n; i++ {
+		runtime.Gosched()
+		if id, ok := s.scanNotif(begin, num); ok {
+			return id, nil
+		}
+	}
 	var fired NotificationID
 	err = p.waitCond(&s.notifPulse, timeout, func() bool {
-		s.notifMu.Lock()
-		defer s.notifMu.Unlock()
-		for i := begin; i < begin+NotificationID(num); i++ {
-			if s.notifVals[i] != 0 {
-				fired = i
-				return true
-			}
+		id, ok := s.scanNotif(begin, num)
+		if ok {
+			fired = id
 		}
-		return false
+		return ok
 	})
 	if err != nil {
 		return 0, err

@@ -150,6 +150,21 @@ func Protect(fn func()) (died bool) {
 	return false
 }
 
+// DefaultSpinYields is the default budget of the cooperative poll
+// (runtime.Gosched loop) the data-plane hot waits (WaitQueue,
+// NotifyWaitsome) perform before falling back to a channel-based pulse
+// wait. Polling mirrors the user-space completion/notification spinning
+// of a real GPI-2 process; the default is deliberately small because
+// every waiter in the job spins it — idle spares parked on the board, the
+// detector's interruptible sleeps, retry loops — and on shared-CPU hosts
+// (especially under the race detector) aggressive spinning starves the
+// fault detector's timers. Dedicated data-plane runs raise
+// Config.SpinYields (the hot-path benchmarks use 512, enough to ride out
+// a peer's compute phase on a single-core host and keep the steady-state
+// spMVM loop allocation-free), the way a real GPI-2 deployment tunes its
+// busy-poll budget to the host.
+const DefaultSpinYields = 16
+
 // deadline returns a timer channel for the given timeout. For Block the
 // channel is nil (never fires). The returned stop function must be called
 // to release the timer.

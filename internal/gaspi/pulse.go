@@ -4,9 +4,14 @@ import "sync"
 
 // pulse is a broadcast wake-up primitive: waiters snapshot the current
 // channel with Chan, re-check their condition, and block on the channel;
-// Broadcast closes the current channel (waking everybody) and installs a
-// fresh one. Taking the channel before checking the condition makes the
-// lost-wakeup race impossible.
+// Broadcast closes the current channel (waking everybody). Taking the
+// channel before checking the condition makes the lost-wakeup race
+// impossible.
+//
+// The channel is created lazily by Chan and dropped by Broadcast, so a
+// Broadcast with no waiter in the window since the last one allocates
+// nothing — crucial for the data-plane hot loop, where every remote write
+// completion and every notification broadcasts.
 type pulse struct {
 	mu sync.Mutex
 	ch chan struct{}
@@ -26,7 +31,7 @@ func (p *pulse) Broadcast() {
 	p.mu.Lock()
 	if p.ch != nil {
 		close(p.ch)
+		p.ch = nil
 	}
-	p.ch = make(chan struct{})
 	p.mu.Unlock()
 }

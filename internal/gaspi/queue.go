@@ -2,6 +2,7 @@ package gaspi
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -16,6 +17,17 @@ type queue struct {
 	gen   uint64
 	errs  []opError
 	pulse pulse
+	// free recycles pendingOp records between post and completion, so the
+	// steady-state data plane posts operations without heap allocation.
+	free []*pendingOp
+}
+
+// drained reports whether every posted operation has completed.
+func (q *queue) drained() bool {
+	q.mu.Lock()
+	d := q.out == 0
+	q.mu.Unlock()
+	return d
 }
 
 type opError struct {
@@ -50,15 +62,26 @@ func (p *Proc) queue(q QueueID) (*queue, error) {
 	return p.queues[q], nil
 }
 
-// postQueued registers a queued operation and returns its token.
+// postQueued registers a queued operation and returns its token. The
+// record comes from the queue's freelist when possible, keeping the hot
+// post path allocation-free.
 func (p *Proc) postQueued(kind uint8, rank Rank, q *queue, readSeg *segment, readOff int64) uint64 {
 	tok := p.nextToken()
 	q.mu.Lock()
 	q.out++
 	gen := q.gen
+	var op *pendingOp
+	if n := len(q.free); n > 0 {
+		op = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		op = new(pendingOp)
+	}
 	q.mu.Unlock()
+	*op = pendingOp{kind: kind, rank: rank, q: q, qgen: gen, readSeg: readSeg, readOff: readOff}
 	p.pendMu.Lock()
-	p.pending[tok] = &pendingOp{kind: kind, rank: rank, q: q, qgen: gen, readSeg: readSeg, readOff: readOff}
+	p.pending[tok] = op
 	p.pendMu.Unlock()
 	return tok
 }
@@ -103,6 +126,8 @@ func (p *Proc) completeToken(tok uint64, res opResult) {
 			q.errs = append(q.errs, opError{rank: op.rank, err: res.err})
 		}
 	}
+	*op = pendingOp{} // drop segment/payload references before recycling
+	q.free = append(q.free, op)
 	q.mu.Unlock()
 	q.pulse.Broadcast()
 }
@@ -117,13 +142,22 @@ func (p *Proc) WaitQueue(q QueueID, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	err = p.waitCond(&qu.pulse, timeout, func() bool {
-		qu.mu.Lock()
-		defer qu.mu.Unlock()
-		return qu.out == 0
-	})
-	if err != nil {
-		return err
+	if !qu.drained() {
+		// Bounded user-space poll before arming the (allocating) pulse
+		// wait: at microsecond fabric latencies, completions land within
+		// a few scheduler yields, so a steady-state flush stays
+		// allocation-free — the completion polling a real GPI-2
+		// gaspi_wait performs.
+		if timeout != Test {
+			for i, n := 0, p.cfg.SpinYields; i < n && !qu.drained(); i++ {
+				runtime.Gosched()
+			}
+		}
+		if !qu.drained() {
+			if err := p.waitCond(&qu.pulse, timeout, qu.drained); err != nil {
+				return err
+			}
+		}
 	}
 	qu.mu.Lock()
 	errs := qu.errs

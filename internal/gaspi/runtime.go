@@ -29,6 +29,10 @@ type Config struct {
 	InboxDepth int
 	// Seed seeds the fabric's deterministic jitter streams.
 	Seed int64
+	// SpinYields is the user-space poll budget of the data-plane hot
+	// waits before they park (default DefaultSpinYields; see its doc for
+	// the tuning trade-off).
+	SpinYields int
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +47,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSegments <= 0 {
 		c.MaxSegments = 32
+	}
+	if c.SpinYields <= 0 {
+		c.SpinYields = DefaultSpinYields
 	}
 	return c
 }
@@ -127,6 +134,11 @@ func Launch(cfg Config, main func(*Proc) error) *Job {
 		}
 		job.procs[i] = p
 		job.results[i] = Result{Rank: Rank(i)}
+		// Registered-memory fast path: one-sided segment operations are
+		// applied by the delivery pump at the instant they become due,
+		// with a single copy into the destination segment (no receive
+		// channel hop, no NIC-goroutine scheduling delay).
+		p.ep.SetSink(p.fastSink)
 		go p.nicLoop()
 	}
 	for _, p := range job.procs {

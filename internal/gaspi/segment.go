@@ -3,6 +3,7 @@ package gaspi
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 )
 
 // segment is a PGAS memory segment: a byte buffer plus its notification
@@ -80,6 +81,39 @@ func (p *Proc) SegmentData(id SegmentID) ([]byte, error) {
 	return s.buf, nil
 }
 
+// hostLittleEndian reports whether this host stores multi-byte values
+// little-endian. The float64 segment view is only offered on little-endian
+// hosts, where the raw in-memory representation coincides with the
+// little-endian wire format the byte-marshalling paths use — so typed-view
+// producers and byte-path consumers (and vice versa) always agree.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// SegmentFloat64s returns the local segment memory as a []float64 view
+// sharing the segment's storage (no copy) — the typed window onto
+// registered memory a real GASPI application gets from gaspi_segment_ptr.
+// The view covers the longest 8-byte-aligned prefix of the segment. The
+// same synchronization rules as SegmentData apply: reads of remotely
+// written regions are safe only after observing the covering notification.
+// Returns ErrInvalid on big-endian hosts (where the view's layout would
+// disagree with the little-endian byte protocol).
+func (p *Proc) SegmentFloat64s(id SegmentID) ([]float64, error) {
+	p.checkAlive()
+	if !hostLittleEndian {
+		return nil, fmt.Errorf("%w: float64 segment view requires a little-endian host", ErrInvalid)
+	}
+	s, err := p.segLookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.buf) < 8 {
+		return nil, fmt.Errorf("%w: segment %d too small for a float64 view", ErrInvalid, id)
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&s.buf[0])), len(s.buf)/8), nil
+}
+
 // SegmentCopyIn copies data into the local segment at off under the segment
 // lock, safe against concurrent NIC writes.
 func (p *Proc) SegmentCopyIn(id SegmentID, off int, data []byte) error {
@@ -146,6 +180,20 @@ func (s *segment) readRemote(off, size int64) ([]byte, int64) {
 	out := make([]byte, size)
 	copy(out, s.buf[off:])
 	return out, remOK
+}
+
+// scanNotif returns the first non-zero notification slot in
+// [begin, begin+num), if any. Bounds are the caller's responsibility.
+func (s *segment) scanNotif(begin NotificationID, num int) (NotificationID, bool) {
+	s.notifMu.Lock()
+	for i := begin; i < begin+NotificationID(num); i++ {
+		if s.notifVals[i] != 0 {
+			s.notifMu.Unlock()
+			return i, true
+		}
+	}
+	s.notifMu.Unlock()
+	return 0, false
 }
 
 // setNotification is executed by the NIC when a notification arrives.

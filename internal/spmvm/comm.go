@@ -76,7 +76,10 @@ type Direct struct {
 	Timeout time.Duration
 }
 
-var _ Comm = (*Direct)(nil)
+var (
+	_ Comm     = (*Direct)(nil)
+	_ FastComm = (*Direct)(nil)
+)
 
 func (d *Direct) timeout() time.Duration {
 	if d.Timeout == 0 {
@@ -100,6 +103,12 @@ func (d *Direct) Epoch() int64 { return 0 }
 // WriteNotify implements Comm.
 func (d *Direct) WriteNotify(to int, seg gaspi.SegmentID, off int64, data []byte, id gaspi.NotificationID, val int64, q gaspi.QueueID) error {
 	return d.P.WriteNotify(d.Base+gaspi.Rank(to), seg, off, data, id, val, q)
+}
+
+// WriteNotifyFrom implements FastComm: the zero-copy post (see
+// gaspi.WriteNotifyFrom for the buffer-stability contract).
+func (d *Direct) WriteNotifyFrom(to int, seg gaspi.SegmentID, off int64, data []byte, id gaspi.NotificationID, val int64, q gaspi.QueueID) error {
+	return d.P.WriteNotifyFrom(d.Base+gaspi.Rank(to), seg, off, data, id, val, q)
 }
 
 // WaitQueue implements Comm.

@@ -8,10 +8,22 @@ import (
 
 	"repro/internal/gaspi"
 	"repro/internal/matrix"
+	"repro/internal/trace"
 )
 
 // HaloQueue is the GASPI queue used for halo-exchange writes.
 const HaloQueue gaspi.QueueID = 1
+
+// FastComm is the optional zero-copy extension of Comm: a WriteNotify
+// whose payload is not copied at post time but read once, at delivery
+// time, directly into the destination segment (gaspi_write_notify's real
+// registered-buffer semantics). The caller must keep the buffer unmodified
+// until the queue flush completes. Comm implementations that can offer the
+// contract (Direct, ft.Worker) do; the engine falls back to the copying
+// byte path otherwise.
+type FastComm interface {
+	WriteNotifyFrom(to int, seg gaspi.SegmentID, off int64, data []byte, id gaspi.NotificationID, val int64, q gaspi.QueueID) error
+}
 
 // splitCSR is a matrix part with narrow local column indices: either into
 // the owned vector chunk (local part) or into the halo buffer (remote
@@ -22,8 +34,37 @@ type splitCSR struct {
 	val    []float64
 }
 
+// mulTask is one shard of a compute loop, executed by the engine's
+// persistent worker pool.
+type mulTask struct {
+	s      *splitCSR
+	x, y   []float64
+	add    bool
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
 // Engine executes distributed y = A·x with overlapping halo exchange, bound
 // to one halo segment and one communication plan.
+//
+// The halo segment is the engine's registered memory region, laid out as
+//
+//	[ halo parity 0 | halo parity 1 | send staging ]
+//
+// Producers write iteration it's values into the (it&1) halo region, so
+// back-to-back iterations touch disjoint memory: with a symmetric halo
+// dependency pattern (every consumer is also a producer — true for the
+// stencil and graphene matrices) no inter-iteration barrier is needed for
+// correctness; producers cannot lap consumers by more than one iteration
+// because posting iteration it+1 requires having collected it, which
+// requires every partner to have finished reading it-1. Applications with
+// an asymmetric pattern must separate iterations with a collective (the
+// Lanczos and heat apps do so naturally through their reductions).
+//
+// In steady state SpMV performs no heap allocation: x-values are gathered
+// straight into the send staging region (float64 view of the registered
+// segment) and posted zero-copy; the remote part reads the halo region in
+// place through the same view.
 type Engine struct {
 	comm Comm
 	plan *Plan
@@ -33,11 +74,44 @@ type Engine struct {
 	haloIdx       map[int64]int32 // global col → halo slot
 
 	// Threads shards the compute loops (the paper runs 12 OpenMP threads
-	// per process; sharding preserves the compute structure).
+	// per process; sharding preserves the compute structure). Set before
+	// the first SpMV; the worker pool is sized from it on first use.
 	Threads int
 
+	// Rec, when set, receives the engine's fast-path/fallback counters
+	// (spmvm.fastpath_iters / spmvm.fallback_iters).
+	Rec *trace.Recorder
+
+	haloN    int       // len(plan.HaloCols)
+	segBytes []byte    // raw registered segment memory
+	segF     []float64 // float64 view of segBytes; nil → byte fallback path
+	fc       FastComm  // non-nil iff segF != nil
+	sendOff  []int64   // per SendTo partner: element offset of its staging slot
+
+	// fallback-path caches (alloc-free even without the zero-copy path)
 	sendBuf []byte
-	recvSet []bool
+	halo    []float64
+
+	// collectHalo bookkeeping: producer rank → generation of the last
+	// accepted notification. Bumping gen replaces the per-call reset loop.
+	expectFrom []bool
+	recvGen    []int64
+	gen        int64
+
+	// persistent compute worker pool (started lazily at first sharded mul)
+	tasks     chan mulTask
+	mulWG     sync.WaitGroup
+	closeOnce sync.Once
+
+	// Legacy replays the pre-optimization data path (per-iteration halo
+	// vector allocation, re-marshalled send buffer, linear producer scan,
+	// goroutine-per-call sharding, copying WriteNotify, no parity regions
+	// — so iterations must be barrier-separated). It exists solely so the
+	// hot-path benchmarks can measure the before/after delta in one
+	// binary; every rank of a job must agree on the setting.
+	Legacy bool
+
+	recvSet []bool // legacy collectHalo state
 }
 
 // NewEngine builds an engine: it creates the halo segment, splits the local
@@ -48,6 +122,10 @@ func NewEngine(c Comm, plan *Plan, csr *matrix.CSR, seg gaspi.SegmentID) (*Engin
 		return nil, fmt.Errorf("spmvm: plan rows [%d,%d) do not match matrix rows [%d,%d)",
 			plan.Lo, plan.Hi, csr.RowOffset, csr.RowOffset+int64(csr.LocalRows()))
 	}
+	if slots := c.Proc().Config().NotifySlots; 2*plan.Workers > slots {
+		return nil, fmt.Errorf("spmvm: %d workers need %d notification slots, segment has %d (raise gaspi.Config.NotifySlots)",
+			plan.Workers, 2*plan.Workers, slots)
+	}
 	e := &Engine{comm: c, plan: plan, seg: seg, Threads: 1}
 	e.haloIdx = make(map[int64]int32, len(plan.HaloCols))
 	for i, col := range plan.HaloCols {
@@ -56,8 +134,14 @@ func NewEngine(c Comm, plan *Plan, csr *matrix.CSR, seg gaspi.SegmentID) (*Engin
 	if err := e.split(csr); err != nil {
 		return nil, err
 	}
-	// Halo segment sized in float64s; one notification slot per producer.
-	size := 8 * len(plan.HaloCols)
+	e.haloN = len(plan.HaloCols)
+	// Segment layout in float64 elements: two parity halo regions plus the
+	// send staging region; one notification slot per producer per parity.
+	sendTotal := 0
+	for i := range plan.SendTo {
+		sendTotal += len(plan.SendTo[i].LocalIdx)
+	}
+	size := 8 * (2*e.haloN + sendTotal)
 	if size == 0 {
 		size = 8
 	}
@@ -69,6 +153,29 @@ func NewEngine(c Comm, plan *Plan, csr *matrix.CSR, seg gaspi.SegmentID) (*Engin
 	if err := c.Barrier(); err != nil {
 		return nil, fmt.Errorf("spmvm: halo segment barrier: %w", err)
 	}
+	raw, err := c.Proc().SegmentData(seg)
+	if err != nil {
+		return nil, err
+	}
+	e.segBytes = raw
+	if fc, ok := c.(FastComm); ok {
+		if f64, err := c.Proc().SegmentFloat64s(seg); err == nil {
+			e.fc = fc
+			e.segF = f64
+		}
+	}
+	e.sendOff = make([]int64, len(plan.SendTo))
+	off := int64(2 * e.haloN)
+	for i := range plan.SendTo {
+		e.sendOff[i] = off
+		off += int64(len(plan.SendTo[i].LocalIdx))
+	}
+	e.halo = make([]float64, e.haloN)
+	e.expectFrom = make([]bool, plan.Workers)
+	for i := range plan.RecvFrom {
+		e.expectFrom[plan.RecvFrom[i].From] = true
+	}
+	e.recvGen = make([]int64, plan.Workers)
 	e.recvSet = make([]bool, plan.Workers)
 	return e, nil
 }
@@ -104,6 +211,22 @@ func (e *Engine) Plan() *Plan { return e.plan }
 // LocalRows returns the number of owned rows.
 func (e *Engine) LocalRows() int { return int(e.plan.Hi - e.plan.Lo) }
 
+// FastPath reports whether the zero-copy registered-segment path is
+// active (the Comm supports it and the host offers the float64 view).
+func (e *Engine) FastPath() bool { return e.segF != nil && !e.Legacy }
+
+// Close releases the engine's persistent worker pool. Safe to call more
+// than once; the engine must not be used afterwards. Callers that rebuild
+// engines (the recovery path) must Close the old one or its pool
+// goroutines leak.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.tasks != nil {
+			close(e.tasks)
+		}
+	})
+}
+
 // notifVal tags a halo notification with (epoch, iteration) so stale
 // writes from pre-recovery zombies are recognized and discarded.
 func notifVal(epoch, it int64) int64 { return epoch<<40 | (it + 1) }
@@ -115,26 +238,54 @@ func (e *Engine) SpMV(x, y []float64, it int64) error {
 	if len(x) != e.LocalRows() || len(y) != e.LocalRows() {
 		return fmt.Errorf("spmvm: vector length %d/%d, want %d", len(x), len(y), e.LocalRows())
 	}
+	if e.Legacy {
+		return e.spmvLegacy(x, y, it)
+	}
 	epoch := e.comm.Epoch()
 	val := notifVal(epoch, it)
-	me := e.plan.Logical
+	parity := int(it & 1)
+	w := e.plan.Workers
+	notifID := gaspi.NotificationID(parity*w + e.plan.Logical)
 
 	// 1. Push my values to every consumer (the paper: owners write the RHS
 	// values via one-sided communication before every spMVM iteration).
-	for i := range e.plan.SendTo {
-		sp := &e.plan.SendTo[i]
-		need := 8 * len(sp.LocalIdx)
-		if cap(e.sendBuf) < need {
-			e.sendBuf = make([]byte, need)
+	if e.segF != nil {
+		// Zero-copy: gather straight into the registered send staging
+		// region and post it borrowed — the fabric copies it exactly
+		// once, into the consumer's halo region, at delivery time. The
+		// staging region is reusable at the next iteration because step 3
+		// flushes the queue.
+		for i := range e.plan.SendTo {
+			sp := &e.plan.SendTo[i]
+			base := e.sendOff[i]
+			dst := e.segF[base : base+int64(len(sp.LocalIdx))]
+			for k, li := range sp.LocalIdx {
+				dst[k] = x[li]
+			}
+			buf := e.segBytes[8*base : 8*base+8*int64(len(sp.LocalIdx))]
+			off := 8 * (int64(parity)*sp.DstStride + sp.DstOff)
+			if err := e.fc.WriteNotifyFrom(sp.To, e.seg, off, buf, notifID, val, HaloQueue); err != nil {
+				return err
+			}
 		}
-		buf := e.sendBuf[:need]
-		for k, li := range sp.LocalIdx {
-			binary.LittleEndian.PutUint64(buf[8*k:], math.Float64bits(x[li]))
-		}
-		err := e.comm.WriteNotify(sp.To, e.seg, 8*sp.DstOff, buf,
-			gaspi.NotificationID(me), val, HaloQueue)
-		if err != nil {
-			return err
+	} else {
+		// Byte fallback: marshal into the cached send buffer (grown once)
+		// and post through the copying WriteNotify. Same offsets and
+		// notification slots, so fast and fallback ranks interoperate.
+		for i := range e.plan.SendTo {
+			sp := &e.plan.SendTo[i]
+			need := 8 * len(sp.LocalIdx)
+			if cap(e.sendBuf) < need {
+				e.sendBuf = make([]byte, need)
+			}
+			buf := e.sendBuf[:need]
+			for k, li := range sp.LocalIdx {
+				binary.LittleEndian.PutUint64(buf[8*k:], math.Float64bits(x[li]))
+			}
+			off := 8 * (int64(parity)*sp.DstStride + sp.DstOff)
+			if err := e.comm.WriteNotify(sp.To, e.seg, off, buf, notifID, val, HaloQueue); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -148,32 +299,41 @@ func (e *Engine) SpMV(x, y []float64, it int64) error {
 			return err
 		}
 	}
-	if err := e.collectHalo(val); err != nil {
+	if err := e.collectHalo(parity, val); err != nil {
 		return err
 	}
 
-	// 4. Remote part from the halo buffer.
+	// 4. Remote part straight from this parity's halo region.
 	if len(e.plan.RecvFrom) > 0 {
-		halo, err := e.haloVector()
-		if err != nil {
-			return err
+		e.mul(&e.remote, e.haloVec(parity), y, true)
+	}
+	if e.Rec != nil {
+		if e.segF != nil {
+			e.Rec.Inc("spmvm.fastpath_iters", 1)
+		} else {
+			e.Rec.Inc("spmvm.fallback_iters", 1)
 		}
-		e.mul(&e.remote, halo, y, true)
 	}
 	return nil
 }
 
 // collectHalo waits until every producer's notification for this iteration
 // has fired. Stale tags (from an earlier epoch) are discarded, as happens
-// when a zombie's writes arrive after a recovery.
-func (e *Engine) collectHalo(want int64) error {
-	for i := range e.recvSet {
-		e.recvSet[i] = false
-	}
+// when a zombie's writes arrive after a recovery. Producer slots are
+// checked through the precomputed expectFrom table; the generation counter
+// replaces any per-call reset of the seen-set.
+func (e *Engine) collectHalo(parity int, want int64) error {
 	remaining := len(e.plan.RecvFrom)
+	if remaining == 0 {
+		return nil
+	}
+	e.gen++
+	gen := e.gen
+	w := e.plan.Workers
+	begin := gaspi.NotificationID(parity * w)
 	p := e.comm.Proc()
 	for remaining > 0 {
-		id, err := e.comm.NotifyWaitsome(e.seg, 0, e.plan.Workers)
+		id, err := e.comm.NotifyWaitsome(e.seg, begin, w)
 		if err != nil {
 			return err
 		}
@@ -181,62 +341,73 @@ func (e *Engine) collectHalo(want int64) error {
 		if err != nil {
 			return err
 		}
-		if got == 0 {
-			continue // raced with another reset
-		}
 		if got != want {
-			continue // stale epoch/iteration: discard
+			continue // raced reset, or stale epoch/iteration: discard
 		}
-		idx := int(id)
-		for i := range e.plan.RecvFrom {
-			if e.plan.RecvFrom[i].From == idx && !e.recvSet[idx] {
-				e.recvSet[idx] = true
-				remaining--
-				break
-			}
+		idx := int(id) - parity*w
+		if idx >= 0 && idx < w && e.expectFrom[idx] && e.recvGen[idx] != gen {
+			e.recvGen[idx] = gen
+			remaining--
 		}
 	}
 	return nil
 }
 
-// haloVector decodes the halo segment into float64s. The notification
-// protocol guarantees the producers' writes happened before.
-func (e *Engine) haloVector() ([]float64, error) {
-	raw, err := e.comm.Proc().SegmentData(e.seg)
-	if err != nil {
-		return nil, err
+// haloVec returns this parity's halo values. On the fast path it is a view
+// of the registered segment (no copy, no decode: the producers' writes are
+// already the in-memory representation); the fallback decodes into the
+// cached buffer. The notification protocol guarantees the producers'
+// writes happened before.
+func (e *Engine) haloVec(parity int) []float64 {
+	n := e.haloN
+	base := parity * n
+	if e.segF != nil {
+		return e.segF[base : base+n]
 	}
-	n := len(e.plan.HaloCols)
-	halo := make([]float64, n)
 	for i := 0; i < n; i++ {
-		halo[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		e.halo[i] = math.Float64frombits(binary.LittleEndian.Uint64(e.segBytes[8*(base+i):]))
 	}
-	return halo, nil
+	return e.halo
 }
 
 // mul computes y = S·x (add=false) or y += S·x (add=true), sharded across
-// e.Threads goroutines.
+// the engine's persistent worker pool (started lazily, sized Threads-1;
+// the calling goroutine computes the first shard itself).
 func (e *Engine) mul(s *splitCSR, x, y []float64, add bool) {
 	rows := len(s.rowPtr) - 1
 	if e.Threads <= 1 || rows < 4*e.Threads {
 		mulRange(s, x, y, add, 0, rows)
 		return
 	}
-	var wg sync.WaitGroup
+	if e.Legacy {
+		e.mulLegacy(s, x, y, add, rows)
+		return
+	}
+	if e.tasks == nil {
+		e.tasks = make(chan mulTask, e.Threads)
+		for i := 0; i < e.Threads-1; i++ {
+			go mulWorker(e.tasks)
+		}
+	}
 	chunk := (rows + e.Threads - 1) / e.Threads
-	for t := 0; t < e.Threads; t++ {
+	for t := 1; t < e.Threads; t++ {
 		lo := t * chunk
 		hi := min(lo+chunk, rows)
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulRange(s, x, y, add, lo, hi)
-		}(lo, hi)
+		e.mulWG.Add(1)
+		e.tasks <- mulTask{s: s, x: x, y: y, add: add, lo: lo, hi: hi, wg: &e.mulWG}
 	}
-	wg.Wait()
+	mulRange(s, x, y, add, 0, min(chunk, rows))
+	e.mulWG.Wait()
+}
+
+func mulWorker(tasks <-chan mulTask) {
+	for t := range tasks {
+		mulRange(t.s, t.x, t.y, t.add, t.lo, t.hi)
+		t.wg.Done()
+	}
 }
 
 func mulRange(s *splitCSR, x, y []float64, add bool, lo, hi int) {

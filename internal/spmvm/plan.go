@@ -20,6 +20,11 @@ type SendPartner struct {
 	LocalIdx []int32
 	// DstOff is the element offset in the consumer's halo buffer.
 	DstOff int64
+	// DstStride is the consumer's total halo length in elements. The
+	// engine's halo segment holds two parity-alternated halo buffers
+	// (back-to-back iterations write disjoint regions), so the write for
+	// iteration it lands at element (it&1)*DstStride + DstOff.
+	DstStride int64
 }
 
 // RecvPartner describes one producer this process receives halo values
@@ -52,10 +57,12 @@ type Plan struct {
 }
 
 // request is the pre-processing message: "I (From) need these global
-// columns from you, write them at DstOff in my halo segment".
+// columns from you, write them at DstOff in my halo segment, whose parity
+// regions are Stride elements apart".
 type request struct {
 	From   int
 	DstOff int64
+	Stride int64
 	Cols   []int64
 }
 
@@ -112,7 +119,7 @@ func Preprocess(c Comm, csr *matrix.CSR) (*Plan, error) {
 	expect := int(counts[me])
 
 	for _, r := range ranges {
-		req := request{From: me, DstOff: int64(r.off), Cols: plan.HaloCols[r.off:r.end]}
+		req := request{From: me, DstOff: int64(r.off), Stride: int64(len(plan.HaloCols)), Cols: plan.HaloCols[r.off:r.end]}
 		if err := c.PassiveSend(r.owner, encodeRequest(req)); err != nil {
 			return nil, fmt.Errorf("spmvm: preprocess send to %d: %w", r.owner, err)
 		}
@@ -127,7 +134,7 @@ func Preprocess(c Comm, csr *matrix.CSR) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp := SendPartner{To: req.From, DstOff: req.DstOff, LocalIdx: make([]int32, len(req.Cols))}
+		sp := SendPartner{To: req.From, DstOff: req.DstOff, DstStride: req.Stride, LocalIdx: make([]int32, len(req.Cols))}
 		for k, col := range req.Cols {
 			if col < lo || col >= hi {
 				return nil, fmt.Errorf("spmvm: rank %d requested column %d not owned by %d", req.From, col, me)
@@ -164,7 +171,7 @@ func (p *Plan) HaloSize() int { return len(p.HaloCols) }
 
 // --- serialization -----------------------------------------------------------
 
-const planMagic = uint32(0x314E4C50) // "PLN1"
+const planMagic = uint32(0x324E4C50) // "PLN2" (v2 adds SendPartner.DstStride)
 
 // Encode serializes the plan (the paper's one-time post-pre-processing
 // matrix/communication checkpoint).
@@ -183,6 +190,7 @@ func (p *Plan) Encode() []byte {
 	for _, s := range p.SendTo {
 		b = appendU64(b, uint64(s.To))
 		b = appendU64(b, uint64(s.DstOff))
+		b = appendU64(b, uint64(s.DstStride))
 		b = appendU64(b, uint64(len(s.LocalIdx)))
 		for _, li := range s.LocalIdx {
 			b = appendU32(b, uint32(li))
@@ -213,10 +221,11 @@ func DecodePlan(data []byte) (*Plan, error) {
 	for i := range p.HaloCols {
 		p.HaloCols[i] = int64(d.u64())
 	}
-	p.SendTo = make([]SendPartner, d.count(16))
+	p.SendTo = make([]SendPartner, d.count(24))
 	for i := range p.SendTo {
 		p.SendTo[i].To = int(d.u64())
 		p.SendTo[i].DstOff = int64(d.u64())
+		p.SendTo[i].DstStride = int64(d.u64())
 		p.SendTo[i].LocalIdx = make([]int32, d.count(4))
 		for j := range p.SendTo[i].LocalIdx {
 			p.SendTo[i].LocalIdx[j] = int32(d.u32())
@@ -238,6 +247,7 @@ func encodeRequest(r request) []byte {
 	var b []byte
 	b = appendU64(b, uint64(r.From))
 	b = appendU64(b, uint64(r.DstOff))
+	b = appendU64(b, uint64(r.Stride))
 	b = appendU64(b, uint64(len(r.Cols)))
 	for _, c := range r.Cols {
 		b = appendU64(b, uint64(c))
@@ -247,7 +257,7 @@ func encodeRequest(r request) []byte {
 
 func decodeRequest(data []byte) (request, error) {
 	d := &decoder{data: data}
-	r := request{From: int(d.u64()), DstOff: int64(d.u64())}
+	r := request{From: int(d.u64()), DstOff: int64(d.u64()), Stride: int64(d.u64())}
 	r.Cols = make([]int64, d.count(8))
 	for i := range r.Cols {
 		r.Cols[i] = int64(d.u64())

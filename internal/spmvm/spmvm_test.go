@@ -147,8 +147,8 @@ func TestPlanEncodeDecodeRoundtrip(t *testing.T) {
 		Hi:       20,
 		HaloCols: []int64{1, 2, 25, 30},
 		SendTo: []SendPartner{
-			{To: 0, LocalIdx: []int32{0, 3, 9}, DstOff: 7},
-			{To: 3, LocalIdx: []int32{1}, DstOff: 0},
+			{To: 0, LocalIdx: []int32{0, 3, 9}, DstOff: 7, DstStride: 11},
+			{To: 3, LocalIdx: []int32{1}, DstOff: 0, DstStride: 4},
 		},
 		RecvFrom: []RecvPartner{
 			{From: 0, Count: 2, Off: 0},
@@ -165,7 +165,8 @@ func TestPlanEncodeDecodeRoundtrip(t *testing.T) {
 	if len(got.HaloCols) != 4 || got.HaloCols[2] != 25 {
 		t.Fatalf("halo: %v", got.HaloCols)
 	}
-	if len(got.SendTo) != 2 || got.SendTo[0].LocalIdx[2] != 9 || got.SendTo[0].DstOff != 7 {
+	if len(got.SendTo) != 2 || got.SendTo[0].LocalIdx[2] != 9 || got.SendTo[0].DstOff != 7 ||
+		got.SendTo[0].DstStride != 11 || got.SendTo[1].DstStride != 4 {
 		t.Fatalf("sendTo: %+v", got.SendTo)
 	}
 	if len(got.RecvFrom) != 2 || got.RecvFrom[1].Off != 2 {
@@ -218,12 +219,12 @@ func TestPlanRoundtripProperty(t *testing.T) {
 }
 
 func TestRequestRoundtrip(t *testing.T) {
-	r := request{From: 3, DstOff: 11, Cols: []int64{9, 8, 7}}
+	r := request{From: 3, DstOff: 11, Stride: 23, Cols: []int64{9, 8, 7}}
 	got, err := decodeRequest(encodeRequest(r))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.From != 3 || got.DstOff != 11 || len(got.Cols) != 3 || got.Cols[2] != 7 {
+	if got.From != 3 || got.DstOff != 11 || got.Stride != 23 || len(got.Cols) != 3 || got.Cols[2] != 7 {
 		t.Fatalf("got %+v", got)
 	}
 }

@@ -12,7 +12,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // Phase classifies where a process spends its time.
@@ -66,15 +68,50 @@ type Event struct {
 // Recorder accumulates one process's timings. All methods are safe for
 // concurrent use.
 type Recorder struct {
-	mu       sync.Mutex
-	durs     [numPhases]time.Duration
-	events   []Event
-	counters map[string]int64
+	mu     sync.Mutex
+	durs   [numPhases]time.Duration
+	events []Event
+	// counters maps name → *stripedCounter. A sync.Map keeps the hot Inc
+	// path lock-free after a counter's first use; the striping spreads
+	// concurrent bumps of the same counter across cache lines.
+	counters sync.Map
+}
+
+// counterStripes is the number of cache-line-padded shards per counter.
+// Bumps from different goroutines land on different shards with high
+// probability, so hot-loop counter increments no longer serialize on a
+// single word (let alone the old recorder-wide mutex).
+const counterStripes = 8
+
+type counterStripe struct {
+	v atomic.Int64
+	_ [56]byte // pad to a cache line so shards never false-share
+}
+
+type stripedCounter struct {
+	s [counterStripes]counterStripe
+}
+
+// add bumps one shard. The shard index is derived from the address of a
+// stack variable: goroutine stacks are distinct allocations, so concurrent
+// writers spread across shards without needing runtime-internal per-P hooks.
+func (c *stripedCounter) add(v int64) {
+	var probe byte
+	idx := (uintptr(unsafe.Pointer(&probe)) >> 9) % counterStripes
+	c.s[idx].v.Add(v)
+}
+
+func (c *stripedCounter) total() int64 {
+	var t int64
+	for i := range c.s {
+		t += c.s[i].v.Load()
+	}
+	return t
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{counters: make(map[string]int64)}
+	return &Recorder{}
 }
 
 // Add accumulates d into phase p.
@@ -112,9 +149,11 @@ func (r *Recorder) Inc(name string, v int64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.counters[name] += v
-	r.mu.Unlock()
+	ci, ok := r.counters.Load(name)
+	if !ok {
+		ci, _ = r.counters.LoadOrStore(name, new(stripedCounter))
+	}
+	ci.(*stripedCounter).add(v)
 }
 
 // Counter returns a named counter's value.
@@ -122,9 +161,11 @@ func (r *Recorder) Counter(name string) int64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counters[name]
+	ci, ok := r.counters.Load(name)
+	if !ok {
+		return 0
+	}
+	return ci.(*stripedCounter).total()
 }
 
 // Duration returns the accumulated time of phase p.
@@ -346,12 +387,11 @@ func (r *Recorder) SortedCounterNames() []string {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.counters))
-	for k := range r.counters {
-		out = append(out, k)
-	}
+	var out []string
+	r.counters.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
