@@ -108,6 +108,108 @@ func BenchmarkSpMV(b *testing.B) {
 	benchSpMVJob(b, false, 1)
 }
 
+// benchCollJob measures the collective hot path (or its preserved legacy
+// message-path counterpart): every rank runs b.N operations, rank 0 times
+// them. Collectives are self-synchronizing, so no extra coordination is
+// needed beyond the warmup barrier.
+func benchCollJob(b *testing.B, legacy bool, body func(p *gaspi.Proc, n int) error) {
+	const warm = 64
+	benchJobCfg(b, gaspi.Config{
+		Procs:   4,
+		Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
+		// Dedicated data-plane run: poll hard enough that the hot waits
+		// never park (and so never allocate), even on one core.
+		SpinYields:        512,
+		LegacyCollectives: legacy,
+	}, func(p *gaspi.Proc) error {
+		if err := body(p, warm); err != nil {
+			return err
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			runtime.GC()
+			b.ReportAllocs()
+			b.ResetTimer()
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		if err := body(p, b.N); err != nil {
+			return err
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			b.StopTimer()
+		}
+		return nil
+	})
+}
+
+// BenchmarkCollBarrier / BenchmarkCollAllreduceF64 are the fast-path
+// steady-state gates: both MUST report 0 allocs/op (the CI bench-smoke job
+// greps for it) — rounds are one-sided notifications/writes into the
+// group's registered collective segment, the accumulator is group-cached,
+// and the hot waits poll before parking. The *Legacy variants run the
+// preserved two-sided message path for the before/after trajectory.
+
+func benchBarrier(p *gaspi.Proc, n int) error {
+	for i := 0; i < n; i++ {
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func BenchmarkCollBarrier(b *testing.B) {
+	benchCollJob(b, false, benchBarrier)
+}
+
+func BenchmarkCollBarrierLegacy(b *testing.B) {
+	benchCollJob(b, true, benchBarrier)
+}
+
+func benchAllreduce(p *gaspi.Proc, n int) error {
+	in := []float64{1.5, -2.5, float64(p.Rank()), 4}
+	out := make([]float64, len(in))
+	for i := 0; i < n; i++ {
+		if err := p.AllreduceF64Into(gaspi.GroupAll, in, out, gaspi.OpSum, gaspi.Block); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func BenchmarkCollAllreduceF64(b *testing.B) {
+	benchCollJob(b, false, benchAllreduce)
+}
+
+func BenchmarkCollAllreduceF64Legacy(b *testing.B) {
+	benchCollJob(b, true, benchAllreduce)
+}
+
+// BenchmarkCollAllreduceF64Large exercises the segmented (chunked,
+// ack-flow-controlled) large-vector protocol.
+func BenchmarkCollAllreduceF64Large(b *testing.B) {
+	benchCollJob(b, false, func(p *gaspi.Proc, n int) error {
+		in := make([]float64, 4096)
+		out := make([]float64, len(in))
+		for i := range in {
+			in[i] = float64(i)
+		}
+		for i := 0; i < n; i++ {
+			if err := p.AllreduceF64Into(gaspi.GroupAll, in, out, gaspi.OpSum, gaspi.Block); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 func BenchmarkSpMVLegacy(b *testing.B) {
 	benchSpMVJob(b, true, 1)
 }

@@ -3,7 +3,7 @@
 // preserved pre-optimization (legacy) path in the same binary and emits
 // BENCH_hotpath.json.
 //
-// Three measurements:
+// Four measurements:
 //
 //   - spMVM iteration throughput: the distributed y = A·x hot loop,
 //     legacy (copying writes, per-iteration allocations, barrier-separated
@@ -12,6 +12,10 @@
 //   - spMVM steady-state allocations per iteration on the fast path
 //     (must be ~0; go test -bench BenchmarkSpMV cross-checks with 0
 //     allocs/op).
+//   - Collective throughput: Barrier and small/large AllreduceF64,
+//     legacy two-sided message rounds vs the registered-segment one-sided
+//     fast path (go test -bench BenchmarkColl cross-checks the 0
+//     allocs/op steady state of the small-vector operations).
 //   - Checkpoint-stream flush throughput: copying vs zero-copy chunk
 //     posts through ft.CPStream.
 //
@@ -35,18 +39,18 @@ import (
 )
 
 type spmvmResult struct {
-	Workers            int     `json:"workers"`
-	Dim                int64   `json:"dim"`
-	Iters              int     `json:"iters"`
-	Threads            int     `json:"threads"`
-	BaselineItersPerS  float64 `json:"baseline_iters_per_sec"`
-	FastpathItersPerS  float64 `json:"fastpath_iters_per_sec"`
-	Speedup            float64 `json:"speedup"`
-	FastAllocsPerIter  float64 `json:"fastpath_allocs_per_iter"`
-	FastBytesPerIter   float64 `json:"fastpath_bytes_per_iter"`
-	FastDeliveredFrac  float64 `json:"fastpath_delivered_fraction"`
-	BaselineNsPerIter  float64 `json:"baseline_ns_per_iter"`
-	FastpathNsPerIter  float64 `json:"fastpath_ns_per_iter"`
+	Workers           int     `json:"workers"`
+	Dim               int64   `json:"dim"`
+	Iters             int     `json:"iters"`
+	Threads           int     `json:"threads"`
+	BaselineItersPerS float64 `json:"baseline_iters_per_sec"`
+	FastpathItersPerS float64 `json:"fastpath_iters_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	FastAllocsPerIter float64 `json:"fastpath_allocs_per_iter"`
+	FastBytesPerIter  float64 `json:"fastpath_bytes_per_iter"`
+	FastDeliveredFrac float64 `json:"fastpath_delivered_fraction"`
+	BaselineNsPerIter float64 `json:"baseline_ns_per_iter"`
+	FastpathNsPerIter float64 `json:"fastpath_ns_per_iter"`
 }
 
 type cpResult struct {
@@ -57,6 +61,23 @@ type cpResult struct {
 	Speedup        float64 `json:"speedup"`
 }
 
+type collResult struct {
+	Workers              int     `json:"workers"`
+	Ops                  int     `json:"ops"`
+	VecLen               int     `json:"vec_len"`
+	LargeVecLen          int     `json:"large_vec_len"`
+	BarrierLegacyOpsPerS float64 `json:"barrier_legacy_ops_per_sec"`
+	BarrierFastOpsPerS   float64 `json:"barrier_fast_ops_per_sec"`
+	BarrierSpeedup       float64 `json:"barrier_speedup"`
+	ReduceLegacyOpsPerS  float64 `json:"allreduce_legacy_ops_per_sec"`
+	ReduceFastOpsPerS    float64 `json:"allreduce_fast_ops_per_sec"`
+	ReduceSpeedup        float64 `json:"allreduce_speedup"`
+	LargeLegacyOpsPerS   float64 `json:"allreduce_large_legacy_ops_per_sec"`
+	LargeFastOpsPerS     float64 `json:"allreduce_large_fast_ops_per_sec"`
+	LargeSpeedup         float64 `json:"allreduce_large_speedup"`
+	FastAllocsPerOp      float64 `json:"fast_allocs_per_op"`
+}
+
 type output struct {
 	Benchmark string      `json:"benchmark"`
 	GOOS      string      `json:"goos"`
@@ -64,6 +85,7 @@ type output struct {
 	NumCPU    int         `json:"num_cpu"`
 	SpMVM     spmvmResult `json:"spmvm"`
 	CPStream  cpResult    `json:"cpstream"`
+	Coll      collResult  `json:"collectives"`
 }
 
 func gaspiCfg(n int) gaspi.Config {
@@ -75,6 +97,67 @@ func gaspiCfg(n int) gaspi.Config {
 		// never park (see gaspi.DefaultSpinYields for the trade-off).
 		SpinYields: 512,
 	}
+}
+
+// runColl times `ops` collective operations over `workers` ranks on the
+// fast or legacy path. makeOp builds each rank's operation closure (so
+// per-op buffers are private to the rank goroutine); rank 0's wall time
+// and allocation delta are reported (all ranks are in lockstep,
+// collectives being self-synchronizing).
+func runColl(workers, ops int, legacy bool, makeOp func(p *gaspi.Proc) func() error) (wall time.Duration, allocs float64, err error) {
+	const warm = 50
+	var mu sync.Mutex
+	cfg := gaspiCfg(workers)
+	cfg.LegacyCollectives = legacy
+	job := gaspi.Launch(cfg, func(p *gaspi.Proc) error {
+		op := makeOp(p)
+		for i := 0; i < warm; i++ {
+			if err := op(); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		var m0, m1 runtime.MemStats
+		var t0 time.Time
+		if p.Rank() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 = time.Now()
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		for i := 0; i < ops; i++ {
+			if err := op(); err != nil {
+				return err
+			}
+		}
+		if err := p.Barrier(gaspi.GroupAll, gaspi.Block); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			el := time.Since(t0)
+			runtime.ReadMemStats(&m1)
+			mu.Lock()
+			wall = el
+			allocs = float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+			mu.Unlock()
+		}
+		return nil
+	})
+	defer job.Close()
+	res, ok := job.WaitTimeout(10 * time.Minute)
+	if !ok {
+		return 0, 0, fmt.Errorf("collective job hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			return 0, 0, fmt.Errorf("rank %d: %w", r.Rank, r.Err)
+		}
+	}
+	return wall, allocs, nil
 }
 
 // runSpMV executes `iters` steady-state spMVM iterations over `workers`
@@ -268,6 +351,71 @@ func main() {
 	fmt.Printf("  fastpath: %.0f iters/s (%.1f µs/iter), %.2f allocs/iter, %.0f%% sink-delivered\n",
 		res.SpMVM.FastpathItersPerS, res.SpMVM.FastpathNsPerIter/1e3, allocs, fastFrac*100)
 	fmt.Printf("  speedup:  %.2fx\n", res.SpMVM.Speedup)
+
+	// Collective trajectory: barrier and small/large allreduce, legacy
+	// message path vs registered-segment fast path.
+	const collOps = 3000
+	const smallVec = 4
+	const largeVec = 4096
+	barrierOp := func(p *gaspi.Proc) func() error {
+		return func() error { return p.Barrier(gaspi.GroupAll, gaspi.Block) }
+	}
+	reduceOp := func(vecLen int) func(p *gaspi.Proc) func() error {
+		return func(p *gaspi.Proc) func() error {
+			in := make([]float64, vecLen)
+			out := make([]float64, vecLen)
+			for i := range in {
+				in[i] = float64(i % 7)
+			}
+			return func() error {
+				return p.AllreduceF64Into(gaspi.GroupAll, in, out, gaspi.OpSum, gaspi.Block)
+			}
+		}
+	}
+	fmt.Printf("collectives: %d workers, %d ops\n", *workers, collOps)
+	coll := collResult{Workers: *workers, Ops: collOps, VecLen: smallVec, LargeVecLen: largeVec}
+	type collRun struct {
+		name   string
+		legacy bool
+		ops    int
+		op     func(p *gaspi.Proc) func() error
+		wall   *float64
+		allocs *float64
+	}
+	var barrierLegacyW, barrierFastW, reduceLegacyW, reduceFastW, largeLegacyW, largeFastW, fastAllocs float64
+	runs := []collRun{
+		{"barrier legacy", true, collOps, barrierOp, &barrierLegacyW, nil},
+		{"barrier fast", false, collOps, barrierOp, &barrierFastW, nil},
+		{"allreduce legacy", true, collOps, reduceOp(smallVec), &reduceLegacyW, nil},
+		{"allreduce fast", false, collOps, reduceOp(smallVec), &reduceFastW, &fastAllocs},
+		{"allreduce-large legacy", true, collOps / 10, reduceOp(largeVec), &largeLegacyW, nil},
+		{"allreduce-large fast", false, collOps / 10, reduceOp(largeVec), &largeFastW, nil},
+	}
+	for _, r := range runs {
+		wall, allocs, err := runColl(*workers, r.ops, r.legacy, r.op)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		*r.wall = float64(r.ops) / wall.Seconds()
+		if r.allocs != nil {
+			*r.allocs = allocs
+		}
+	}
+	coll.BarrierLegacyOpsPerS, coll.BarrierFastOpsPerS = barrierLegacyW, barrierFastW
+	coll.BarrierSpeedup = barrierFastW / barrierLegacyW
+	coll.ReduceLegacyOpsPerS, coll.ReduceFastOpsPerS = reduceLegacyW, reduceFastW
+	coll.ReduceSpeedup = reduceFastW / reduceLegacyW
+	coll.LargeLegacyOpsPerS, coll.LargeFastOpsPerS = largeLegacyW, largeFastW
+	coll.LargeSpeedup = largeFastW / largeLegacyW
+	coll.FastAllocsPerOp = fastAllocs
+	res.Coll = coll
+	fmt.Printf("  barrier:          legacy %.0f ops/s, fast %.0f ops/s (%.2fx)\n",
+		coll.BarrierLegacyOpsPerS, coll.BarrierFastOpsPerS, coll.BarrierSpeedup)
+	fmt.Printf("  allreduce[%d]:     legacy %.0f ops/s, fast %.0f ops/s (%.2fx), %.2f allocs/op\n",
+		smallVec, coll.ReduceLegacyOpsPerS, coll.ReduceFastOpsPerS, coll.ReduceSpeedup, coll.FastAllocsPerOp)
+	fmt.Printf("  allreduce[%d]:  legacy %.0f ops/s, fast %.0f ops/s (%.2fx)\n",
+		largeVec, coll.LargeLegacyOpsPerS, coll.LargeFastOpsPerS, coll.LargeSpeedup)
 
 	fmt.Printf("checkpoint stream: %d frames x %d KiB\n", *frames, *frameBytes>>10)
 	copyWall, err := runCPStream(*frameBytes, *frames, true)

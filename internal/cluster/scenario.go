@@ -76,6 +76,13 @@ const (
 	// epoch-entry transition) — a second failure while recovery is in
 	// flight.
 	DuringRecovery
+	// DuringCollective fires when the victim logical rank begins its
+	// Trigger.Count-th collective call (barrier/allreduce) or a later one
+	// — the victim dies at the collective's entry, so its partners are
+	// mid-collective when the death lands. This is the fault placement
+	// that exercises the fault-aware collective path (prompt
+	// ErrConnBroken instead of a hung round).
+	DuringCollective
 )
 
 func (k TriggerKind) String() string {
@@ -86,6 +93,8 @@ func (k TriggerKind) String() string {
 		return "during-flush"
 	case DuringRecovery:
 		return "during-recovery"
+	case DuringCollective:
+		return "during-collective"
 	default:
 		return fmt.Sprintf("trigger(%d)", int(k))
 	}
@@ -101,6 +110,8 @@ type Trigger struct {
 	Version int64
 	// Epoch is the recovery epoch for DuringRecovery.
 	Epoch uint64
+	// Count is the collective-call ordinal threshold for DuringCollective.
+	Count int64
 }
 
 func (t Trigger) String() string {
@@ -111,6 +122,8 @@ func (t Trigger) String() string {
 		return fmt.Sprintf("during-flush v>=%d", t.Version)
 	case DuringRecovery:
 		return fmt.Sprintf("during-recovery-epoch %d", t.Epoch)
+	case DuringCollective:
+		return fmt.Sprintf("during-collective %d", t.Count)
 	default:
 		return t.Kind.String()
 	}
@@ -264,6 +277,26 @@ func (inj *Injector) NoteIteration(rank gaspi.Rank, logical int, iter int64) (ex
 	}
 	for _, e := range inj.take(func(e FaultEvent) bool {
 		return e.Trigger.Kind == AtIteration && e.Logical == logical && iter >= e.Trigger.Iter
+	}) {
+		if inj.fire(e, rank, false) {
+			exitNow = true
+		}
+	}
+	return exitNow
+}
+
+// NoteCollective is the fault-tolerance layer's hook: the worker holding
+// logical rank `logical` on physical rank `rank` is entering its
+// `count`-th collective call. Like NoteIteration it runs on the victim's
+// own goroutine, so a matched ProcExit returns exitNow and external kills
+// land synchronously — the victim's partners are inside the same
+// collective when the death becomes visible.
+func (inj *Injector) NoteCollective(rank gaspi.Rank, logical int, count int64) (exitNow bool) {
+	if inj == nil {
+		return false
+	}
+	for _, e := range inj.take(func(e FaultEvent) bool {
+		return e.Trigger.Kind == DuringCollective && e.Logical == logical && count >= e.Trigger.Count
 	}) {
 		if inj.fire(e, rank, false) {
 			exitNow = true

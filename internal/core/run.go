@@ -192,6 +192,12 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 			entry := tr.To == ft.StateAcked || tr.To == ft.StateGroupRebuild
 			inj.NoteRecovery(p.Rank(), ctx.Logical, tr.Epoch, entry)
 		})
+		// During-collective triggers observe every collective the worker
+		// issues; a matched fault lands while the victim's partners are
+		// inside the same barrier/allreduce.
+		w.SetCollectiveHook(func(count int64) bool {
+			return inj.NoteCollective(p.Rank(), ctx.Logical, count)
+		})
 	}
 	if cfg.EnableCP {
 		ctx.CP = checkpoint.New(cctx.Cluster, cctx.NodeID, cfg.CP)

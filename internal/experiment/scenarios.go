@@ -184,6 +184,19 @@ func (c ScenarioMatrixConfig) Specs() []ScenarioSpec {
 			Spares: 2, Expect: OutcomeRecovered,
 		},
 		{
+			// The victim is killed entering an allreduce, so every peer is
+			// mid-collective when the death lands: the fault-aware
+			// collective path must surface a prompt ErrConnBroken (or a
+			// clean timeout→ack) and the epoch must restart — never a hung
+			// reduction round. ~2 collectives/iteration (dot + norm), so
+			// the ordinal lands mid-run, between checkpoint boundaries.
+			Scenario: cluster.Scenario{Name: "kill mid-allreduce",
+				Events: []cluster.FaultEvent{
+					{Kind: cluster.ProcKill, Logical: 1,
+						Trigger: cluster.Trigger{Kind: cluster.DuringCollective, Count: 2 * mid}}}},
+			Spares: 2, Expect: OutcomeRecovered,
+		},
+		{
 			Scenario: cluster.Scenario{Name: "kill during recovery epoch 1",
 				Events: []cluster.FaultEvent{
 					at(cluster.ProcExit, 1, mid),

@@ -21,7 +21,7 @@ func TestScenarioSpecsShape(t *testing.T) {
 	}
 	names := make(map[string]bool)
 	var kinds [4]bool
-	var triggers [3]bool
+	var triggers [4]bool
 	expectUnrecoverable := 0
 	for _, s := range specs {
 		if names[s.Scenario.Name] {

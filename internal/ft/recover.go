@@ -86,7 +86,11 @@ func (w *Worker) Recover(n *Notice) error {
 
 		// The blocking commit is the paper's OHF2. Committing with the
 		// communication timeout lets us keep checking for further
-		// failures; a timed-out commit resumes where it stopped.
+		// failures; a timed-out commit resumes where it stopped. A broken
+		// connection (ErrConnBroken: a member of the NEW group died while
+		// we were committing, reported promptly instead of via timeout) is
+		// handled the same way — keep polling for the FD's fresher notice,
+		// pacing the retries since the error returns immediately.
 		for {
 			err := w.p.GroupCommit(newGid, w.cfg.CommTimeout)
 			if err == nil {
@@ -94,7 +98,7 @@ func (w *Worker) Recover(n *Notice) error {
 				w.rec.Inc("ft.recoveries", 1)
 				return w.sm.BeginRestore()
 			}
-			if !errors.Is(err, gaspi.ErrTimeout) {
+			if !errors.Is(err, gaspi.ErrTimeout) && !errors.Is(err, gaspi.ErrConnection) {
 				return fmt.Errorf("ft: group reconstruction: %w", err)
 			}
 			// checkNotice acks a fresher epoch into the machine
@@ -109,6 +113,12 @@ func (w *Worker) Recover(n *Notice) error {
 				w.p.GroupDelete(newGid)
 				n = n2
 				break
+			}
+			if !errors.Is(err, gaspi.ErrTimeout) {
+				// Pace the instantly-returning ErrConnBroken retries, but
+				// in a slice of the communication timeout so the FD's
+				// fresher notice is acked promptly once it lands.
+				time.Sleep(w.cfg.CommTimeout / 10)
 			}
 			if time.Now().After(deadline) {
 				return fmt.Errorf("%w: during group reconstruction", ErrStalled)

@@ -50,6 +50,13 @@ type Worker struct {
 	hc      bool
 
 	cps *CPStream // async checkpoint replication endpoint; nil in sync mode
+
+	// collHook, when set, observes every collective call this worker
+	// issues (running ordinal as argument). The scenario engine's
+	// during-collective fault triggers hang off it; exitNow mirrors the
+	// iteration hook's contract.
+	collHook  func(count int64) (exitNow bool)
+	collCount int64
 }
 
 // NewWorker wraps a process acting as logical rank `logical`.
@@ -280,10 +287,28 @@ func (w *Worker) PassiveReceive() (int, []byte, error) {
 	return logical, data, nil
 }
 
+// SetCollectiveHook installs the scenario engine's collective observer;
+// see collHook. Must be set before the worker starts communicating.
+func (w *Worker) SetCollectiveHook(h func(count int64) (exitNow bool)) { w.collHook = h }
+
+// noteCollective reports one collective call to the hook. A true return
+// means the caller must exit(-1) now — the deterministic mid-collective
+// fault injection.
+func (w *Worker) noteCollective() {
+	if w.collHook == nil {
+		return
+	}
+	w.collCount++
+	if w.collHook(w.collCount) {
+		w.p.Exit(-1)
+	}
+}
+
 // AllreduceF64 implements spmvm.Comm. A timed-out collective is resumed
 // with identical arguments on the next attempt (GASPI timeout semantics),
 // so the acknowledgment check between attempts costs nothing when healthy.
 func (w *Worker) AllreduceF64(in []float64, op gaspi.ReduceOp) ([]float64, error) {
+	w.noteCollective()
 	var out []float64
 	err := w.retry(func(t time.Duration) error {
 		var e error
@@ -293,8 +318,19 @@ func (w *Worker) AllreduceF64(in []float64, op gaspi.ReduceOp) ([]float64, error
 	return out, err
 }
 
+// AllreduceF64Into implements spmvm.CollInto: the allocation-free form on
+// the registered-segment fast path, with the same retry/acknowledgment
+// wrapping as the other collectives.
+func (w *Worker) AllreduceF64Into(in, out []float64, op gaspi.ReduceOp) error {
+	w.noteCollective()
+	return w.retry(func(t time.Duration) error {
+		return w.p.AllreduceF64Into(w.gid, in, out, op, t)
+	})
+}
+
 // AllreduceI64 implements spmvm.Comm.
 func (w *Worker) AllreduceI64(in []int64, op gaspi.ReduceOp) ([]int64, error) {
+	w.noteCollective()
 	var out []int64
 	err := w.retry(func(t time.Duration) error {
 		var e error
@@ -306,5 +342,6 @@ func (w *Worker) AllreduceI64(in []int64, op gaspi.ReduceOp) ([]int64, error) {
 
 // Barrier implements spmvm.Comm.
 func (w *Worker) Barrier() error {
+	w.noteCollective()
 	return w.retry(func(t time.Duration) error { return w.p.Barrier(w.gid, t) })
 }

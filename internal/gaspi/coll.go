@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/fabric"
@@ -20,32 +21,265 @@ const (
 	OpMax                 // GASPI_OP_MAX
 )
 
-// collSend posts one collective round message. Collectives use internal
-// transport resources (not user queues), as in GPI-2. A broken connection
-// surfaces as a NACK that marks the state vector; the waiting side then
-// times out.
-func (p *Proc) collSend(gid GroupID, seq uint64, round int32, op uint8, to Rank, payload []byte) {
+// Barrier synchronizes all ranks of a committed group (gaspi_barrier): a
+// dissemination barrier, ceil(log2(n)) pairwise rounds. On the default
+// fast path the rounds are one-sided notifications into the group's
+// registered collective segment (zero allocations in steady state); the
+// legacy message path remains selectable via Config.LegacyCollectives.
+// On ErrTimeout the barrier may be resumed by calling it again; a dead
+// group member fails it promptly with ErrConnBroken.
+func (p *Proc) Barrier(gid GroupID, timeout time.Duration) error {
+	p.checkAlive()
+	g, st, _, err := p.startCollective(gid, collBarrier, 0)
+	if err != nil {
+		return err
+	}
+	if g.fast != nil {
+		return p.barrierFast(g, st, timeout)
+	}
+	n := len(g.members)
+	for k, dist := int32(0), 1; dist < n; k, dist = k+1, dist*2 {
+		to := g.members[(g.myIdx+dist)%n]
+		from := g.members[((g.myIdx-dist)%n+n)%n]
+		if _, err := p.collExchange(g, st.seq, k, collBarrier, to, from, nil, timeout); err != nil {
+			return err
+		}
+	}
+	p.finishCollective(gid, st.seq)
+	return nil
+}
+
+// AllreduceF64 combines the input vectors of all group members element-wise
+// with the given operation and returns the result, identical on every rank
+// (gaspi_allreduce with GASPI_TYPE_DOUBLE). The reduction uses a binomial
+// tree to member index 0 followed by a binomial broadcast: 2*ceil(log2(n))
+// message rounds.
+func (p *Proc) AllreduceF64(gid GroupID, in []float64, op ReduceOp, timeout time.Duration) ([]float64, error) {
+	out := make([]float64, len(in))
+	if err := p.AllreduceF64Into(gid, in, out, op, timeout); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllreduceF64Into is AllreduceF64 writing the result into the
+// caller-provided out vector (len(out) == len(in)) — the allocation-free
+// form the iteration hot loops use. Timeout semantics are those of the
+// other collectives: a timed-out call is resumed by calling it again with
+// identical arguments (the in vector of a resumed call is ignored; the
+// partially reduced state is kept).
+func (p *Proc) AllreduceF64Into(gid GroupID, in, out []float64, op ReduceOp, timeout time.Duration) error {
+	p.checkAlive()
+	if len(out) != len(in) {
+		return fmt.Errorf("%w: allreduce out length %d, want %d", ErrInvalid, len(out), len(in))
+	}
+	g, st, fresh, err := p.startCollective(gid, collReduce, len(in))
+	if err != nil {
+		return err
+	}
+	if g.fast != nil && len(in) <= collMaxElems {
+		if fresh {
+			g.accF = append(g.accF[:0], in...)
+		}
+		return allreduceFast(p, g, st, g.fast.view, g.accF, out, combineF64, op, timeout)
+	}
+	return p.allreduceLegacyF64(g, st, in, out, op, timeout)
+}
+
+// allreduceLegacyF64 is the two-sided message implementation. A resumed
+// call replays all rounds from the in vector; buffered rounds stay
+// available until finishCollective, so the replay re-reads them.
+func (p *Proc) allreduceLegacyF64(g *group, st *inflightColl, in, out []float64, op ReduceOp, timeout time.Duration) error {
+	acc := append(g.accF[:0], in...)
+	g.accF = acc
+	n := len(g.members)
+	myIdx := g.myIdx
+	rounds := int32(collRounds(n))
+	// Reduce towards index 0 (mirror of the broadcast tree below).
+	for k := rounds - 1; k >= 0; k-- {
+		dist := 1 << k
+		switch {
+		case myIdx >= dist && myIdx < 2*dist:
+			if err := p.collSend(g.id, st.seq, k, collReduce, g.members[myIdx-dist], encodeF64(acc)); err != nil {
+				return err
+			}
+		case myIdx < dist && myIdx+dist < n:
+			b, err := p.collRecv(g, st.seq, k, collReduce, g.members[myIdx+dist], timeout)
+			if err != nil {
+				return err
+			}
+			other, err := decodeF64(b, len(acc))
+			if err != nil {
+				return err
+			}
+			combineF64(acc, other, op)
+		}
+	}
+	// Broadcast from index 0.
+	for k := int32(0); k < rounds; k++ {
+		dist := 1 << k
+		switch {
+		case myIdx < dist && myIdx+dist < n:
+			if err := p.collSend(g.id, st.seq, rounds+k, collBcast, g.members[myIdx+dist], encodeF64(acc)); err != nil {
+				return err
+			}
+		case myIdx >= dist && myIdx < 2*dist:
+			b, err := p.collRecv(g, st.seq, rounds+k, collBcast, g.members[myIdx-dist], timeout)
+			if err != nil {
+				return err
+			}
+			got, err := decodeF64(b, len(acc))
+			if err != nil {
+				return err
+			}
+			copy(acc, got)
+		}
+	}
+	copy(out, acc)
+	p.finishCollective(g.id, st.seq)
+	return nil
+}
+
+// AllreduceI64 is AllreduceF64 for 8-byte integers
+// (gaspi_allreduce with GASPI_TYPE_LONG). Implemented as its own binomial
+// tree so integer arithmetic is exact.
+func (p *Proc) AllreduceI64(gid GroupID, in []int64, op ReduceOp, timeout time.Duration) ([]int64, error) {
+	out := make([]int64, len(in))
+	if err := p.AllreduceI64Into(gid, in, out, op, timeout); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllreduceI64Into is AllreduceI64 writing into a caller-provided vector;
+// see AllreduceF64Into for the resume semantics.
+func (p *Proc) AllreduceI64Into(gid GroupID, in, out []int64, op ReduceOp, timeout time.Duration) error {
+	p.checkAlive()
+	if len(out) != len(in) {
+		return fmt.Errorf("%w: allreduce out length %d, want %d", ErrInvalid, len(out), len(in))
+	}
+	g, st, fresh, err := p.startCollective(gid, collReduceI, len(in))
+	if err != nil {
+		return err
+	}
+	if g.fast != nil && len(in) <= collMaxElems {
+		if fresh {
+			g.accI = append(g.accI[:0], in...)
+		}
+		return allreduceFast(p, g, st, g.fast.viewI, g.accI, out, combineI64, op, timeout)
+	}
+	return p.allreduceLegacyI64(g, st, in, out, op, timeout)
+}
+
+func (p *Proc) allreduceLegacyI64(g *group, st *inflightColl, in, out []int64, op ReduceOp, timeout time.Duration) error {
+	acc := append(g.accI[:0], in...)
+	g.accI = acc
+	n := len(g.members)
+	myIdx := g.myIdx
+	rounds := int32(collRounds(n))
+	for k := rounds - 1; k >= 0; k-- {
+		dist := 1 << k
+		switch {
+		case myIdx >= dist && myIdx < 2*dist:
+			if err := p.collSend(g.id, st.seq, k, collReduceI, g.members[myIdx-dist], encodeI64(acc)); err != nil {
+				return err
+			}
+		case myIdx < dist && myIdx+dist < n:
+			b, err := p.collRecv(g, st.seq, k, collReduceI, g.members[myIdx+dist], timeout)
+			if err != nil {
+				return err
+			}
+			other, err := decodeI64(b, len(acc))
+			if err != nil {
+				return err
+			}
+			combineI64(acc, other, op)
+		}
+	}
+	for k := int32(0); k < rounds; k++ {
+		dist := 1 << k
+		switch {
+		case myIdx < dist && myIdx+dist < n:
+			if err := p.collSend(g.id, st.seq, rounds+k, collBcast, g.members[myIdx+dist], encodeI64(acc)); err != nil {
+				return err
+			}
+		case myIdx >= dist && myIdx < 2*dist:
+			b, err := p.collRecv(g, st.seq, rounds+k, collBcast, g.members[myIdx-dist], timeout)
+			if err != nil {
+				return err
+			}
+			got, err := decodeI64(b, len(acc))
+			if err != nil {
+				return err
+			}
+			copy(acc, got)
+		}
+	}
+	copy(out, acc)
+	p.finishCollective(g.id, st.seq)
+	return nil
+}
+
+// --- legacy two-sided round transport -----------------------------------------
+
+// collSend posts one collective round message (legacy path). Collectives
+// use internal transport resources (not user queues), as in GPI-2. A send
+// can only fail locally when this process itself is dead (which unwinds
+// via checkAlive) — a dead PARTNER surfaces asynchronously as a NACK that
+// marks the state vector, failing the waiting side via collRecv.
+func (p *Proc) collSend(gid GroupID, seq uint64, round int32, op uint8, to Rank, payload []byte) error {
 	m := fabric.Message{
 		Kind:    kColl,
 		Token:   p.nextToken(),
 		Args:    [4]int64{int64(gid), int64(seq), int64(round), int64(op)},
 		Payload: payload,
 	}
-	_ = p.ep.Send(to, m)
+	if err := p.ep.Send(to, m); err != nil {
+		p.checkAlive() // a closed own endpoint means this process died
+		return fmt.Errorf("%w: round send to rank %d: %v", ErrConnBroken, to, err)
+	}
+	return nil
 }
 
 // collRecv waits for the collective round message matching the key. The
 // entry is read without being consumed: buffered rounds stay available so a
 // collective that times out can be resumed by calling it again with
 // identical arguments (GASPI timeout semantics); finishCollective
-// garbage-collects them once the operation completes.
-func (p *Proc) collRecv(gid GroupID, seq uint64, round int32, op uint8, from Rank, timeout time.Duration) ([]byte, error) {
-	key := collKey{gid: gid, seq: seq, round: round, op: op, from: from}
-	var got []byte
-	err := p.waitCond(&p.collPulse, timeout, func() bool {
+// garbage-collects them once the operation completes. A conclusively dead
+// group member aborts the wait promptly with ErrConnBroken.
+func (p *Proc) collRecv(g *group, seq uint64, round int32, op uint8, from Rank, timeout time.Duration) ([]byte, error) {
+	key := collKey{gid: g.id, seq: seq, round: round, op: op, from: from}
+	lookup := func() ([]byte, bool) {
 		p.collMu.Lock()
-		defer p.collMu.Unlock()
 		b, ok := p.collBuf[key]
+		p.collMu.Unlock()
+		return b, ok
+	}
+	if b, ok := lookup(); ok {
+		return b, nil
+	}
+	if timeout == Test {
+		if err := p.collCheckMembers(g); err != nil {
+			return nil, err
+		}
+		return nil, ErrTimeout
+	}
+	// Bounded user-space spin before parking, mirroring collAwait: at
+	// microsecond fabric latencies most rounds land within a few yields,
+	// keeping the park machinery (and its probe traffic) off the common
+	// path.
+	for i, n := 0, p.cfg.SpinYields; i < n; i++ {
+		runtime.Gosched()
+		if b, ok := lookup(); ok {
+			return b, nil
+		}
+	}
+	if err := p.collCheckMembers(g); err != nil {
+		return nil, err
+	}
+	var got []byte
+	err := p.collPark(g, &p.collPulse, timeout, func() bool {
+		b, ok := lookup()
 		if ok {
 			got = b
 		}
@@ -58,148 +292,11 @@ func (p *Proc) collRecv(gid GroupID, seq uint64, round int32, op uint8, from Ran
 }
 
 // collExchange sends to `to` and waits for the matching message from `from`.
-func (p *Proc) collExchange(gid GroupID, seq uint64, round int32, op uint8, to, from Rank, payload []byte, timeout time.Duration) ([]byte, error) {
-	p.collSend(gid, seq, round, op, to, payload)
-	return p.collRecv(gid, seq, round, op, from, timeout)
-}
-
-// Barrier synchronizes all ranks of a committed group (gaspi_barrier),
-// using a dissemination barrier: ceil(log2(n)) rounds of pairwise messages.
-// On ErrTimeout the barrier may be resumed by calling it again.
-func (p *Proc) Barrier(gid GroupID, timeout time.Duration) error {
-	p.checkAlive()
-	members, myIdx, seq, err := p.startCollective(gid, collBarrier)
-	if err != nil {
-		return err
-	}
-	n := len(members)
-	for k, dist := int32(0), 1; dist < n; k, dist = k+1, dist*2 {
-		to := members[(myIdx+dist)%n]
-		from := members[((myIdx-dist)%n+n)%n]
-		if _, err := p.collExchange(gid, seq, k, collBarrier, to, from, nil, timeout); err != nil {
-			return err
-		}
-	}
-	p.finishCollective(gid, seq)
-	return nil
-}
-
-// AllreduceF64 combines the input vectors of all group members element-wise
-// with the given operation and returns the result, identical on every rank
-// (gaspi_allreduce with GASPI_TYPE_DOUBLE). The reduction uses a binomial
-// tree to member index 0 followed by a binomial broadcast: 2*ceil(log2(n))
-// message rounds.
-func (p *Proc) AllreduceF64(gid GroupID, in []float64, op ReduceOp, timeout time.Duration) ([]float64, error) {
-	p.checkAlive()
-	members, myIdx, seq, err := p.startCollective(gid, collReduce)
-	if err != nil {
+func (p *Proc) collExchange(g *group, seq uint64, round int32, op uint8, to, from Rank, payload []byte, timeout time.Duration) ([]byte, error) {
+	if err := p.collSend(g.id, seq, round, op, to, payload); err != nil {
 		return nil, err
 	}
-	acc := make([]float64, len(in))
-	copy(acc, in)
-	n := len(members)
-	pow2 := 1
-	rounds := int32(0)
-	for pow2 < n {
-		pow2 *= 2
-		rounds++
-	}
-	// Reduce towards index 0 (mirror of the broadcast tree below).
-	for k := rounds - 1; k >= 0; k-- {
-		dist := 1 << k
-		switch {
-		case myIdx >= dist && myIdx < 2*dist:
-			p.collSend(gid, seq, k, collReduce, members[myIdx-dist], encodeF64(acc))
-		case myIdx < dist && myIdx+dist < n:
-			b, err := p.collRecv(gid, seq, k, collReduce, members[myIdx+dist], timeout)
-			if err != nil {
-				return nil, err
-			}
-			other, err := decodeF64(b, len(acc))
-			if err != nil {
-				return nil, err
-			}
-			combineF64(acc, other, op)
-		}
-	}
-	// Broadcast from index 0.
-	for k := int32(0); k < rounds; k++ {
-		dist := 1 << k
-		switch {
-		case myIdx < dist && myIdx+dist < n:
-			p.collSend(gid, seq, rounds+k, collBcast, members[myIdx+dist], encodeF64(acc))
-		case myIdx >= dist && myIdx < 2*dist:
-			b, err := p.collRecv(gid, seq, rounds+k, collBcast, members[myIdx-dist], timeout)
-			if err != nil {
-				return nil, err
-			}
-			got, err := decodeF64(b, len(acc))
-			if err != nil {
-				return nil, err
-			}
-			copy(acc, got)
-		}
-	}
-	p.finishCollective(gid, seq)
-	return acc, nil
-}
-
-// AllreduceI64 is AllreduceF64 for 8-byte integers
-// (gaspi_allreduce with GASPI_TYPE_LONG). Implemented as its own binomial
-// tree so integer arithmetic is exact.
-func (p *Proc) AllreduceI64(gid GroupID, in []int64, op ReduceOp, timeout time.Duration) ([]int64, error) {
-	p.checkAlive()
-	// collBcast doubles as the in-flight kind tag for the integer variant,
-	// distinguishing it from AllreduceF64 (collReduce) on resume.
-	members, myIdx, seq, err := p.startCollective(gid, collBcast)
-	if err != nil {
-		return nil, err
-	}
-	acc := make([]int64, len(in))
-	copy(acc, in)
-	n := len(members)
-	pow2 := 1
-	rounds := int32(0)
-	for pow2 < n {
-		pow2 *= 2
-		rounds++
-	}
-	for k := rounds - 1; k >= 0; k-- {
-		dist := 1 << k
-		switch {
-		case myIdx >= dist && myIdx < 2*dist:
-			p.collSend(gid, seq, k, collReduce, members[myIdx-dist], encodeI64(acc))
-		case myIdx < dist && myIdx+dist < n:
-			b, err := p.collRecv(gid, seq, k, collReduce, members[myIdx+dist], timeout)
-			if err != nil {
-				return nil, err
-			}
-			other, err := decodeI64(b, len(acc))
-			if err != nil {
-				return nil, err
-			}
-			combineI64(acc, other, op)
-		}
-	}
-	for k := int32(0); k < rounds; k++ {
-		dist := 1 << k
-		switch {
-		case myIdx < dist && myIdx+dist < n:
-			p.collSend(gid, seq, rounds+k, collBcast, members[myIdx+dist], encodeI64(acc))
-		case myIdx >= dist && myIdx < 2*dist:
-			b, err := p.collRecv(gid, seq, rounds+k, collBcast, members[myIdx-dist], timeout)
-			if err != nil {
-				return nil, err
-			}
-			got, err := decodeI64(b, len(acc))
-			if err != nil {
-				return nil, err
-			}
-			copy(acc, got)
-		}
-	}
-	p.finishCollective(gid, seq)
-	return acc, nil
+	return p.collRecv(g, seq, round, op, from, timeout)
 }
 
 func encodeF64(v []float64) []byte {

@@ -1,0 +1,559 @@
+package gaspi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// The collective fast-path regression suite: correctness across group
+// sizes (including non-powers-of-two) and vector sizes (including the
+// segmented large-vector protocol), resume-after-timeout semantics,
+// prompt ErrConnBroken on member death, recommit invalidation, and the
+// legacy collBuf sweep. Everything runs under -race in CI (bench-smoke
+// job, `-run Coll`).
+
+func collTestCfg(n int, legacy bool) Config {
+	return Config{
+		Procs:             n,
+		Latency:           fabric.LatencyModel{Base: 2 * time.Microsecond, PerByte: time.Nanosecond},
+		Seed:              7,
+		LegacyCollectives: legacy,
+	}
+}
+
+// runCollJob launches main on n ranks under both the fast and the legacy
+// collective path.
+func runCollJob(t *testing.T, n int, main func(p *Proc) error) {
+	t.Helper()
+	for _, legacy := range []bool{false, true} {
+		name := "fast"
+		if legacy {
+			name = "legacy"
+		}
+		t.Run(name, func(t *testing.T) {
+			job := Launch(collTestCfg(n, legacy), main)
+			t.Cleanup(job.Close)
+			res, ok := job.WaitTimeout(testWait)
+			if !ok {
+				t.Fatal("job hung")
+			}
+			for _, r := range res {
+				if r.Err != nil {
+					t.Fatalf("rank %d: %v", r.Rank, r.Err)
+				}
+			}
+		})
+	}
+}
+
+func TestCollGroupSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 6, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n-%d", n), func(t *testing.T) {
+			runCollJob(t, n, func(p *Proc) error {
+				for iter := 0; iter < 5; iter++ {
+					if err := p.Barrier(GroupAll, Block); err != nil {
+						return err
+					}
+					in := []float64{float64(p.Rank() + 1), -float64(p.Rank()), 2.5}
+					sum, err := p.AllreduceF64(GroupAll, in, OpSum, Block)
+					if err != nil {
+						return err
+					}
+					wantSum := float64(n*(n+1)) / 2
+					if sum[0] != wantSum || sum[1] != -float64(n*(n-1))/2 || sum[2] != 2.5*float64(n) {
+						return fmt.Errorf("sum = %v (n=%d)", sum, n)
+					}
+					mx, err := p.AllreduceF64(GroupAll, in, OpMax, Block)
+					if err != nil {
+						return err
+					}
+					if mx[0] != float64(n) || mx[1] != 0 {
+						return fmt.Errorf("max = %v", mx)
+					}
+					is, err := p.AllreduceI64(GroupAll, []int64{int64(p.Rank()), 7}, OpMin, Block)
+					if err != nil {
+						return err
+					}
+					if is[0] != 0 || is[1] != 7 {
+						return fmt.Errorf("imin = %v", is)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestCollLargeVectorSegmented exercises the chunked ack protocol: vectors
+// spanning several collChunkElems slots, odd tail included.
+func TestCollLargeVectorSegmented(t *testing.T) {
+	const n = 4
+	L := 3*collChunkElems + 17
+	runCollJob(t, n, func(p *Proc) error {
+		in := make([]float64, L)
+		for i := range in {
+			in[i] = float64(i%31) + float64(p.Rank())
+		}
+		out, err := p.AllreduceF64(GroupAll, in, OpSum, Block)
+		if err != nil {
+			return err
+		}
+		for i := range out {
+			want := float64(n)*float64(i%31) + float64(n*(n-1))/2
+			if out[i] != want {
+				return fmt.Errorf("out[%d] = %v, want %v", i, out[i], want)
+			}
+		}
+		iin := make([]int64, 2*collChunkElems+3)
+		for i := range iin {
+			iin[i] = int64(i) * int64(p.Rank()+1)
+		}
+		iout, err := p.AllreduceI64(GroupAll, iin, OpSum, Block)
+		if err != nil {
+			return err
+		}
+		for i := range iout {
+			if want := int64(i) * int64(n*(n+1)) / 2; iout[i] != want {
+				return fmt.Errorf("iout[%d] = %d, want %d", i, iout[i], want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestCollAllreduceInto checks the allocation-free form and that fast and
+// legacy paths agree bit-for-bit on the same reduction tree.
+func TestCollAllreduceInto(t *testing.T) {
+	const n = 3
+	runCollJob(t, n, func(p *Proc) error {
+		in := []float64{1.25 * float64(p.Rank()+1)}
+		out := make([]float64, 1)
+		for iter := 0; iter < 10; iter++ {
+			if err := p.AllreduceF64Into(GroupAll, in, out, OpSum, Block); err != nil {
+				return err
+			}
+			if out[0] != 1.25*6 {
+				return fmt.Errorf("iter %d: out = %v", iter, out)
+			}
+		}
+		if err := p.AllreduceF64Into(GroupAll, in, make([]float64, 2), OpSum, Block); !errors.Is(err, ErrInvalid) {
+			return fmt.Errorf("length mismatch: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestCollResumeAfterTimeout: a straggler makes the prompt ranks time out;
+// re-calling with identical arguments must resume and complete with the
+// correct result on both paths (GASPI timeout semantics).
+func TestCollResumeAfterTimeout(t *testing.T) {
+	const n = 3
+	runCollJob(t, n, func(p *Proc) error {
+		for iter := 0; iter < 3; iter++ {
+			if p.Rank() == Rank(iter%3) {
+				time.Sleep(40 * time.Millisecond) // straggle a different rank each iter
+			}
+			timeouts := 0
+			for {
+				err := p.Barrier(GroupAll, 5*time.Millisecond)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrTimeout) {
+					return fmt.Errorf("barrier: %v", err)
+				}
+				timeouts++
+				if timeouts > 1000 {
+					return errors.New("barrier never completed")
+				}
+			}
+			if p.Rank() == Rank((iter+1)%3) {
+				time.Sleep(40 * time.Millisecond)
+			}
+			in := []float64{float64(p.Rank()), 1}
+			var out []float64
+			for {
+				var err error
+				out, err = p.AllreduceF64(GroupAll, in, OpSum, 5*time.Millisecond)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrTimeout) {
+					return fmt.Errorf("allreduce: %v", err)
+				}
+			}
+			if out[0] != 3 || out[1] != 3 {
+				return fmt.Errorf("iter %d: out = %v", iter, out)
+			}
+		}
+		return nil
+	})
+}
+
+// TestCollMemberDeathPromptErrConnBroken: a member killed mid-collective
+// must fail the survivors promptly with ErrConnBroken — even with
+// timeout=Block, which would hang forever without the fault awareness.
+func TestCollMemberDeathPromptErrConnBroken(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		name := "fast"
+		if legacy {
+			name = "legacy"
+		}
+		t.Run(name, func(t *testing.T) {
+			var mu sync.Mutex
+			errs := make(map[Rank]error)
+			job := Launch(collTestCfg(3, legacy), func(p *Proc) error {
+				if p.Rank() == 2 {
+					// Never joins the collective; killed below.
+					if err := p.SegmentCreate(9, 8); err != nil {
+						return err
+					}
+					_, err := p.NotifyWaitsome(9, 0, 1, Block)
+					return err
+				}
+				err := p.Barrier(GroupAll, Block)
+				mu.Lock()
+				errs[p.Rank()] = err
+				mu.Unlock()
+				if err == nil {
+					return errors.New("barrier with a dead member completed")
+				}
+				return nil
+			})
+			t.Cleanup(job.Close)
+			time.Sleep(20 * time.Millisecond) // ranks 0 and 1 are parked in the barrier
+			job.Kill(2, "test")
+			res, ok := job.WaitTimeout(testWait)
+			if !ok {
+				t.Fatal("job hung: dead member did not break the barrier")
+			}
+			for _, r := range res {
+				if r.Rank != 2 && r.Err != nil {
+					t.Fatalf("rank %d: %v", r.Rank, r.Err)
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for r, err := range errs {
+				if !errors.Is(err, ErrConnBroken) || !errors.Is(err, ErrConnection) {
+					t.Fatalf("rank %d: %v, want ErrConnBroken", r, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCollMemberDeathMidAllreduce is the allreduce variant: the victim
+// dies after contributing to some rounds.
+func TestCollMemberDeathMidAllreduce(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		name := "fast"
+		if legacy {
+			name = "legacy"
+		}
+		t.Run(name, func(t *testing.T) {
+			job := Launch(collTestCfg(4, legacy), func(p *Proc) error {
+				if p.Rank() == 3 {
+					if err := p.SegmentCreate(9, 8); err != nil {
+						return err
+					}
+					_, err := p.NotifyWaitsome(9, 0, 1, Block)
+					return err
+				}
+				in := []float64{1, 2}
+				start := time.Now()
+				_, err := p.AllreduceF64(GroupAll, in, OpSum, Block)
+				if err == nil {
+					return errors.New("allreduce with a dead member completed")
+				}
+				if !errors.Is(err, ErrConnBroken) {
+					return fmt.Errorf("want ErrConnBroken, got %v", err)
+				}
+				if time.Since(start) > 10*time.Second {
+					return fmt.Errorf("ErrConnBroken took %v — not prompt", time.Since(start))
+				}
+				return nil
+			})
+			t.Cleanup(job.Close)
+			time.Sleep(20 * time.Millisecond)
+			job.Kill(3, "test")
+			res, ok := job.WaitTimeout(testWait)
+			if !ok {
+				t.Fatal("job hung")
+			}
+			for _, r := range res {
+				if r.Rank != 3 && r.Err != nil {
+					t.Fatalf("rank %d: %v", r.Rank, r.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestCollKindConfusionI64F64: an in-flight (timed-out) integer allreduce
+// must reject a float64 resume — the integer variant carries its own
+// in-flight kind tag (collReduceI), so the two can never be confused on
+// the same group.
+func TestCollKindConfusionI64F64(t *testing.T) {
+	const n = 2
+	runCollJob(t, n, func(p *Proc) error {
+		if p.Rank() == 1 {
+			time.Sleep(50 * time.Millisecond)
+			out, err := p.AllreduceI64(GroupAll, []int64{5}, OpSum, Block)
+			if err != nil {
+				return err
+			}
+			if out[0] != 9 {
+				return fmt.Errorf("out = %v", out)
+			}
+			return nil
+		}
+		// Rank 0: the first attempt times out (rank 1 is asleep).
+		_, err := p.AllreduceI64(GroupAll, []int64{4}, OpSum, time.Millisecond)
+		if !errors.Is(err, ErrTimeout) {
+			return fmt.Errorf("want ErrTimeout, got %v", err)
+		}
+		// A different collective must be rejected while the I64 is pinned.
+		if _, err := p.AllreduceF64(GroupAll, []float64{4}, OpSum, Block); !errors.Is(err, ErrInvalid) {
+			return fmt.Errorf("F64 during in-flight I64: want ErrInvalid, got %v", err)
+		}
+		if err := p.Barrier(GroupAll, Block); !errors.Is(err, ErrInvalid) {
+			return fmt.Errorf("barrier during in-flight I64: want ErrInvalid, got %v", err)
+		}
+		// Resuming the identical call completes it.
+		out, err := p.AllreduceI64(GroupAll, []int64{4}, OpSum, Block)
+		if err != nil {
+			return err
+		}
+		if out[0] != 9 {
+			return fmt.Errorf("out = %v", out)
+		}
+		return nil
+	})
+}
+
+// TestCollRecommitInvalidatesInflight: a timed-out collective abandoned by
+// a group delete→recreate→recommit cycle (the recovery pattern) must not
+// poison the recreated group's collectives.
+func TestCollRecommitInvalidatesInflight(t *testing.T) {
+	const gid GroupID = 3
+	runCollJob(t, 2, func(p *Proc) error {
+		build := func() error {
+			if err := p.GroupCreate(gid); err != nil {
+				return err
+			}
+			p.GroupAdd(gid, 0)
+			p.GroupAdd(gid, 1)
+			return p.GroupCommit(gid, Block)
+		}
+		if err := build(); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			// Strand a collective mid-flight: rank 1 never joins it.
+			if err := p.Barrier(gid, Test); !errors.Is(err, ErrTimeout) {
+				return fmt.Errorf("want ErrTimeout, got %v", err)
+			}
+		}
+		// Let the stranded round traffic drain before the teardown.
+		if err := p.Barrier(GroupAll, Block); err != nil {
+			return err
+		}
+		p.GroupDelete(gid)
+		if err := p.Barrier(GroupAll, Block); err != nil {
+			return err
+		}
+		if err := build(); err != nil {
+			return fmt.Errorf("recommit: %w", err)
+		}
+		// The recreated group must run collectives cleanly from scratch.
+		for i := 0; i < 5; i++ {
+			if err := p.Barrier(gid, Block); err != nil {
+				return fmt.Errorf("barrier after recommit: %w", err)
+			}
+			out, err := p.AllreduceF64(gid, []float64{float64(p.Rank() + 1)}, OpSum, Block)
+			if err != nil {
+				return fmt.Errorf("allreduce after recommit: %w", err)
+			}
+			if out[0] != 3 {
+				return fmt.Errorf("out = %v", out)
+			}
+		}
+		return nil
+	})
+}
+
+// TestCollBufSweepDrains: the legacy-path leak regression. A rank polling
+// a barrier with GASPI_TEST replays its round sends on every attempt;
+// duplicates that land after a peer completed (and swept) the collective
+// must be dropped by the sequence horizon, not re-buffered forever.
+func TestCollBufSweepDrains(t *testing.T) {
+	const n = 3
+	job := Launch(collTestCfg(n, true), func(p *Proc) error {
+		for iter := 0; iter < 10; iter++ {
+			if p.Rank() == 0 {
+				// Aggressive Test-polling: every failed attempt replays
+				// the dissemination rounds, flooding peers with duplicate
+				// round messages.
+				for {
+					err := p.Barrier(GroupAll, Test)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrTimeout) {
+						return err
+					}
+				}
+			} else {
+				if err := p.Barrier(GroupAll, Block); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(testWait)
+	if !ok {
+		t.Fatal("job hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+	// All ranks completed every barrier; once the late duplicates drain,
+	// every collBuf must be empty — abandoned entries may not accumulate.
+	deadline := time.Now().Add(5 * time.Second)
+	for r := Rank(0); int(r) < n; r++ {
+		for {
+			p := job.Proc(r)
+			p.collMu.Lock()
+			left := len(p.collBuf)
+			p.collMu.Unlock()
+			if left == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rank %d: %d stale collBuf entries never reclaimed", r, left)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestCollFinishSweepsOlderSeqs: finishCollective must reclaim buffered
+// rounds of every earlier sequence, not only its own.
+func TestCollFinishSweepsOlderSeqs(t *testing.T) {
+	job := Launch(collTestCfg(2, true), func(p *Proc) error {
+		// Plant a stale buffered round from a long-gone sequence.
+		p.collMu.Lock()
+		p.collBuf[collKey{gid: GroupAll, seq: 1, round: 0, op: collBarrier, from: 0}] = nil
+		p.collMu.Unlock()
+		for i := 0; i < 3; i++ {
+			if err := p.Barrier(GroupAll, Block); err != nil {
+				return err
+			}
+		}
+		p.collMu.Lock()
+		defer p.collMu.Unlock()
+		for k := range p.collBuf {
+			if k.seq == 1 {
+				return fmt.Errorf("stale entry %+v survived the sweep", k)
+			}
+		}
+		return nil
+	})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(testWait)
+	if !ok {
+		t.Fatal("job hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+}
+
+// TestCollFastDeliversViaSink asserts the fast-path collective rounds ride
+// the registered-memory delivery sink (one-sided writes/notifies), not the
+// two-sided kColl channel.
+func TestCollFastDeliversViaSink(t *testing.T) {
+	job := Launch(collTestCfg(4, false), func(p *Proc) error {
+		in := []float64{1, 2, 3}
+		for i := 0; i < 20; i++ {
+			if err := p.Barrier(GroupAll, Block); err != nil {
+				return err
+			}
+			if _, err := p.AllreduceF64(GroupAll, in, OpSum, Block); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	t.Cleanup(job.Close)
+	res, ok := job.WaitTimeout(testWait)
+	if !ok {
+		t.Fatal("job hung")
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+	st := job.Transport().Stats()
+	if st.PerKind[kColl] != 0 {
+		t.Fatalf("fast-path run sent %d kColl messages", st.PerKind[kColl])
+	}
+	if st.FastDelivered == 0 {
+		t.Fatal("no sink-delivered messages — collective rounds missed the fast path")
+	}
+}
+
+// TestCollSubsetGroupFast: collectives on a committed subset group over
+// the fast path, interleaved with all-group traffic.
+func TestCollSubsetGroupFast(t *testing.T) {
+	const gid GroupID = 5
+	members := []Rank{0, 2, 3}
+	runCollJob(t, 5, func(p *Proc) error {
+		in := false
+		for _, m := range members {
+			if m == p.Rank() {
+				in = true
+			}
+		}
+		if in {
+			if err := p.GroupCreate(gid); err != nil {
+				return err
+			}
+			for _, m := range members {
+				if err := p.GroupAdd(gid, m); err != nil {
+					return err
+				}
+			}
+			if err := p.GroupCommit(gid, Block); err != nil {
+				return err
+			}
+			for i := 0; i < 5; i++ {
+				sum, err := p.AllreduceF64(gid, []float64{float64(p.Rank())}, OpSum, Block)
+				if err != nil {
+					return err
+				}
+				if sum[0] != 5 { // 0+2+3
+					return fmt.Errorf("sum = %v", sum)
+				}
+				if err := p.Barrier(gid, Block); err != nil {
+					return err
+				}
+			}
+		}
+		return p.Barrier(GroupAll, Block)
+	})
+}

@@ -23,32 +23,32 @@ type ReduceFunc func(dst, src []float64)
 // AllreduceUser performs an allreduce with a user-provided reduction
 // (gaspi_allreduce_user). Timeout semantics follow the other collectives:
 // a timed-out call is resumed by calling it again with identical
-// arguments.
+// arguments. The user reduction always runs over the legacy message
+// rounds — an arbitrary ReduceFunc has no fast-path combine.
 func (p *Proc) AllreduceUser(gid GroupID, in []float64, f ReduceFunc, timeout time.Duration) ([]float64, error) {
 	p.checkAlive()
 	if f == nil {
 		return nil, fmt.Errorf("%w: nil reduction function", ErrInvalid)
 	}
-	members, myIdx, seq, err := p.startCollective(gid, collUser)
+	g, st, _, err := p.startCollective(gid, collUser, len(in))
 	if err != nil {
 		return nil, err
 	}
+	seq := st.seq
 	acc := make([]float64, len(in))
 	copy(acc, in)
-	n := len(members)
-	pow2 := 1
-	rounds := int32(0)
-	for pow2 < n {
-		pow2 *= 2
-		rounds++
-	}
+	n := len(g.members)
+	myIdx := g.myIdx
+	rounds := int32(collRounds(n))
 	for k := rounds - 1; k >= 0; k-- {
 		dist := 1 << k
 		switch {
 		case myIdx >= dist && myIdx < 2*dist:
-			p.collSend(gid, seq, k, collUser, members[myIdx-dist], encodeF64(acc))
+			if err := p.collSend(gid, seq, k, collUser, g.members[myIdx-dist], encodeF64(acc)); err != nil {
+				return nil, err
+			}
 		case myIdx < dist && myIdx+dist < n:
-			b, err := p.collRecv(gid, seq, k, collUser, members[myIdx+dist], timeout)
+			b, err := p.collRecv(g, seq, k, collUser, g.members[myIdx+dist], timeout)
 			if err != nil {
 				return nil, err
 			}
@@ -63,9 +63,11 @@ func (p *Proc) AllreduceUser(gid GroupID, in []float64, f ReduceFunc, timeout ti
 		dist := 1 << k
 		switch {
 		case myIdx < dist && myIdx+dist < n:
-			p.collSend(gid, seq, rounds+k, collUser, members[myIdx+dist], encodeF64(acc))
+			if err := p.collSend(gid, seq, rounds+k, collUser, g.members[myIdx+dist], encodeF64(acc)); err != nil {
+				return nil, err
+			}
 		case myIdx >= dist && myIdx < 2*dist:
-			b, err := p.collRecv(gid, seq, rounds+k, collUser, members[myIdx-dist], timeout)
+			b, err := p.collRecv(g, seq, rounds+k, collUser, g.members[myIdx-dist], timeout)
 			if err != nil {
 				return nil, err
 			}
@@ -112,14 +114,18 @@ func (p *Proc) NotifySlots() int { return p.cfg.NotifySlots }
 func (p *Proc) MaxSegments() int { return p.cfg.MaxSegments }
 
 // SegmentIDs lists the currently allocated local segments
-// (gaspi_segment_list).
+// (gaspi_segment_list). Runtime-internal segments (negative IDs — the
+// per-group collective segments) are not application-visible and are
+// excluded.
 func (p *Proc) SegmentIDs() []SegmentID {
 	p.checkAlive()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]SegmentID, 0, len(p.segs))
 	for id := range p.segs {
-		out = append(out, id)
+		if id >= 0 {
+			out = append(out, id)
+		}
 	}
 	return out
 }

@@ -94,6 +94,13 @@ var (
 	// ErrConnection reports a broken connection to a remote rank — the
 	// remote process is dead (GASPI_ERROR).
 	ErrConnection = errors.New("gaspi: connection error")
+	// ErrConnBroken reports that a collective failed because a group
+	// member's connection is conclusively broken (the member died while
+	// the operation was in flight). It wraps ErrConnection, so existing
+	// errors.Is(err, ErrConnection) checks keep matching; unlike a bare
+	// timeout it is returned promptly, without waiting out the caller's
+	// timeout budget.
+	ErrConnBroken = fmt.Errorf("%w: collective member lost", ErrConnection)
 	// ErrQueue reports that one or more operations on a queue completed
 	// with an error; the state vector identifies the corrupt ranks.
 	ErrQueue = errors.New("gaspi: queue error")
@@ -121,6 +128,7 @@ const (
 	kPingAck    uint8 = 11 // probe response
 	kKill       uint8 = 12 // management-plane kill (gaspi_proc_kill extension)
 	kColl       uint8 = 13 // collective round payload (barrier/allreduce/commit)
+	kProbe      uint8 = 14 // fire-and-forget collective liveness probe
 )
 
 // remote error codes carried in acks (Args[0]).
@@ -152,10 +160,17 @@ const (
 	atomCompareSwap
 )
 
-// collective op codes (packed into Args[3] of kColl).
+// collective op codes (packed into Args[3] of kColl). They double as the
+// in-flight kind tag pinned by startCollective, so a collective resumed
+// after a timeout is matched against the operation that started it:
+// collReduce is the float64 allreduce, collReduceI the int64 variant (its
+// own kind, so a resumed F64 broadcast round can never be confused with an
+// I64 allreduce on the same group), collBcast tags broadcast-phase rounds
+// on the wire only.
 const (
 	collBarrier uint8 = iota + 1
 	collCommit
 	collReduce
 	collBcast
+	collReduceI
 )

@@ -1,6 +1,7 @@
 package gaspi
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"slices"
@@ -15,16 +16,33 @@ type group struct {
 	myIdx     int
 	committed bool
 	seq       uint64 // collective sequence number, advances per completed operation
-	cur       *inflightColl
+	active    bool   // a collective is in flight (cur is valid)
+	cur       inflightColl
+
+	// fast is the registered-segment collective state; nil means the
+	// legacy two-sided message path (Config.LegacyCollectives, big-endian
+	// hosts, or too few notification slots for the group's round count).
+	fast *collFast
+	// accF/accI are the reduction accumulators of the fast path, cached on
+	// the group so a steady-state small-vector allreduce allocates nothing.
+	accF []float64
+	accI []int64
 }
 
 // inflightColl tracks a collective that timed out and may be resumed. Per
 // the GASPI specification, a collective returning GASPI_TIMEOUT must be
 // called again with identical arguments until it completes; the sequence
-// number is pinned until then.
+// number is pinned until then. The fast path additionally keeps its
+// progress cursor here, so a resumed call continues exactly where the
+// timeout struck instead of replaying rounds (replays would re-notify
+// slots their consumers already advanced past).
 type inflightColl struct {
-	kind uint8
-	seq  uint64
+	kind   uint8
+	seq    uint64
+	vecLen int  // element count, cross-checked on resume
+	round  int  // next unfinished round index
+	chunk  int  // next unfinished chunk within the round
+	sent   bool // the current round's notification has been posted (barrier)
 }
 
 // GroupCreate starts building a group with the given ID
@@ -40,6 +58,9 @@ func (p *Proc) GroupCreate(gid GroupID) error {
 		return fmt.Errorf("%w: group %d already exists", ErrInvalid, gid)
 	}
 	p.groups[gid] = &group{id: gid}
+	p.collMu.Lock()
+	delete(p.collHorizon, gid) // accept the recreated group's fresh sequence space
+	p.collMu.Unlock()
 	return nil
 }
 
@@ -76,8 +97,24 @@ func (p *Proc) GroupDelete(gid GroupID) {
 	}
 	p.mu.Lock()
 	delete(p.groups, gid)
+	// The group's registered collective segment goes with it; any
+	// collective in flight on the group is invalidated here (cur died with
+	// the group object), which is what makes a recovery's delete→recreate→
+	// recommit cycle safe while members sit mid-collective.
+	delete(p.segs, collSegID(gid))
 	p.mu.Unlock()
 	p.collMu.Lock()
+	// The horizon entry goes too: a deliberately recreated group restarts
+	// its sequence space at the commit handshake's seq 0. Round messages
+	// of the DELETED instance still in flight can therefore re-enter
+	// collBuf after this purge — at receive time they are
+	// indistinguishable from a recreated instance's early commit traffic,
+	// which MUST be buffered (a commit round swept from under a peer that
+	// already completed its handshake would never be re-sent: resume only
+	// replays the timed-out side). The residue is bounded: a replaying
+	// peer stops at its failure acknowledgment, leaving at most one
+	// collective's rounds per group deletion.
+	delete(p.collHorizon, gid)
 	for k := range p.collBuf {
 		if k.gid == gid {
 			delete(p.collBuf, k)
@@ -133,6 +170,11 @@ func (p *Proc) GroupCommit(gid GroupID, timeout time.Duration) error {
 	if myIdx < 0 {
 		return fmt.Errorf("%w: commit of group %d by non-member rank %d", ErrInvalid, gid, p.rank)
 	}
+	// The registered collective segment must exist before the first
+	// handshake round goes out: a peer completes its commit only after
+	// this rank's final-round message, so by the time any peer can post
+	// fast-path collective traffic here, the segment is in place.
+	p.collSetup(g)
 	h := membersHash(members)
 	// Dissemination handshake: after round k every rank has transitively
 	// heard from 2^(k+1) neighbours; ceil(log2(n)) rounds reach everyone.
@@ -140,11 +182,15 @@ func (p *Proc) GroupCommit(gid GroupID, timeout time.Duration) error {
 	for k, dist := int32(0), 1; dist < n; k, dist = k+1, dist*2 {
 		to := members[(myIdx+dist)%n]
 		from := members[((myIdx-dist)%n+n)%n]
-		got, err := p.collExchange(gid, 0, k, collCommit, to, from, h, timeout)
+		got, err := p.collExchange(g, 0, k, collCommit, to, from, h, timeout)
 		if err != nil {
+			if !errors.Is(err, ErrTimeout) {
+				p.collTeardown(gid, g)
+			}
 			return err
 		}
 		if len(got) != len(h) || string(got) != string(h) {
+			p.collTeardown(gid, g)
 			return fmt.Errorf("%w: group %d: rank %d disagrees on membership", ErrGroupMismatch, gid, from)
 		}
 	}
@@ -169,41 +215,58 @@ func (p *Proc) groupLookup(gid GroupID) (*group, error) {
 
 // startCollective fetches a committed group and pins the sequence number of
 // the collective being started — or resumed: a collective that previously
-// returned ErrTimeout keeps its sequence until it completes, so calling the
-// operation again with identical arguments continues it (GASPI timeout
-// semantics). Mixing in a different collective while one is in flight is an
-// error.
-func (p *Proc) startCollective(gid GroupID, kind uint8) ([]Rank, int, uint64, error) {
+// returned ErrTimeout keeps its sequence (and fast-path progress cursor)
+// until it completes, so calling the operation again with identical
+// arguments continues it (GASPI timeout semantics). Mixing in a different
+// collective — or the same one with a different vector length — while one
+// is in flight is an error. The group and cursor pointers are owned by the
+// calling goroutine until finishCollective (collectives on one group are
+// not concurrent, per the GASPI contract).
+func (p *Proc) startCollective(gid GroupID, kind uint8, vecLen int) (*group, *inflightColl, bool, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	g, ok := p.groups[gid]
 	if !ok {
-		return nil, 0, 0, fmt.Errorf("%w: unknown group %d", ErrInvalid, gid)
+		return nil, nil, false, fmt.Errorf("%w: unknown group %d", ErrInvalid, gid)
 	}
 	if !g.committed {
-		return nil, 0, 0, fmt.Errorf("%w: group %d not committed", ErrInvalid, gid)
+		return nil, nil, false, fmt.Errorf("%w: group %d not committed", ErrInvalid, gid)
 	}
-	if g.cur == nil {
-		g.cur = &inflightColl{kind: kind, seq: g.seq}
+	if !g.active {
+		g.cur = inflightColl{kind: kind, seq: g.seq, vecLen: vecLen}
+		g.active = true
 		g.seq++
-	} else if g.cur.kind != kind {
-		return nil, 0, 0, fmt.Errorf("%w: group %d has a different collective in flight (kind %d, resumed with %d)",
+		return g, &g.cur, true, nil
+	}
+	if g.cur.kind != kind {
+		return nil, nil, false, fmt.Errorf("%w: group %d has a different collective in flight (kind %d, resumed with %d)",
 			ErrInvalid, gid, g.cur.kind, kind)
 	}
-	return g.members, g.myIdx, g.cur.seq, nil
+	if g.cur.vecLen != vecLen {
+		return nil, nil, false, fmt.Errorf("%w: group %d collective resumed with %d elements, started with %d",
+			ErrInvalid, gid, vecLen, g.cur.vecLen)
+	}
+	return g, &g.cur, false, nil
 }
 
-// finishCollective marks the in-flight collective of gid complete and
-// garbage-collects its buffered round messages.
+// finishCollective marks the in-flight collective of gid complete,
+// advances the group's sequence horizon, and garbage-collects buffered
+// round messages of this AND every earlier sequence — entries a peer's
+// timed-out-and-resumed sends re-buffered after an earlier sweep would
+// otherwise leak forever.
 func (p *Proc) finishCollective(gid GroupID, seq uint64) {
 	p.mu.Lock()
-	if g, ok := p.groups[gid]; ok && g.cur != nil && g.cur.seq == seq {
-		g.cur = nil
+	if g, ok := p.groups[gid]; ok && g.active && g.cur.seq == seq {
+		g.active = false
+		g.cur = inflightColl{}
 	}
 	p.mu.Unlock()
 	p.collMu.Lock()
+	if h := p.collHorizon[gid]; seq+1 > h {
+		p.collHorizon[gid] = seq + 1
+	}
 	for k := range p.collBuf {
-		if k.gid == gid && k.seq == seq {
+		if k.gid == gid && k.seq <= seq {
 			delete(p.collBuf, k)
 		}
 	}

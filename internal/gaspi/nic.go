@@ -56,14 +56,22 @@ func (p *Proc) applyOneSided(m fabric.Message) {
 				code = s.setNotification(m.Args[2]-1, m.Args[3])
 			}
 		}
-		p.reply(m.From, fabric.Message{Kind: kWriteAck, Token: m.Token, Args: [4]int64{code}})
+		if m.Token != 0 {
+			// Token 0 is a fire-and-forget post (collective round data):
+			// the sender tracks no completion for it.
+			p.reply(m.From, fabric.Message{Kind: kWriteAck, Token: m.Token, Args: [4]int64{code}})
+		}
 
 	case kNotify:
 		code := int64(remBadSegment)
 		if s, err := p.segLookup(SegmentID(m.Args[0])); err == nil {
 			code = s.setNotification(m.Args[2]-1, m.Args[3])
 		}
-		p.reply(m.From, fabric.Message{Kind: kWriteAck, Token: m.Token, Args: [4]int64{code}})
+		if m.Token != 0 {
+			// Token 0 is a fire-and-forget post (collective round
+			// notifications): the sender tracks no completion for it.
+			p.reply(m.From, fabric.Message{Kind: kWriteAck, Token: m.Token, Args: [4]int64{code}})
+		}
 
 	case kRead:
 		code := int64(remBadSegment)
@@ -114,6 +122,10 @@ func (p *Proc) handleMessage(m fabric.Message) {
 	case kPing:
 		p.reply(m.From, fabric.Message{Kind: kPingAck, Token: m.Token})
 
+	case kProbe:
+		// Collective liveness probe: needs no answer from a live process —
+		// only a dead endpoint's NACK carries information.
+
 	case kPingAck:
 		p.completeToken(m.Token, opResult{})
 
@@ -129,6 +141,13 @@ func (p *Proc) handleMessage(m fabric.Message) {
 			from:  m.From,
 		}
 		p.collMu.Lock()
+		if key.seq < p.collHorizon[key.gid] {
+			// Duplicate round of a collective this process already
+			// completed (a timed-out peer resuming replays its sends from
+			// round 0): drop it, or it would sit in collBuf forever.
+			p.collMu.Unlock()
+			return
+		}
 		p.collBuf[key] = m.Payload
 		p.collMu.Unlock()
 		p.collPulse.Broadcast()

@@ -34,13 +34,23 @@ type Proc struct {
 	// passive communication
 	passiveCh chan passiveMsg
 
-	// collective round buffers (filled by the NIC)
+	// collective round buffers (filled by the NIC, legacy message path)
 	collMu    sync.Mutex
 	collBuf   map[collKey][]byte
 	collPulse pulse
+	// collHorizon maps a group to one past the highest collective sequence
+	// this process has completed on it. Incoming legacy round messages
+	// below the horizon are duplicates of finished operations (a timed-out
+	// peer resuming replays its sends from round 0) and are dropped instead
+	// of buffered, so abandoned entries can never accumulate in collBuf.
+	collHorizon map[GroupID]uint64
 
 	// error state vector
 	statevec []atomic.Uint32
+	// corruptPulse wakes collective waiters when a rank is marked corrupt,
+	// so a NACK from a dead member interrupts a parked collective promptly
+	// instead of letting it burn the full timeout.
+	corruptPulse pulse
 
 	// death handling
 	dead      chan struct{}
@@ -201,10 +211,15 @@ func (p *Proc) waitCond(pl *pulse, timeout time.Duration, cond func() bool) erro
 	}
 }
 
-// markCorrupt flips the state vector entry for rank r to StateCorrupt.
+// markCorrupt flips the state vector entry for rank r to StateCorrupt and
+// wakes collective waiters: a collective with a conclusively dead member
+// can never complete, so parked waiters re-check the member list and fail
+// fast with ErrConnBroken.
 func (p *Proc) markCorrupt(r Rank) {
 	if r >= 0 && int(r) < len(p.statevec) {
 		p.statevec[r].Store(uint32(StateCorrupt))
+		p.corruptPulse.Broadcast()
+		p.collPulse.Broadcast()
 	}
 }
 

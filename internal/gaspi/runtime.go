@@ -33,6 +33,13 @@ type Config struct {
 	// waits before they park (default DefaultSpinYields; see its doc for
 	// the tuning trade-off).
 	SpinYields int
+	// LegacyCollectives disables the registered-segment collective fast
+	// path: Barrier/Allreduce fall back to the pre-optimization two-sided
+	// message protocol. It exists so the hot-path benchmarks can measure
+	// the before/after delta in one binary (like spmvm.Engine.Legacy);
+	// every rank of a job shares the setting, so the paths never mix
+	// within a group.
+	LegacyCollectives bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,19 +114,20 @@ func Launch(cfg Config, main func(*Proc) error) *Job {
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		p := &Proc{
-			rank:      Rank(i),
-			n:         cfg.Procs,
-			cfg:       cfg,
-			job:       job,
-			ep:        tr.Endpoint(Rank(i)),
-			segs:      make(map[SegmentID]*segment),
-			groups:    make(map[GroupID]*group),
-			queues:    make([]*queue, cfg.Queues),
-			pending:   make(map[uint64]*pendingOp),
-			passiveCh: make(chan passiveMsg, cfg.PassiveDepth),
-			collBuf:   make(map[collKey][]byte),
-			statevec:  make([]atomic.Uint32, cfg.Procs),
-			dead:      make(chan struct{}),
+			rank:        Rank(i),
+			n:           cfg.Procs,
+			cfg:         cfg,
+			job:         job,
+			ep:          tr.Endpoint(Rank(i)),
+			segs:        make(map[SegmentID]*segment),
+			groups:      make(map[GroupID]*group),
+			queues:      make([]*queue, cfg.Queues),
+			pending:     make(map[uint64]*pendingOp),
+			passiveCh:   make(chan passiveMsg, cfg.PassiveDepth),
+			collBuf:     make(map[collKey][]byte),
+			collHorizon: make(map[GroupID]uint64),
+			statevec:    make([]atomic.Uint32, cfg.Procs),
+			dead:        make(chan struct{}),
 		}
 		for q := range p.queues {
 			p.queues[q] = &queue{id: QueueID(q)}
@@ -132,6 +140,9 @@ func Launch(cfg Config, main func(*Proc) error) *Job {
 			committed: true,
 			seq:       1,
 		}
+		// The all-group's collective segment exists before any application
+		// code runs, so no rank can observe a peer without it.
+		p.collSetup(p.groups[GroupAll])
 		job.procs[i] = p
 		job.results[i] = Result{Rank: Rank(i)}
 		// Registered-memory fast path: one-sided segment operations are

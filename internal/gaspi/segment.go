@@ -27,6 +27,9 @@ type segment struct {
 // application.
 func (p *Proc) SegmentCreate(id SegmentID, size int) error {
 	p.checkAlive()
+	if id < 0 {
+		return fmt.Errorf("%w: segment ids < 0 are reserved for the runtime", ErrInvalid)
+	}
 	if size < 0 {
 		return fmt.Errorf("%w: negative segment size", ErrInvalid)
 	}
@@ -35,7 +38,15 @@ func (p *Proc) SegmentCreate(id SegmentID, size int) error {
 	if _, ok := p.segs[id]; ok {
 		return fmt.Errorf("%w: segment %d already exists", ErrInvalid, id)
 	}
-	if len(p.segs) >= p.cfg.MaxSegments {
+	// Runtime-internal segments (negative ids — the per-group collective
+	// segments) do not consume the application's budget.
+	user := 0
+	for sid := range p.segs {
+		if sid >= 0 {
+			user++
+		}
+	}
+	if user >= p.cfg.MaxSegments {
 		return fmt.Errorf("%w: segment limit %d reached", ErrInvalid, p.cfg.MaxSegments)
 	}
 	p.segs[id] = &segment{
@@ -46,9 +57,14 @@ func (p *Proc) SegmentCreate(id SegmentID, size int) error {
 	return nil
 }
 
-// SegmentDelete frees a local segment (gaspi_segment_delete).
+// SegmentDelete frees a local segment (gaspi_segment_delete). Reserved
+// runtime segments (negative ids) are not deletable through the public
+// API; they live and die with their group.
 func (p *Proc) SegmentDelete(id SegmentID) error {
 	p.checkAlive()
+	if id < 0 {
+		return fmt.Errorf("%w: segment ids < 0 are reserved for the runtime", ErrInvalid)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.segs[id]; !ok {

@@ -63,6 +63,10 @@ type Solver struct {
 	converged bool
 	// w is scratch for A·v.
 	w []float64
+	// red holds the reusable scalar-reduction buffers, so the
+	// per-iteration dot products and norms allocate nothing on the
+	// collective fast path.
+	red spmvm.DotScratch
 }
 
 // New creates a solver with the deterministic start vector. The start
@@ -102,7 +106,7 @@ func (s *Solver) ResetStart() error {
 	for i := range s.V {
 		s.V[i] = startEntry(s.opts.Seed, lo+int64(i))
 	}
-	norm, err := spmvm.Norm2(s.comm, s.V)
+	norm, err := s.red.Norm2(s.comm, s.V)
 	if err != nil {
 		return err
 	}
@@ -147,14 +151,14 @@ func (s *Solver) Step() error {
 	if err := s.eng.SpMV(s.V, s.w, s.It); err != nil {
 		return err
 	}
-	alpha, err := spmvm.Dot(s.comm, s.w, s.V)
+	alpha, err := s.red.Dot(s.comm, s.w, s.V)
 	if err != nil {
 		return err
 	}
 	for i := range s.w {
 		s.w[i] -= alpha*s.V[i] + s.beta*s.VPrev[i]
 	}
-	betaNext, err := spmvm.Norm2(s.comm, s.w)
+	betaNext, err := s.red.Norm2(s.comm, s.w)
 	if err != nil {
 		return err
 	}

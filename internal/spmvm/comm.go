@@ -60,6 +60,14 @@ type Comm interface {
 	Barrier() error
 }
 
+// CollInto is the optional allocation-free collective extension of Comm:
+// an allreduce writing its result into a caller-provided vector, backed by
+// the registered-segment collective fast path. Implementations that can
+// offer it (Direct, ft.Worker) do; Dot and Norm2 use it when present.
+type CollInto interface {
+	AllreduceF64Into(in, out []float64, op gaspi.ReduceOp) error
+}
+
 // Direct is the baseline Comm: a plain pass-through to GASPI with a static
 // logical→physical mapping (logical L ↔ physical Base+L) and no failure
 // handling. It is what the application would use without the paper's fault
@@ -79,6 +87,7 @@ type Direct struct {
 var (
 	_ Comm     = (*Direct)(nil)
 	_ FastComm = (*Direct)(nil)
+	_ CollInto = (*Direct)(nil)
 )
 
 func (d *Direct) timeout() time.Duration {
@@ -136,6 +145,11 @@ func (d *Direct) PassiveReceive() (int, []byte, error) {
 // AllreduceF64 implements Comm.
 func (d *Direct) AllreduceF64(in []float64, op gaspi.ReduceOp) ([]float64, error) {
 	return d.P.AllreduceF64(d.Group, in, op, d.timeout())
+}
+
+// AllreduceF64Into implements CollInto.
+func (d *Direct) AllreduceF64Into(in, out []float64, op gaspi.ReduceOp) error {
+	return d.P.AllreduceF64Into(d.Group, in, out, op, d.timeout())
 }
 
 // AllreduceI64 implements Comm.

@@ -424,12 +424,30 @@ func mulRange(s *splitCSR, x, y []float64, add bool, lo, hi int) {
 	}
 }
 
+// DotScratch holds the reusable single-element reduction buffers of the
+// scalar collectives. Slicing its (heap-resident) arrays through the
+// CollInto interface call allocates nothing, so a caller holding one —
+// the Lanczos solver keeps one per instance — runs its per-iteration dot
+// products and norms allocation-free end to end on the fast path.
+type DotScratch struct {
+	in, out [1]float64
+}
+
 // Dot computes the global dot product of the owned chunks a·b via local
-// accumulation plus an Allreduce.
-func Dot(c Comm, a, b []float64) (float64, error) {
+// accumulation plus an Allreduce, taking the Into form of the collective
+// when the Comm offers it (the registered-segment fast path runs the
+// single-element reduction without encode/decode).
+func (d *DotScratch) Dot(c Comm, a, b []float64) (float64, error) {
 	var local float64
 	for i := range a {
 		local += a[i] * b[i]
+	}
+	if ci, ok := c.(CollInto); ok {
+		d.in[0] = local
+		if err := ci.AllreduceF64Into(d.in[:], d.out[:], gaspi.OpSum); err != nil {
+			return 0, err
+		}
+		return d.out[0], nil
 	}
 	out, err := c.AllreduceF64([]float64{local}, gaspi.OpSum)
 	if err != nil {
@@ -439,10 +457,23 @@ func Dot(c Comm, a, b []float64) (float64, error) {
 }
 
 // Norm2 computes the global 2-norm of the owned chunk.
-func Norm2(c Comm, a []float64) (float64, error) {
-	d, err := Dot(c, a, a)
+func (d *DotScratch) Norm2(c Comm, a []float64) (float64, error) {
+	v, err := d.Dot(c, a, a)
 	if err != nil {
 		return 0, err
 	}
-	return math.Sqrt(d), nil
+	return math.Sqrt(v), nil
+}
+
+// Dot is the stateless form of DotScratch.Dot for callers outside the
+// iteration hot loop.
+func Dot(c Comm, a, b []float64) (float64, error) {
+	var d DotScratch
+	return d.Dot(c, a, b)
+}
+
+// Norm2 is the stateless form of DotScratch.Norm2.
+func Norm2(c Comm, a []float64) (float64, error) {
+	var d DotScratch
+	return d.Norm2(c, a)
 }
