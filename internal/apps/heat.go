@@ -71,10 +71,13 @@ func (h *Heat) Init(ctx *core.Ctx, restore bool) error {
 		if ctx.CP == nil {
 			return errors.New("apps: recovery requires checkpointing enabled")
 		}
-		blob, err := ctx.CP.Fetch(ctx.Cfg.PlanName, ctx.Logical, core.PlanVersion)
+		// See Lanczos.Init: plan-restore provenance rides the same
+		// counters as the state restore.
+		blob, src, err := ctx.CP.FetchFrom(ctx.Cfg.PlanName, ctx.Logical, core.PlanVersion)
 		if err != nil {
 			return err
 		}
+		ctx.Rec.Inc("core.restore_from_"+src.String(), 1)
 		plan, err := spmvm.DecodePlan(blob)
 		if err != nil {
 			return err

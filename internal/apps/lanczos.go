@@ -72,10 +72,14 @@ func (a *Lanczos) Init(ctx *core.Ctx, restore bool) error {
 		if ctx.CP == nil {
 			return errors.New("apps: recovery requires checkpointing enabled")
 		}
-		blob, err := ctx.CP.Fetch(ctx.Cfg.PlanName, ctx.Logical, core.PlanVersion)
+		// FetchFrom, not Fetch: the plan restore's provenance feeds the
+		// same core.restore_from_* counters as the state restore, so the
+		// traced source can never disagree with the replica actually used.
+		blob, src, err := ctx.CP.FetchFrom(ctx.Cfg.PlanName, ctx.Logical, core.PlanVersion)
 		if err != nil {
 			return fmt.Errorf("apps: plan checkpoint: %w", err)
 		}
+		ctx.Rec.Inc("core.restore_from_"+src.String(), 1)
 		plan, err := spmvm.DecodePlan(blob)
 		if err != nil {
 			return err

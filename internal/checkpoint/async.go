@@ -71,7 +71,8 @@ func newAsyncWriter(l *Library) *asyncWriter {
 
 // stage encodes the checkpoint into a free buffer half and hands it to the
 // writer goroutine. It never touches the storage tiers: the only cost the
-// application observes is the frame encode plus, when the writer has
+// application observes is the frame encode (with the delta engine on, the
+// chunk-hash diff plus the dirty chunks only) and, when the writer has
 // fallen two epochs behind, the back-pressure wait for a free buffer.
 func (w *asyncWriter) stage(name string, logical int, version int64, payload []byte) error {
 	var b *cpBuffer
@@ -89,7 +90,7 @@ func (w *asyncWriter) stage(name string, logical int, version int64, payload []b
 			return ErrStopped
 		}
 	}
-	blob, err := encodeInto(b.data[:0], logical, version, payload, w.l.cfg.Compress)
+	blob, err := w.l.encodeNext(b.data[:0], name, logical, version, payload)
 	if err != nil {
 		w.free <- b
 		return err
@@ -216,7 +217,7 @@ func (w *asyncWriter) push(b *cpBuffer, nb int) error {
 	if l.aborted() {
 		return errAborted
 	}
-	return l.cl.TransferMeta(l.nodeID, nb, SealKey(b.key), sealBlob(b.version))
+	return l.cl.TransferMeta(l.nodeID, nb, SealKey(b.key), sealFor(blob, b.version))
 }
 
 // Stats returns the async writer's counters; zero when the library runs in

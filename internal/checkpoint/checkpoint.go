@@ -127,6 +127,19 @@ type Config struct {
 	// checkpoint or neighbor replication will fail (visible via Err and
 	// ErrCount).
 	StreamBytes int
+	// FullEvery enables the incremental delta engine: every FullEvery-th
+	// generation of a checkpoint family is a self-contained full base and
+	// the generations between are dirty-chunk deltas (chunked at
+	// ChunkSize, chained by generation tag; see delta.go). 0 or 1 keeps
+	// the legacy full-blob format — the pre-delta path, selectable for
+	// before/after comparisons. Ignored when Compress is set (compressed
+	// payloads have no stable chunk identity to diff).
+	FullEvery int
+	// SequentialRestore disables the striped multi-source fetcher: every
+	// restore walks the storage tiers one at a time and reads whole blobs
+	// (the pre-striping path, kept selectable for the recovery-bandwidth
+	// before/after benchmark).
+	SequentialRestore bool
 }
 
 // DefaultChunkBytes is the replication chunk granularity when
@@ -170,6 +183,17 @@ type Library struct {
 	sendMu sync.Mutex
 
 	async *asyncWriter // non-nil in CheckpointMode Async
+
+	// deltaMu guards the incremental engine's chunk-hash tables and
+	// counters (see delta.go). Writes are single-threaded per library, but
+	// the reset on SetWorkerNodes and the stats readers are not.
+	deltaMu sync.Mutex
+	deltas  map[deltaKey]*deltaState
+	dstats  DeltaStats
+
+	// stripeHook, when set (tests only), runs before every striped range
+	// read; the striped-restore fault tests kill a source node under it.
+	stripeHook func(nodeID int, stripe int)
 
 	errMu    sync.Mutex
 	lastErr  error
@@ -257,6 +281,11 @@ func New(cl *cluster.Cluster, nodeID int, cfg Config) *Library {
 	if cfg.Name == "" {
 		cfg.Name = "cp"
 	}
+	if cfg.Compress {
+		// Compressed payloads shift under the chunk grid on any edit; the
+		// delta engine needs stable chunk identity, so it is disabled.
+		cfg.FullEvery = 0
+	}
 	l := &Library{
 		cl:       cl,
 		nodeID:   nodeID,
@@ -275,8 +304,12 @@ func New(cl *cluster.Cluster, nodeID int, cfg Config) *Library {
 
 // SetWorkerNodes informs the library of the current set of worker nodes;
 // the neighbor is the next node in the sorted ring. This is the fault-aware
-// refresh hook called after every recovery.
+// refresh hook called after every recovery. It also re-bases the delta
+// engine: the next generation of every checkpoint family is written as a
+// full base, so fresh chains never depend on replicas that may have died
+// with the failed node.
 func (l *Library) SetWorkerNodes(nodes []int) {
+	l.resetDeltaState()
 	sorted := append([]int(nil), nodes...)
 	sort.Ints(sorted)
 	nb := -1
@@ -363,7 +396,7 @@ func (l *Library) Write(name string, logical int, version int64, payload []byte)
 	if l.async != nil {
 		return l.async.stage(name, logical, version, payload)
 	}
-	blob, err := encode(logical, version, payload, l.cfg.Compress)
+	blob, err := l.encodeNext(nil, name, logical, version, payload)
 	if err != nil {
 		return err
 	}
@@ -422,27 +455,40 @@ func (l *Library) doCopy(req copyReq) {
 
 // replicate is the post-local-commit sequence shared by both commit
 // disciplines: neighbor push (through pushFn, which differs per
-// discipline), optional PFS copy, and pruning. The neighbor is pruned
-// only when this version's replica landed there — under a persistently
-// failing push, pruning would otherwise erase the only off-node copies
-// version by version.
+// discipline), optional PFS copy, and pruning. The neighbor push and the
+// PFS copy run concurrently — they target independent storage tiers, and
+// serializing them on the single copier goroutine made PFS-enabled
+// configs pay the sum of the two flush latencies per version. The
+// neighbor is pruned only when this version's replica landed there —
+// under a persistently failing push, pruning would otherwise erase the
+// only off-node copies version by version.
 func (l *Library) replicate(name, key string, logical int, version int64, blob []byte, toPFS bool, pushFn func(nb int) error) {
 	l.mu.Lock()
 	nb := l.neighbor
 	l.mu.Unlock()
 	pushed := false
+	var wg sync.WaitGroup
 	if nb >= 0 {
-		if err := pushFn(nb); err != nil {
-			l.setErr(fmt.Errorf("checkpoint: neighbor copy of %s to node %d: %w", key, nb, err))
-		} else {
-			pushed = true
-		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := pushFn(nb); err != nil {
+				l.setErr(fmt.Errorf("checkpoint: neighbor copy of %s to node %d: %w", key, nb, err))
+			} else {
+				pushed = true
+			}
+		}()
 	}
 	if toPFS {
-		if err := l.putPFS(key, blob, version); err != nil {
-			l.setErr(err)
-		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.putPFS(key, blob, version); err != nil {
+				l.setErr(err)
+			}
+		}()
 	}
+	wg.Wait()
 	if l.cfg.KeepVersions > 0 {
 		pruneNb := -1
 		if pushed {
@@ -459,7 +505,7 @@ func (l *Library) putLocal(key string, blob []byte, version int64) error {
 	if err := l.cl.Node(l.nodeID).Put(key, blob, l.storage()); err != nil {
 		return fmt.Errorf("checkpoint: local write: %w", err)
 	}
-	if err := l.cl.Node(l.nodeID).PutMeta(SealKey(key), sealBlob(version)); err != nil {
+	if err := l.cl.Node(l.nodeID).PutMeta(SealKey(key), sealFor(blob, version)); err != nil {
 		return fmt.Errorf("checkpoint: local seal: %w", err)
 	}
 	return nil
@@ -470,7 +516,7 @@ func (l *Library) putPFS(key string, blob []byte, version int64) error {
 	if err := l.cl.PFS().Put(key, blob); err != nil {
 		return fmt.Errorf("checkpoint: PFS write of %s: %w", key, err)
 	}
-	if err := l.cl.PFS().PutMeta(SealKey(key), sealBlob(version)); err != nil {
+	if err := l.cl.PFS().PutMeta(SealKey(key), sealFor(blob, version)); err != nil {
 		return fmt.Errorf("checkpoint: PFS seal of %s: %w", key, err)
 	}
 	return nil
@@ -491,13 +537,39 @@ func (l *Library) pushNeighbor(nb int, key string, blob []byte, version int64) e
 	if err := l.cl.Transfer(l.nodeID, nb, key, blob); err != nil {
 		return err
 	}
-	return l.cl.TransferMeta(l.nodeID, nb, SealKey(key), sealBlob(version))
+	return l.cl.TransferMeta(l.nodeID, nb, SealKey(key), sealFor(blob, version))
 }
 
 // prune removes versions older than the newest KeepVersions (data and
-// seals) from the local node and the current neighbor.
+// seals) from the local node and the current neighbor. With the delta
+// engine on, the limit is lowered to the newest full base at or below it:
+// a kept delta's chain never reaches past the last full base before it,
+// so keeping [base, newest] keeps every kept version restorable.
 func (l *Library) prune(name string, logical int, newest int64, nb int) {
 	limit := newest - int64(l.cfg.KeepVersions) + 1
+	if l.deltaEnabled() {
+		base := int64(-1)
+		node := l.cl.Node(l.nodeID)
+		for _, k := range node.Keys() {
+			dataKey, isSeal := strings.CutSuffix(k, sealSuffix)
+			if !isSeal {
+				continue
+			}
+			kn, kl, kv, ok := parseKey(dataKey)
+			if !ok || kn != name || kl != logical || kv > limit || kv <= base {
+				continue
+			}
+			if blob, ok := node.GetMeta(k); ok {
+				if _, ci, ok := parseSeal(blob); ok && ci.kind != KindDelta {
+					base = kv
+				}
+			}
+		}
+		if base < 0 {
+			return // no reachable full base below the limit: keep everything
+		}
+		limit = base
+	}
 	for _, nodeID := range []int{l.nodeID, nb} {
 		if nodeID < 0 {
 			continue
@@ -557,43 +629,6 @@ func (l *Library) setErr(err error) {
 	l.errMu.Unlock()
 }
 
-// FindLatest returns the newest COMPLETE version of (name, logical) that
-// is fetchable from any alive node or the PFS. Only sealed replicas count:
-// a copy whose flush was torn by a failure (data present, seal absent)
-// is invisible here, which is what lets the recovery path agree on the
-// newest restorable version instead of a version that exists nowhere
-// intact. ok is false when none exists anywhere.
-func (l *Library) FindLatest(name string, logical int) (int64, bool) {
-	best := int64(-1)
-	found := false
-	considerStore := func(keys []string) {
-		sealed := make(map[string]bool)
-		for _, k := range keys {
-			if strings.HasSuffix(k, sealSuffix) {
-				sealed[strings.TrimSuffix(k, sealSuffix)] = true
-			}
-		}
-		for _, k := range keys {
-			kn, kl, kv, ok := parseKey(k)
-			if ok && kn == name && kl == logical && kv > best && sealed[k] {
-				best = kv
-				found = true
-			}
-		}
-	}
-	for nodeID := 0; nodeID < l.cl.NumNodes(); nodeID++ {
-		if !l.cl.NodeAlive(nodeID) {
-			continue
-		}
-		considerStore(l.cl.Node(nodeID).Keys())
-	}
-	considerStore(l.cl.PFS().Keys())
-	if !found {
-		return 0, false
-	}
-	return best, true
-}
-
 // RestoreSource classifies where a restored checkpoint replica was found
 // — the storage-tier fallback order FetchFrom walks.
 type RestoreSource int
@@ -631,77 +666,53 @@ func (s RestoreSource) String() string {
 }
 
 // Fetch retrieves and verifies checkpoint (name, logical, version),
-// falling back local → neighbor → other alive nodes → PFS.
+// falling back local → neighbor → other alive nodes → PFS. Callers that
+// trace restore provenance must use FetchFrom instead — Fetch discards
+// the source classification.
 func (l *Library) Fetch(name string, logical int, version int64) ([]byte, error) {
 	payload, _, err := l.FetchFrom(name, logical, version)
 	return payload, err
-}
-
-// FetchFrom is Fetch reporting the replica's source. The walk order is
-// the node-down recovery policy: the local store first (intact after a
-// mere process death), then the ring neighbor (the replica that survives
-// a whole-node loss), then every other alive node (a replica can sit on
-// the failed process's own still-alive node, or on a pre-recovery
-// neighbor after the ring moved), and the PFS last. Corrupt replicas are
-// skipped — a damaged local copy falls back to the neighbor's.
-func (l *Library) FetchFrom(name string, logical int, version int64) ([]byte, RestoreSource, error) {
-	key := Key(name, logical, version)
-	tryNode := func(nodeID int) ([]byte, bool) {
-		if nodeID < 0 || !l.cl.NodeAlive(nodeID) {
-			return nil, false
-		}
-		blob, err := l.cl.Node(nodeID).Get(key, l.storage())
-		if err != nil {
-			return nil, false
-		}
-		payload, lr, v, err := decode(blob)
-		if err != nil || lr != logical || v != version {
-			return nil, false
-		}
-		return payload, true
-	}
-	if p, ok := tryNode(l.nodeID); ok {
-		return p, RestoreLocal, nil
-	}
-	nb := l.Neighbor()
-	if p, ok := tryNode(nb); ok {
-		return p, RestoreNeighbor, nil
-	}
-	for nodeID := 0; nodeID < l.cl.NumNodes(); nodeID++ {
-		if nodeID == l.nodeID || nodeID == nb {
-			continue
-		}
-		if p, ok := tryNode(nodeID); ok {
-			return p, RestoreRemote, nil
-		}
-	}
-	if blob, err := l.cl.PFS().Get(key); err == nil {
-		if payload, lr, v, derr := decode(blob); derr == nil && lr == logical && v == version {
-			return payload, RestorePFS, nil
-		}
-	}
-	return nil, RestoreNone, fmt.Errorf("%w: %s", ErrNoCheckpoint, key)
 }
 
 func (l *Library) storage() cluster.StorageModel { return l.cl.Storage() }
 
 // StoreReplica commits a received checkpoint frame (data plus seal) to a
 // node's local store — the commit step a GASPI checkpoint-stream receiver
-// performs on behalf of its upstream neighbor. The frame is verified
-// before the seal is written, so a mangled stream can never produce a
-// sealed-but-corrupt replica.
+// performs on behalf of its upstream neighbor. The frame (full or delta)
+// is verified before the seal is written, so a mangled stream can never
+// produce a sealed-but-corrupt replica; the seal echoes the frame's chain
+// identity so the restore side can resolve base+delta chains from
+// metadata alone.
 func StoreReplica(cl *cluster.Cluster, nodeID int, key string, blob []byte) error {
+	n := cl.Node(nodeID)
+	return storeReplicaTo(
+		func(k string, b []byte) error { return n.Put(k, b, cl.Storage()) },
+		n.PutMeta, key, blob)
+}
+
+// StorePFSReplica commits a verified checkpoint frame (data plus seal) to
+// the parallel file system — StoreReplica's PFS twin, used by harnesses
+// that widen a checkpoint's replica set by hand (the restore-bandwidth
+// benchmark seeds one generation across several stores with it).
+func StorePFSReplica(cl *cluster.Cluster, key string, blob []byte) error {
+	return storeReplicaTo(cl.PFS().Put, cl.PFS().PutMeta, key, blob)
+}
+
+// storeReplicaTo is the shared verify-then-commit sequence: reject
+// foreign keys, validate the frame (any kind), land the data, then the
+// chain-carrying seal.
+func storeReplicaTo(put, putMeta func(string, []byte) error, key string, blob []byte) error {
 	name, _, version, ok := parseKey(key)
 	if !ok {
 		return fmt.Errorf("checkpoint: replica under foreign key %q", key)
 	}
-	if _, _, _, err := decode(blob); err != nil {
+	if _, err := decodeFrame(blob); err != nil {
 		return fmt.Errorf("checkpoint: replica %s/%s: %w", name, key, err)
 	}
-	if err := cl.Node(nodeID).Put(key, blob, cl.Storage()); err != nil {
+	if err := put(key, blob); err != nil {
 		return err
 	}
-	return cl.Node(nodeID).PutMeta(SealKey(key), sealBlob(version))
+	return putMeta(SealKey(key), sealFor(blob, version))
 }
 
 // --- wire format -------------------------------------------------------------

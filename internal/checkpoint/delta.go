@@ -1,0 +1,513 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+)
+
+// The incremental delta engine. Iterative applications mutate only part of
+// their state between checkpoint epochs (a Lanczos step touches the two
+// rotating vectors, not the whole basis), yet the legacy write path ships
+// the full blob every interval — local commit, neighbor replication, and
+// the optional PFS copy all pay for bytes that did not change. With
+// Config.FullEvery > 1 the library chunks each payload at the replication
+// granularity (Config.ChunkSize), keeps a per-(name,logical) chunk-hash
+// table, and writes only the dirty chunks as a *delta generation* chained
+// onto the previous generation; every FullEvery-th generation is a
+// self-contained full base so chains stay short.
+//
+// Chain identity. Restoring a delta requires the exact payload it was
+// diffed against. Version numbers alone cannot guarantee that: after a
+// recovery the application re-executes iterations, overwriting a version
+// with a different (post-regroup floating-point trajectory) payload, and a
+// surviving pre-failure delta chained onto the overwritten version would
+// reassemble garbage. Every generation therefore carries a process-unique
+// generation tag; a delta records the tag of its predecessor, and both
+// tags are replicated in the frame and echoed into the seal. The restore
+// side only links a delta to a replica whose seal carries the matching
+// tag, so a forked chain is detected as broken (and an older intact chain
+// is selected) instead of being silently mis-assembled. As a second line
+// of defense each delta carries a CRC of the complete reassembled payload.
+//
+// The legacy full-blob format (FullEvery <= 1, the default) is untouched
+// and remains selectable for before/after comparisons.
+
+// Frame kinds (FrameKind classifies an encoded checkpoint frame).
+type FrameKind byte
+
+// Frame kinds.
+const (
+	// KindLegacy is the untagged full-blob frame (GCP1/GCP2): the
+	// pre-delta format, still written when the delta engine is disabled.
+	KindLegacy FrameKind = iota
+	// KindFull is a generation-tagged full base frame (GCP4).
+	KindFull
+	// KindDelta is a dirty-chunk delta frame (GCP3) chained onto the
+	// previous generation.
+	KindDelta
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindDelta:
+		return "delta"
+	default:
+		return "legacy"
+	}
+}
+
+// chainInfo is the chain identity of a frame: its own generation tag and,
+// for deltas, the tag and version of the generation it applies on top of.
+type chainInfo struct {
+	kind    FrameKind
+	gen     uint64
+	prevGen uint64
+	prevVer int64
+}
+
+// genCounter issues process-unique generation tags. The whole simulated
+// cluster lives in one OS process, so a single atomic counter makes tags
+// unique across every rank and every library instance; 0 is reserved for
+// "untagged" (legacy frames).
+var genCounter atomic.Uint64
+
+func nextGen() uint64 { return genCounter.Add(1) }
+
+// crcFull is the CRC polynomial used for the end-to-end reassembly check
+// (Castagnoli: hardware-accelerated on amd64/arm64).
+var crcFull = crc32.MakeTable(crc32.Castagnoli)
+
+// chunkHash is the dirty-chunk detector: a 64-bit multiply-mix hash
+// processing 8 bytes per step (the per-epoch hashing of the whole payload
+// is on the checkpoint visible-cost path, so a byte-wise FNV would eat the
+// delta savings). Not cryptographic, but 64 bits of well-mixed state make
+// an accidental clean/dirty misclassification practically impossible.
+func chunkHash(b []byte) uint64 {
+	const m1 = 0x9E3779B185EBCA87
+	const m2 = 0xC2B2AE3D27D4EB4F
+	h := uint64(len(b))*m1 + m2
+	for len(b) >= 8 {
+		h = (h ^ hashMix(binary.LittleEndian.Uint64(b)*m2)) * m1
+		b = b[8:]
+	}
+	var tail uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		tail = tail<<8 | uint64(b[i])
+	}
+	h = (h ^ hashMix(tail*m2+m1)) * m1
+	return hashMix(h)
+}
+
+func hashMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 29
+	return x
+}
+
+// deltaKey identifies one checkpoint family's chain state.
+type deltaKey struct {
+	name    string
+	logical int
+}
+
+// deltaState is the per-(name,logical) chunk-hash table: the hashes of the
+// last staged payload (what the next delta is diffed against), the chain
+// head, and the full-base cadence counter.
+type deltaState struct {
+	hashes    []uint64 // chunk hashes of the last staged payload
+	scratch   []uint64 // next generation's hashes (swapped, not reallocated)
+	lastVer   int64
+	lastGen   uint64
+	sinceFull int
+}
+
+// DeltaStats describes what the delta write path has done (totals since
+// New). FullBytes/DeltaBytes are encoded frame sizes — the bytes that hit
+// the local store and the replication transports.
+type DeltaStats struct {
+	FullFrames  int64
+	DeltaFrames int64
+	FullBytes   int64
+	DeltaBytes  int64
+	DirtyChunks int64
+	TotalChunks int64
+}
+
+// DeltaStats returns the delta engine's counters (zero when the engine is
+// disabled).
+func (l *Library) DeltaStats() DeltaStats {
+	l.deltaMu.Lock()
+	defer l.deltaMu.Unlock()
+	return l.dstats
+}
+
+// deltaEnabled reports whether the incremental engine is active.
+func (l *Library) deltaEnabled() bool { return l.cfg.FullEvery > 1 }
+
+// resetDeltaState drops every chunk-hash table, forcing the next write of
+// each family to be a full base. Called by SetWorkerNodes: after a
+// recovery the surviving replicas of recent generations may be gone with
+// the failed node, and re-basing bounds the window during which new deltas
+// would chain onto unreachable predecessors.
+func (l *Library) resetDeltaState() {
+	l.deltaMu.Lock()
+	l.deltas = nil
+	l.deltaMu.Unlock()
+}
+
+// encodeNext encodes the next generation of (name, logical) into dst's
+// backing array: the legacy full blob when the delta engine is off, and
+// otherwise a tagged full base or a dirty-chunk delta per the FullEvery
+// cadence. It updates the chunk-hash table, so generations follow staging
+// order (the async writer stages strictly in Write order).
+func (l *Library) encodeNext(dst []byte, name string, logical int, version int64, payload []byte) ([]byte, error) {
+	if !l.deltaEnabled() {
+		return encodeInto(dst, logical, version, payload, l.cfg.Compress)
+	}
+	l.deltaMu.Lock()
+	defer l.deltaMu.Unlock()
+	if l.deltas == nil {
+		l.deltas = make(map[deltaKey]*deltaState)
+	}
+	k := deltaKey{name: name, logical: logical}
+	st := l.deltas[k]
+	if st == nil {
+		st = &deltaState{}
+		l.deltas[k] = st
+	}
+	chunk := l.cfg.ChunkSize()
+	n := (len(payload) + chunk - 1) / chunk
+	if cap(st.scratch) < n {
+		st.scratch = make([]uint64, n)
+	}
+	cur := st.scratch[:n]
+	for i := 0; i < n; i++ {
+		end := min((i+1)*chunk, len(payload))
+		cur[i] = chunkHash(payload[i*chunk : end])
+	}
+	gen := nextGen()
+	var blob []byte
+	var err error
+	if st.lastGen == 0 || st.sinceFull+1 >= l.cfg.FullEvery {
+		blob, err = encodeFullInto(dst, logical, version, gen, payload)
+		if err != nil {
+			return nil, err
+		}
+		st.sinceFull = 0
+		l.dstats.FullFrames++
+		l.dstats.FullBytes += int64(len(blob))
+	} else {
+		blob = encodeDeltaInto(dst, logical, version, chainInfo{
+			kind: KindDelta, gen: gen, prevGen: st.lastGen, prevVer: st.lastVer,
+		}, payload, chunk, st.hashes, cur, &l.dstats)
+		st.sinceFull++
+		l.dstats.DeltaFrames++
+		l.dstats.DeltaBytes += int64(len(blob))
+	}
+	l.dstats.TotalChunks += int64(n)
+	st.hashes, st.scratch = cur, st.hashes
+	st.lastVer = version
+	st.lastGen = gen
+	return blob, nil
+}
+
+// --- tagged wire formats -----------------------------------------------------
+
+const (
+	// magicFull tags a generation-carrying full base frame ("GCP4").
+	magicFull = uint32(0x34504347)
+	// magicDelta tags a dirty-chunk delta frame ("GCP3").
+	magicDelta = uint32(0x33504347)
+	// fullBodyHeader is the [8B gen] prefix of a GCP4 body.
+	fullBodyHeader = 8
+	// deltaBodyHeader is the fixed prefix of a GCP3 body:
+	// [8B gen][8B prevGen][8B prevVer][8B fullLen][4B fullCRC]
+	// [4B chunkSize][4B nDirty].
+	deltaBodyHeader = 8 + 8 + 8 + 8 + 4 + 4 + 4
+	// deltaChunkHeader prefixes each dirty chunk: [4B index][4B length].
+	deltaChunkHeader = 8
+)
+
+// stampFrame writes the shared 28-byte header (magic, identity, body
+// length) into blob and stamps the CRC over header+body.
+func stampFrame(blob []byte, m uint32, logical int, version int64) {
+	binary.LittleEndian.PutUint32(blob[0:], m)
+	binary.LittleEndian.PutUint32(blob[4:], uint32(logical))
+	binary.LittleEndian.PutUint64(blob[8:], uint64(version))
+	binary.LittleEndian.PutUint64(blob[16:], uint64(len(blob)-headerLen))
+	crc := crc32.ChecksumIEEE(blob[:24])
+	crc = crc32.Update(crc, crc32.IEEETable, blob[headerLen:])
+	binary.LittleEndian.PutUint32(blob[24:], crc)
+}
+
+// grow returns dst resized to need, reusing its backing array when large
+// enough (the async writer's buffers must be reusable across epochs).
+func grow(dst []byte, need int) []byte {
+	if cap(dst) >= need {
+		return dst[:need]
+	}
+	return make([]byte, need)
+}
+
+// encodeFullInto frames a generation-tagged full base (GCP4).
+func encodeFullInto(dst []byte, logical int, version int64, gen uint64, payload []byte) ([]byte, error) {
+	blob := grow(dst, headerLen+fullBodyHeader+len(payload))
+	binary.LittleEndian.PutUint64(blob[headerLen:], gen)
+	copy(blob[headerLen+fullBodyHeader:], payload)
+	stampFrame(blob, magicFull, logical, version)
+	return blob, nil
+}
+
+// encodeDeltaInto frames the dirty chunks of payload (those whose hash
+// differs from prev, plus any chunk beyond prev's table) as a delta
+// generation (GCP3).
+func encodeDeltaInto(dst []byte, logical int, version int64, ci chainInfo, payload []byte, chunk int, prev, cur []uint64, ds *DeltaStats) []byte {
+	// Size the frame: one header per dirty chunk plus its bytes.
+	need := headerLen + deltaBodyHeader
+	dirty := 0
+	for i := range cur {
+		if i < len(prev) && prev[i] == cur[i] {
+			continue
+		}
+		end := min((i+1)*chunk, len(payload))
+		need += deltaChunkHeader + (end - i*chunk)
+		dirty++
+	}
+	blob := grow(dst, need)
+	b := blob[headerLen:]
+	binary.LittleEndian.PutUint64(b[0:], ci.gen)
+	binary.LittleEndian.PutUint64(b[8:], ci.prevGen)
+	binary.LittleEndian.PutUint64(b[16:], uint64(ci.prevVer))
+	binary.LittleEndian.PutUint64(b[24:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(b[32:], crc32.Checksum(payload, crcFull))
+	binary.LittleEndian.PutUint32(b[36:], uint32(chunk))
+	binary.LittleEndian.PutUint32(b[40:], uint32(dirty))
+	off := deltaBodyHeader
+	for i := range cur {
+		if i < len(prev) && prev[i] == cur[i] {
+			continue
+		}
+		end := min((i+1)*chunk, len(payload))
+		binary.LittleEndian.PutUint32(b[off:], uint32(i))
+		binary.LittleEndian.PutUint32(b[off+4:], uint32(end-i*chunk))
+		copy(b[off+deltaChunkHeader:], payload[i*chunk:end])
+		off += deltaChunkHeader + (end - i*chunk)
+	}
+	if ds != nil {
+		ds.DirtyChunks += int64(dirty)
+	}
+	stampFrame(blob, magicDelta, logical, version)
+	return blob
+}
+
+// frame is a decoded checkpoint frame of any kind. For full kinds payload
+// is the application payload; for deltas the dirty chunks reference the
+// frame blob (no copy).
+type frame struct {
+	chain   chainInfo
+	logical int
+	version int64
+	payload []byte // KindLegacy / KindFull
+
+	// Delta fields.
+	fullLen   int
+	fullCRC   uint32
+	chunkSize int
+	dirty     []deltaChunk
+}
+
+type deltaChunk struct {
+	idx  int
+	data []byte
+}
+
+// decodeFrame validates any checkpoint frame (CRC over header and body)
+// and returns its decoded form.
+func decodeFrame(blob []byte) (*frame, error) {
+	if len(blob) < headerLen {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	m := binary.LittleEndian.Uint32(blob[0:])
+	switch m {
+	case magic, magicGzip:
+		payload, logical, version, err := decode(blob)
+		if err != nil {
+			return nil, err
+		}
+		return &frame{chain: chainInfo{kind: KindLegacy}, logical: logical, version: version, payload: payload}, nil
+	case magicFull, magicDelta:
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	logical := int(int32(binary.LittleEndian.Uint32(blob[4:])))
+	version := int64(binary.LittleEndian.Uint64(blob[8:]))
+	n := binary.LittleEndian.Uint64(blob[16:])
+	if uint64(len(blob)-headerLen) != n {
+		return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
+	}
+	body := blob[headerLen:]
+	crc := crc32.ChecksumIEEE(blob[:24])
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	if crc != binary.LittleEndian.Uint32(blob[24:]) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	if m == magicFull {
+		if len(body) < fullBodyHeader {
+			return nil, fmt.Errorf("%w: truncated full body", ErrCorrupt)
+		}
+		return &frame{
+			chain:   chainInfo{kind: KindFull, gen: binary.LittleEndian.Uint64(body[0:])},
+			logical: logical,
+			version: version,
+			payload: body[fullBodyHeader:],
+		}, nil
+	}
+	if len(body) < deltaBodyHeader {
+		return nil, fmt.Errorf("%w: truncated delta body", ErrCorrupt)
+	}
+	f := &frame{
+		chain: chainInfo{
+			kind:    KindDelta,
+			gen:     binary.LittleEndian.Uint64(body[0:]),
+			prevGen: binary.LittleEndian.Uint64(body[8:]),
+			prevVer: int64(binary.LittleEndian.Uint64(body[16:])),
+		},
+		logical:   logical,
+		version:   version,
+		fullLen:   int(binary.LittleEndian.Uint64(body[24:])),
+		fullCRC:   binary.LittleEndian.Uint32(body[32:]),
+		chunkSize: int(binary.LittleEndian.Uint32(body[36:])),
+	}
+	nDirty := int(binary.LittleEndian.Uint32(body[40:]))
+	if f.chunkSize <= 0 || nDirty < 0 || f.fullLen < 0 {
+		return nil, fmt.Errorf("%w: bad delta geometry", ErrCorrupt)
+	}
+	off := deltaBodyHeader
+	f.dirty = make([]deltaChunk, 0, nDirty)
+	for i := 0; i < nDirty; i++ {
+		if off+deltaChunkHeader > len(body) {
+			return nil, fmt.Errorf("%w: truncated delta chunk table", ErrCorrupt)
+		}
+		idx := int(binary.LittleEndian.Uint32(body[off:]))
+		cl := int(binary.LittleEndian.Uint32(body[off+4:]))
+		off += deltaChunkHeader
+		if cl < 0 || off+cl > len(body) ||
+			idx < 0 || idx*f.chunkSize >= f.fullLen || idx*f.chunkSize+cl > f.fullLen {
+			return nil, fmt.Errorf("%w: delta chunk out of range", ErrCorrupt)
+		}
+		f.dirty = append(f.dirty, deltaChunk{idx: idx, data: body[off : off+cl]})
+		off += cl
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: trailing delta bytes", ErrCorrupt)
+	}
+	return f, nil
+}
+
+// frameChain reads a frame's chain identity without the full CRC pass
+// (used on the seal-write path, where the frame was just encoded or
+// already verified).
+func frameChain(blob []byte) chainInfo {
+	if len(blob) < headerLen {
+		return chainInfo{kind: KindLegacy}
+	}
+	switch binary.LittleEndian.Uint32(blob[0:]) {
+	case magicFull:
+		if len(blob) >= headerLen+fullBodyHeader {
+			return chainInfo{kind: KindFull, gen: binary.LittleEndian.Uint64(blob[headerLen:])}
+		}
+	case magicDelta:
+		if len(blob) >= headerLen+deltaBodyHeader {
+			b := blob[headerLen:]
+			return chainInfo{
+				kind:    KindDelta,
+				gen:     binary.LittleEndian.Uint64(b[0:]),
+				prevGen: binary.LittleEndian.Uint64(b[8:]),
+				prevVer: int64(binary.LittleEndian.Uint64(b[16:])),
+			}
+		}
+	}
+	return chainInfo{kind: KindLegacy}
+}
+
+// IsDeltaFrame reports whether an encoded checkpoint blob is a delta
+// generation (the framework uses it to type checkpoint-stream pushes
+// without this package having to know about the stream).
+func IsDeltaFrame(blob []byte) bool {
+	return len(blob) >= 4 && binary.LittleEndian.Uint32(blob) == magicDelta
+}
+
+// applyDelta applies a delta frame's dirty chunks onto the predecessor's
+// payload and verifies the end-to-end CRC of the result. base is consumed
+// (resized/overwritten); the returned slice may share its backing array.
+func applyDelta(base []byte, f *frame) ([]byte, error) {
+	out := base
+	if cap(out) >= f.fullLen {
+		grown := out[:f.fullLen]
+		for i := len(out); i < f.fullLen; i++ {
+			grown[i] = 0
+		}
+		out = grown
+	} else {
+		grown := make([]byte, f.fullLen)
+		copy(grown, out)
+		out = grown
+	}
+	for _, c := range f.dirty {
+		copy(out[c.idx*f.chunkSize:], c.data)
+	}
+	if crc32.Checksum(out, crcFull) != f.fullCRC {
+		return nil, fmt.Errorf("%w: delta v%d reassembly CRC mismatch", ErrCorrupt, f.version)
+	}
+	return out, nil
+}
+
+// --- chain-aware seals -------------------------------------------------------
+
+// sealMagic2 marks the extended seal carrying chain identity.
+const sealMagic2 = uint32(0x4b4f4332) // "2COK"
+
+// sealBlobLen2 is the v2 seal length:
+// [4B magic][1B kind][3B pad][8B version][8B gen][8B prevGen][8B prevVer].
+const sealBlobLen2 = 40
+
+// sealFor builds the seal object for an encoded frame: the legacy
+// 12-byte seal for legacy frames, the extended chain-carrying seal for
+// tagged frames. The restore side resolves base+delta chains from seal
+// metadata alone, without fetching frame bodies.
+func sealFor(blob []byte, version int64) []byte {
+	ci := frameChain(blob)
+	if ci.kind == KindLegacy {
+		return sealBlob(version)
+	}
+	s := make([]byte, sealBlobLen2)
+	binary.LittleEndian.PutUint32(s[0:], sealMagic2)
+	s[4] = byte(ci.kind)
+	binary.LittleEndian.PutUint64(s[8:], uint64(version))
+	binary.LittleEndian.PutUint64(s[16:], ci.gen)
+	binary.LittleEndian.PutUint64(s[24:], ci.prevGen)
+	binary.LittleEndian.PutUint64(s[32:], uint64(ci.prevVer))
+	return s
+}
+
+// parseSeal decodes a seal object of either format.
+func parseSeal(blob []byte) (version int64, ci chainInfo, ok bool) {
+	switch {
+	case len(blob) == sealBlobLen2 && binary.LittleEndian.Uint32(blob) == sealMagic2:
+		ci = chainInfo{
+			kind:    FrameKind(blob[4]),
+			gen:     binary.LittleEndian.Uint64(blob[16:]),
+			prevGen: binary.LittleEndian.Uint64(blob[24:]),
+			prevVer: int64(binary.LittleEndian.Uint64(blob[32:])),
+		}
+		return int64(binary.LittleEndian.Uint64(blob[8:])), ci, true
+	case len(blob) >= 12 && binary.LittleEndian.Uint32(blob) == sealMagic:
+		return int64(binary.LittleEndian.Uint64(blob[4:])), chainInfo{kind: KindLegacy}, true
+	}
+	return 0, chainInfo{}, false
+}

@@ -279,6 +279,74 @@ func (n *Node) Get(key string, m StorageModel) ([]byte, error) {
 	return cp, nil
 }
 
+// GetMeta retrieves a small metadata object (e.g. a checkpoint seal)
+// without modeled storage latency, mirroring PutMeta. ok is false when the
+// node is down or the key is absent.
+func (n *Node) GetMeta(key string) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return nil, false
+	}
+	data, ok := n.store[key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true
+}
+
+// Size reports a stored object's length without reading it (a metadata
+// operation: no modeled transfer cost). ok is false when the node is down
+// or the key is absent.
+func (n *Node) Size(key string) (int, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return 0, false
+	}
+	data, ok := n.store[key]
+	if !ok {
+		return 0, false
+	}
+	return len(data), true
+}
+
+// GetRange reads length bytes at offset off of a stored object, costing
+// local-read time proportional to the range — the primitive the striped
+// multi-source restore uses to fan one blob's stripes out across several
+// replicas concurrently.
+func (n *Node) GetRange(key string, off, length int, m StorageModel) ([]byte, error) {
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return nil, ErrNodeDown
+	}
+	data, ok := n.store[key]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if off < 0 || length < 0 || off+length > len(data) {
+		return nil, fmt.Errorf("cluster: range [%d,%d) outside %s (%d bytes)", off, off+length, key, len(data))
+	}
+	sleep(m.LocalLatency + time.Duration(length)*m.LocalPerByte)
+	// Re-check liveness after the modeled read time: a node dying while
+	// the stripe was on the wire loses the stripe, like a real RDMA read.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return nil, ErrNodeDown
+	}
+	if cur, ok := n.store[key]; !ok || len(cur) != len(data) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	cp := make([]byte, length)
+	copy(cp, data[off:off+length])
+	return cp, nil
+}
+
 // Delete removes an object from the node's local store (no error if absent).
 func (n *Node) Delete(key string) {
 	n.mu.Lock()
@@ -427,6 +495,51 @@ func (p *PFS) Get(key string) ([]byte, error) {
 	sleep(p.model.PFSLatency + time.Duration(len(data))*p.model.PFSPerByte)
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	return cp, nil
+}
+
+// GetMeta retrieves a small metadata object (a seal) without modeled PFS
+// latency and without occupying a parallel stream slot.
+func (p *PFS) GetMeta(key string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	data, ok := p.store[key]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true
+}
+
+// Size reports a stored object's length (metadata only; no transfer cost).
+func (p *PFS) Size(key string) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	data, ok := p.store[key]
+	if !ok {
+		return 0, false
+	}
+	return len(data), true
+}
+
+// GetRange reads length bytes at offset off of a PFS object, queueing for
+// a free stream and costing PFS time proportional to the range.
+func (p *PFS) GetRange(key string, off, length int) ([]byte, error) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	p.mu.Lock()
+	data, ok := p.store[key]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if off < 0 || length < 0 || off+length > len(data) {
+		return nil, fmt.Errorf("cluster: range [%d,%d) outside %s (%d bytes)", off, off+length, key, len(data))
+	}
+	sleep(p.model.PFSLatency + time.Duration(length)*p.model.PFSPerByte)
+	cp := make([]byte, length)
+	copy(cp, data[off:off+length])
 	return cp, nil
 }
 

@@ -358,29 +358,62 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 // notice instead of aborting the job: the machine's Ack from StateRestore
 // re-enters Acked, and the loop rebuilds against the newer group view.
 // It returns the iteration to resume from.
+//
+// Alongside the state machine's own phase accounting (ft.phase.*), the
+// wall time of the complete recovery is decomposed into core.ttr.* trace
+// counters (rebuild = group reconstruction, restore = data
+// re-initialization, resume = the machine's epoch completion, total =
+// everything from the acknowledged notice to the worker re-entering the
+// loop) — the per-phase time-to-recover breakdown the recovery benchmark
+// trajectory tracks. Fault detection itself (OHF1) is recorded upstream
+// as ft.phase.detect_ns the moment the acknowledgment arrives.
 func recoverAndReload(ctx *Ctx, app App, n *ft.Notice) (int64, error) {
 	w := ctx.Worker
+	start := time.Now()
+	t0 := start
 	for {
 		if err := w.Recover(n); err != nil {
 			return 0, err
 		}
+		ctx.Rec.Inc("core.ttr.rebuild_ns", int64(time.Since(t0)))
+		t1 := time.Now()
 		it, err := reload(ctx, app)
 		if err == nil {
-			return it, w.Machine().Resume()
+			ctx.Rec.Inc("core.ttr.restore_ns", int64(time.Since(t1)))
+			t2 := time.Now()
+			err = w.Machine().Resume()
+			ctx.Rec.Inc("core.ttr.resume_ns", int64(time.Since(t2)))
+			ctx.Rec.Inc("core.ttr.total_ns", int64(time.Since(start)))
+			return it, err
 		}
 		var fde *ft.FailureDetectedError
 		if !errors.As(err, &fde) {
 			return 0, err
 		}
+		ctx.Rec.Inc("core.ttr.restore_ns", int64(time.Since(t1)))
 		ctx.Rec.Inc("core.recovery_restarts", 1)
 		n = fde.Notice
+		t0 = time.Now()
 	}
 }
 
 // reload is the data re-initialization step (OHF3): refresh the
 // fault-aware checkpoint library, agree on the last globally consistent
-// checkpoint version (minimum of every member's newest fetchable version),
-// rebuild communication structures, and restore the application state.
+// checkpoint version, rebuild communication structures, and restore the
+// application state.
+//
+// The agreement is a verified loop, not a single allreduce: each round
+// takes the minimum of every member's proposal, every member then
+// actually fetches the agreed version, and a second allreduce confirms
+// everyone succeeded. With the incremental delta engine, restorability is
+// not monotonic in version (a chain broken by lost replicas can hole out
+// an old version while a newer full base stays intact), so a version
+// below some member's newest can still be unrestorable for it — as can a
+// pruned version under the legacy format. A failed fetch retreats the
+// proposal below the failed version and the loop re-agrees; members that
+// fetched fine discard the payload and follow, keeping the group
+// consistent. The loop strictly decreases the agreed version, ending at
+// worst in the restart-from-scratch branch.
 func reload(ctx *Ctx, app App) (int64, error) {
 	stop := ctx.Rec.Start(trace.PhaseReinit)
 	defer stop()
@@ -398,31 +431,47 @@ func reload(ctx *Ctx, app App) (int64, error) {
 			mine = v
 		}
 	}
-	agreed, err := ctx.Worker.AllreduceI64([]int64{mine}, gaspi.OpMin)
-	if err != nil {
-		return 0, err
-	}
-	version := agreed[0]
-	if version == noCheckpoint {
-		// No consistent checkpoint anywhere: restart from the beginning.
-		if err := app.Restore(ctx, nil, 0); err != nil {
+	for {
+		agreed, err := ctx.Worker.AllreduceI64([]int64{mine}, gaspi.OpMin)
+		if err != nil {
 			return 0, err
 		}
-		ctx.Rec.Inc("core.restarts_from_scratch", 1)
-		return 0, nil
+		version := agreed[0]
+		if version == noCheckpoint {
+			// No consistent checkpoint anywhere: restart from the beginning.
+			if err := app.Restore(ctx, nil, 0); err != nil {
+				return 0, err
+			}
+			ctx.Rec.Inc("core.restarts_from_scratch", 1)
+			return 0, nil
+		}
+		payload, src, ferr := ctx.CP.FetchFrom(ctx.Cfg.StateName, ctx.Logical, version)
+		ok := int64(1)
+		if ferr != nil {
+			ok = 0
+		}
+		allOk, err := ctx.Worker.AllreduceI64([]int64{ok}, gaspi.OpMin)
+		if err != nil {
+			return 0, err
+		}
+		if allOk[0] == 1 {
+			if err := app.Restore(ctx, payload, version); err != nil {
+				return 0, err
+			}
+			ctx.Rec.Inc("core.restores", 1)
+			// Where the replica came from (local / neighbor / remote / pfs):
+			// the node-down scenarios assert the fallback actually exercised.
+			ctx.Rec.Inc("core.restore_from_"+src.String(), 1)
+			return version, nil
+		}
+		// Some member could not reassemble the agreed version: retreat to
+		// this member's newest restorable version below it and re-agree.
+		ctx.Rec.Inc("core.restore_retreats", 1)
+		mine = noCheckpoint
+		if v, ok := ctx.CP.FindLatestBelow(ctx.Cfg.StateName, ctx.Logical, version); ok {
+			mine = v
+		}
 	}
-	payload, src, err := ctx.CP.FetchFrom(ctx.Cfg.StateName, ctx.Logical, version)
-	if err != nil {
-		return 0, err
-	}
-	if err := app.Restore(ctx, payload, version); err != nil {
-		return 0, err
-	}
-	ctx.Rec.Inc("core.restores", 1)
-	// Where the replica came from (local / neighbor / remote / pfs):
-	// the node-down scenarios assert the fallback actually exercised.
-	ctx.Rec.Inc("core.restore_from_"+src.String(), 1)
-	return version, nil
 }
 
 // cpStreamTransport adapts the checkpoint library's node-addressed
@@ -435,9 +484,13 @@ type cpStreamTransport struct {
 }
 
 func (t *cpStreamTransport) Push(nbNode int, key string, blob []byte) error {
+	kind := ft.CPFrameFull
+	if checkpoint.IsDeltaFrame(blob) {
+		kind = ft.CPFrameDelta
+	}
 	for _, r := range t.w.RankMap().Snapshot() {
 		if t.cctx.Cluster.NodeOf(r) == nbNode {
-			return t.w.CPStream().Push(r, key, blob)
+			return t.w.CPStream().PushTyped(r, key, blob, kind)
 		}
 	}
 	return fmt.Errorf("core: no worker rank hosted on neighbor node %d", nbNode)

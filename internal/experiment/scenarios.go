@@ -80,6 +80,10 @@ type ScenarioSpec struct {
 	Async bool
 	// PFSEvery writes every k-th checkpoint version also to the PFS.
 	PFSEvery int
+	// FullEvery enables the incremental delta checkpoint engine (every
+	// k-th generation a full base, dirty-chunk deltas between; 0 = the
+	// legacy full-blob format).
+	FullEvery int
 	// Expect is the required outcome.
 	Expect ScenarioOutcome
 	// WantPFSRestore additionally requires at least one restore served
@@ -212,6 +216,17 @@ func (c ScenarioMatrixConfig) Specs() []ScenarioSpec {
 			Spares: 2, Async: true, Expect: OutcomeRecovered,
 		},
 		{
+			// The delta engine under fire: incremental checkpoints (full
+			// base every 4th generation, dirty-chunk deltas between) with a
+			// mid-iteration kill -9. The victim's restore must reassemble a
+			// base+delta chain from the surviving replicas and the answer
+			// must stay bit-correct — the "recovered with the delta engine
+			// enabled" gate of the recovery trajectory.
+			Scenario: cluster.Scenario{Name: "kill -9, delta checkpoints",
+				Events: []cluster.FaultEvent{at(cluster.ProcKill, 1, mid)}},
+			Spares: 2, Async: true, FullEvery: 4, Expect: OutcomeRecovered,
+		},
+		{
 			Scenario: cluster.Scenario{Name: "network drop",
 				Events: []cluster.FaultEvent{at(cluster.NetworkDrop, 1, mid)}},
 			Spares: 2, Expect: OutcomeRecovered,
@@ -254,16 +269,33 @@ type ScenarioResult struct {
 	// EpochRestarts counts recovery epochs restarted by a further failure
 	// while in flight (the compound-fault path).
 	EpochRestarts int64
+	// DetectNS is the worst-case fault-detection time (OHF1): a worker
+	// first stalling on the failure to the acknowledgment arriving.
+	DetectNS int64
 	// AckNS/RebuildNS/RestoreNS decompose recovery time by machine phase
 	// (max across ranks — the critical path).
 	AckNS, RebuildNS, RestoreNS int64
 	// Restores by replica source, summed across ranks.
 	RestoreLocal, RestoreNeighbor, RestoreRemote, RestorePFS int64
+	// TTRNS is the scenario's time-to-recover: the per-rank sum of the
+	// detect/ack/rebuild/restore phases, maximized over ranks — the
+	// worst rank's total recovery time (cumulative over epochs when a
+	// recovery restarts). Computed per rank, NOT as a sum of the
+	// per-phase columns: those are independent per-phase maxima and can
+	// mix phases from different ranks.
+	TTRNS int64
 	// Unfired lists scheduled events whose trigger never matched — a
 	// scenario-specification bug.
 	Unfired []cluster.FaultEvent
 	// Detail carries the classified error text, when any.
 	Detail string
+}
+
+// TTR is the scenario's time-to-recover (see TTRNS). Zero for
+// failure-free rows — the matrix doubles as a recovery-latency
+// regression harness through this column.
+func (r ScenarioResult) TTR() time.Duration {
+	return time.Duration(r.TTRNS)
 }
 
 // Ok reports whether the row met its spec.
@@ -347,6 +379,7 @@ func runScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 		CP: checkpoint.Config{
 			CheckpointMode: cpMode,
 			PFSEvery:       spec.PFSEvery,
+			FullEvery:      spec.FullEvery,
 		},
 	}
 	collect := newResultCollector()
@@ -376,9 +409,17 @@ func runScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 	sum := trace.Aggregate(job.Recorders)
 	out.Recoveries = sum.SumCounter["fd.recoveries"]
 	out.EpochRestarts = sum.SumCounter[ft.CounterEpochRestarts]
+	out.DetectNS = sum.MaxCounter[ft.CounterDetectNS]
 	out.AckNS = sum.MaxCounter[ft.CounterAckNS]
 	out.RebuildNS = sum.MaxCounter[ft.CounterRebuildNS]
 	out.RestoreNS = sum.MaxCounter[ft.CounterRestoreNS]
+	for _, r := range job.Recorders {
+		t := r.Counter(ft.CounterDetectNS) + r.Counter(ft.CounterAckNS) +
+			r.Counter(ft.CounterRebuildNS) + r.Counter(ft.CounterRestoreNS)
+		if t > out.TTRNS {
+			out.TTRNS = t
+		}
+	}
 	out.RestoreLocal = sum.SumCounter["core.restore_from_local"]
 	out.RestoreNeighbor = sum.SumCounter["core.restore_from_neighbor"]
 	out.RestoreRemote = sum.SumCounter["core.restore_from_remote"]
@@ -455,14 +496,15 @@ func (r *ScenarioMatrixResult) Render() string {
 			fmt.Sprintf("%.2f", row.Wall.Seconds()),
 			fmt.Sprintf("%d", row.Recoveries),
 			fmt.Sprintf("%d", row.EpochRestarts),
-			ms(row.AckNS), ms(row.RebuildNS), ms(row.RestoreNS),
+			ms(row.DetectNS), ms(row.AckNS), ms(row.RebuildNS), ms(row.RestoreNS),
+			ms(int64(row.TTR())),
 			src,
 			row.Detail,
 		})
 	}
 	b.WriteString(trace.Table([]string{
 		"scenario", "outcome", "spec", "wall[s]", "recov", "restart",
-		"ack[ms]", "rebuild[ms]", "restore[ms]", "src l/n/r/p", "detail"},
+		"detect[ms]", "ack[ms]", "rebuild[ms]", "restore[ms]", "ttr[ms]", "src l/n/r/p", "detail"},
 		rows))
 	return b.String()
 }

@@ -37,8 +37,36 @@ const (
 // (key + encoded checkpoint) must fit.
 const DefaultCPStreamBytes = 1 << 20
 
-// cpFrameHeader is [4B sender rank][4B key length][4B blob length].
-const cpFrameHeader = 12
+// cpFrameHeader is [4B sender rank][4B key length][4B blob length]
+// [4B frame kind].
+const cpFrameHeader = 16
+
+// CPFrameKind types a checkpoint-stream frame. With the incremental
+// checkpoint engine on, most pushes are delta frames whose size shrinks
+// with the dirty fraction; the kind travels in the stream header so both
+// endpoints can account full vs delta traffic without understanding the
+// checkpoint library's wire format.
+type CPFrameKind uint32
+
+// Checkpoint-stream frame kinds.
+const (
+	// CPFrameFull is a self-contained checkpoint (legacy blob or delta
+	// engine full base).
+	CPFrameFull CPFrameKind = iota
+	// CPFrameDelta is a dirty-chunk delta generation.
+	CPFrameDelta
+)
+
+// CPStreamStats counts checkpoint-stream traffic by frame kind; Pushed*
+// totals are sender-side (successful pushes), Served* receiver-side.
+type CPStreamStats struct {
+	PushedFull   int64
+	PushedDelta  int64
+	PushedFullB  int64
+	PushedDeltaB int64
+	ServedFull   int64
+	ServedDelta  int64
+}
 
 // ErrCPFrameTooLarge reports a checkpoint frame exceeding the staging
 // segment; the flusher records it and recovery falls back to an older
@@ -74,6 +102,16 @@ type CPStream struct {
 	stopped atomic.Bool
 	serving atomic.Bool
 	served  chan struct{} // closed when Serve returns
+
+	statsMu sync.Mutex
+	stats   CPStreamStats
+}
+
+// Stats returns the per-frame-kind traffic counters.
+func (s *CPStream) Stats() CPStreamStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
 }
 
 // SetCopying switches the chunk posts back to the copying Write
@@ -122,21 +160,38 @@ func NewCPStream(p *gaspi.Proc, segBytes, chunk int, timeout time.Duration) (*CP
 // still reference blob — the caller must abandon the buffer to the
 // garbage collector rather than reuse it (the async checkpoint writer
 // does exactly that).
-func (s *CPStream) Push(to gaspi.Rank, key string, blob []byte) (err error) {
+func (s *CPStream) Push(to gaspi.Rank, key string, blob []byte) error {
+	return s.PushTyped(to, key, blob, CPFrameFull)
+}
+
+// PushTyped is Push declaring the frame kind (the framework types pushes
+// by sniffing the checkpoint library's frame magic, keeping the stream
+// agnostic of that wire format).
+func (s *CPStream) PushTyped(to gaspi.Rank, key string, blob []byte, kind CPFrameKind) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if died := gaspi.Protect(func() { err = s.push(to, key, blob) }); died {
+	if died := gaspi.Protect(func() { err = s.push(to, key, blob, kind) }); died {
 		err = errCPDied
 	}
 	if err != nil {
 		// The header buffer may still ride an undelivered message;
 		// reusing it next Push would race the delivery-time read.
 		s.hdrBuf = nil
+		return err
 	}
-	return err
+	s.statsMu.Lock()
+	if kind == CPFrameDelta {
+		s.stats.PushedDelta++
+		s.stats.PushedDeltaB += int64(len(blob))
+	} else {
+		s.stats.PushedFull++
+		s.stats.PushedFullB += int64(len(blob))
+	}
+	s.statsMu.Unlock()
+	return nil
 }
 
-func (s *CPStream) push(to gaspi.Rank, key string, blob []byte) error {
+func (s *CPStream) push(to gaspi.Rank, key string, blob []byte, kind CPFrameKind) error {
 	if len(key)+len(blob) > s.segSize {
 		return fmt.Errorf("%w: %d bytes > %d", ErrCPFrameTooLarge, len(key)+len(blob), s.segSize)
 	}
@@ -151,6 +206,7 @@ func (s *CPStream) push(to gaspi.Rank, key string, blob []byte) error {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(s.p.Rank()))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(blob)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(kind))
 	copy(hdr[cpFrameHeader:], key)
 	post := s.p.WriteFrom
 	if s.copying {
@@ -245,6 +301,7 @@ func (s *CPStream) Serve(store func(key string, blob []byte) error) {
 			sender := gaspi.Rank(int32(binary.LittleEndian.Uint32(hdr[0:])))
 			keyLen := int(binary.LittleEndian.Uint32(hdr[4:]))
 			blobLen := int(binary.LittleEndian.Uint32(hdr[8:]))
+			kind := CPFrameKind(binary.LittleEndian.Uint32(hdr[12:]))
 			if keyLen <= 0 || blobLen < 0 || keyLen+blobLen > s.segSize {
 				continue // mangled frame (e.g. two transient senders): drop, no ack
 			}
@@ -257,6 +314,13 @@ func (s *CPStream) Serve(store func(key string, blob []byte) error) {
 			if store(key, blob) != nil {
 				continue // corrupt frame: drop without ack, sender times out
 			}
+			s.statsMu.Lock()
+			if kind == CPFrameDelta {
+				s.stats.ServedDelta++
+			} else {
+				s.stats.ServedFull++
+			}
+			s.statsMu.Unlock()
 			if err := s.p.Notify(sender, SegCP, NotifCPAck, seq, CPAckQueue); err != nil {
 				continue
 			}

@@ -89,6 +89,12 @@ type Transition struct {
 // nanoseconds across epochs, plus epoch accounting). bench-scenarios
 // reports them to show where recovery time goes.
 const (
+	// CounterDetectNS is time between a worker first stalling on a
+	// failure and receiving the FD's acknowledgment (OHF1) — recorded by
+	// Worker.retry, listed here with the other phases so the time-to-
+	// recover breakdown (detect → ack → rebuild → restore) reads from one
+	// counter family.
+	CounterDetectNS = "ft.phase.detect_ns"
 	// CounterAckNS is time spent in Acked: from acknowledgment to the
 	// start of group reconstruction (suspect kills, queue purge).
 	CounterAckNS = "ft.phase.ack_ns"

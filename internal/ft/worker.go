@@ -216,7 +216,9 @@ func (w *Worker) retry(op func(timeout time.Duration) error) error {
 			return nerr
 		}
 		if n != nil {
-			w.rec.Add(trace.PhaseDetect, time.Since(detectStart))
+			d := time.Since(detectStart)
+			w.rec.Add(trace.PhaseDetect, d)
+			w.rec.Inc(CounterDetectNS, int64(d))
 			w.rec.Event("ft:ack")
 			return &FailureDetectedError{Notice: n}
 		}
