@@ -1,0 +1,147 @@
+// chaos-fuzz drives the seeded scenario fuzzer (internal/chaos): a
+// budgeted run of randomized fault-schedule episodes over the simulated
+// cluster, each classified against the serial reference and the
+// episode-level invariants, with a JSON-lines episode log and automatic
+// shrink + freeze of every failing episode.
+//
+// Usage:
+//
+//	chaos-fuzz -episodes 200 -seed 1 -out episodes.jsonl
+//	chaos-fuzz -episodes 500 -wall 10m -freeze-dir internal/chaos/corpus
+//	chaos-fuzz -episodes 200 -seed 1 -freeze-top-ttr 3   # seed the corpus
+//
+// Every episode is fully determined by its seed: re-running with the
+// same -seed/-episodes reproduces byte-identical schedules and
+// classifications. A failing episode is shrunk (unless -shrink=false)
+// and written to -freeze-dir as a ready-to-commit corpus entry; the
+// frozen regression test (go test ./internal/chaos) replays the corpus
+// forever after. Exits 1 when any episode fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	episodes := flag.Int("episodes", 200, "episode budget")
+	seed := flag.Int64("seed", 1, "base seed; episode i runs Generate(seed+i)")
+	wall := flag.Duration("wall", 0, "optional wall-clock budget (stops early)")
+	out := flag.String("out", "", "episode log path (JSON lines; empty: stdout summary only)")
+	freezeDir := flag.String("freeze-dir", "internal/chaos/corpus", "directory for frozen corpus entries")
+	shrink := flag.Bool("shrink", true, "shrink failing episodes before freezing")
+	freezeTopTTR := flag.Int("freeze-top-ttr", 0, "additionally freeze the N highest-TTR recovered episodes")
+	freezeSeeds := flag.String("freeze-seeds", "", "comma-separated seeds to freeze verbatim (regression guards), independent of the fuzz budget")
+	verbose := flag.Bool("v", false, "progress output")
+	flag.Parse()
+
+	r, err := chaos.NewRunner(chaos.DefaultBase())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := chaos.FuzzConfig{
+		Episodes: *episodes,
+		Seed:     *seed,
+		Wall:     *wall,
+		Shrink:   *shrink,
+	}
+	if *verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cfg.Log = f
+	}
+
+	if *freezeSeeds != "" {
+		for _, field := range strings.Split(*freezeSeeds, ",") {
+			s, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -freeze-seeds entry %q: %v\n", field, err)
+				os.Exit(2)
+			}
+			res := r.Run(chaos.Generate(s))
+			fe := chaos.Freeze(
+				fmt.Sprintf("seed-%d", s),
+				fmt.Sprintf("regression guard frozen from seed %d (%s)", s, res.Episode.Shape),
+				res)
+			path, err := chaos.WriteCorpus(*freezeDir, fe)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("frozen seed %d (%s, outcome %s): %s\n",
+				s, res.Episode.Shape, res.Row.Outcome, path)
+		}
+		if *episodes == 0 {
+			return
+		}
+	}
+
+	start := time.Now()
+	rep, err := chaos.Fuzz(r, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("chaos-fuzz: %d episodes in %.1fs (base seed %d)\n",
+		rep.Episodes, time.Since(start).Seconds(), *seed)
+	for outcome, n := range rep.ByOutcome {
+		fmt.Printf("  %-14s %d\n", outcome, n)
+	}
+
+	for _, fr := range rep.Failures {
+		fe := chaos.Freeze(
+			fmt.Sprintf("seed-%d", fr.Episode.Seed),
+			fmt.Sprintf("frozen by chaos-fuzz: %s", fr.Episode.Shape),
+			fr)
+		path, err := chaos.WriteCorpus(*freezeDir, fe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("FAILED seed %d (%s): %v\n  frozen: %s (commit it; go test ./internal/chaos replays it)\n",
+			fr.Episode.Seed, fr.Episode.Shape, fr.Failures, path)
+	}
+
+	if *freezeTopTTR > 0 {
+		n := *freezeTopTTR
+		if n > len(rep.TopTTR) {
+			n = len(rep.TopTTR)
+		}
+		for _, res := range rep.TopTTR[:n] {
+			fe := chaos.Freeze(
+				fmt.Sprintf("ttr-outlier-seed-%d", res.Episode.Seed),
+				fmt.Sprintf("highest-TTR recovered outlier (%s, TTR %.2fms) frozen as a healthy regression guard",
+					res.Episode.Shape, float64(res.Row.TTRNS)/1e6),
+				res)
+			path, err := chaos.WriteCorpus(*freezeDir, fe)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("frozen TTR outlier seed %d (TTR %.2fms): %s\n",
+				res.Episode.Seed, float64(res.Row.TTRNS)/1e6, path)
+		}
+	}
+
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}

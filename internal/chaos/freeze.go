@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+)
+
+// FrozenEpisode is one corpus entry: an episode frozen verbatim together
+// with its classification at freeze time. The frozen regression test
+// (frozen_test.go) replays every corpus entry and requires the replay to
+// classify exactly as recorded — same outcome, every trigger fired, no
+// invariant violations — so a frozen episode guards its behavior against
+// regression forever after.
+type FrozenEpisode struct {
+	// Name is the corpus entry name (the file base name on disk).
+	Name string `json:"name"`
+	// Note says why the episode was frozen (failure repro, TTR outlier).
+	Note string `json:"note,omitempty"`
+	// Episode is the frozen episode, replayed verbatim.
+	Episode Episode `json:"episode"`
+	// Outcome is the classification at freeze time (string form, the
+	// stable contract the replay must reproduce).
+	Outcome string `json:"outcome"`
+	// TTRNS is the time-to-recover at freeze time (informational; wall
+	// times are not replayable).
+	TTRNS int64 `json:"ttr_ns,omitempty"`
+	// Failures are the freeze-time failure reasons. Empty for episodes
+	// frozen as healthy regressions (TTR outliers); non-empty entries
+	// document an open bug and the replay must keep reproducing it until
+	// the fix lands (then the entry is refrozen as healthy).
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Freeze builds the corpus entry for an executed episode.
+func Freeze(name, note string, res EpisodeResult) FrozenEpisode {
+	return FrozenEpisode{
+		Name:     name,
+		Note:     note,
+		Episode:  res.Episode,
+		Outcome:  res.Row.Outcome.String(),
+		TTRNS:    res.Row.TTRNS,
+		Failures: res.Failures,
+	}
+}
+
+// WriteCorpus writes a frozen episode into dir as <name>.json,
+// ready to commit under internal/chaos/corpus/.
+func WriteCorpus(dir string, fe FrozenEpisode) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos freeze: %w", err)
+	}
+	buf, err := json.MarshalIndent(fe, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("chaos freeze: %w", err)
+	}
+	path := filepath.Join(dir, fe.Name+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("chaos freeze: %w", err)
+	}
+	return path, nil
+}
+
+// Replay runs a frozen episode and checks it against its freeze-time
+// classification. The returned problems are empty when the replay
+// reproduces the frozen behavior exactly.
+func Replay(r *Runner, fe FrozenEpisode) (EpisodeResult, []string) {
+	res := r.Run(fe.Episode)
+	var problems []string
+	if got := res.Row.Outcome.String(); got != fe.Outcome {
+		problems = append(problems, fmt.Sprintf("outcome %s, frozen as %s (%s)", got, fe.Outcome, res.Row.Detail))
+	}
+	if len(res.Failures) == 0 && len(fe.Failures) > 0 {
+		problems = append(problems, fmt.Sprintf(
+			"episode no longer fails (frozen failures: %v) — the bug is fixed, refreeze the entry as healthy", fe.Failures))
+	}
+	if len(res.Failures) > 0 && len(fe.Failures) == 0 {
+		problems = append(problems, fmt.Sprintf("healthy frozen episode regressed: %v", res.Failures))
+	}
+	if res.Row.Outcome == experiment.OutcomeRecovered {
+		for _, e := range res.Row.Unfired {
+			problems = append(problems, fmt.Sprintf("trigger never fired on replay: %v", e))
+		}
+	}
+	for _, v := range res.Row.Invariants {
+		problems = append(problems, "invariant violated on replay: "+v)
+	}
+	return res, problems
+}

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"embed"
+	"encoding/json"
+	"testing"
+)
+
+//go:embed corpus/*.json
+var corpusFS embed.FS
+
+// TestFrozenCorpus replays every frozen corpus entry and requires it to
+// classify exactly as recorded at freeze time. The corpus holds the
+// schedules the fuzzer once broke the stack with (frozen healthy after
+// the fix landed — e.g. the startup-collective death that used to escape
+// the recovery handler) plus the highest-TTR outliers as
+// recovery-latency behavior guards. Runs under -race in CI on every PR.
+func TestFrozenCorpus(t *testing.T) {
+	entries, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("corpus has %d entries, want >= 3", len(entries))
+	}
+	r := newTestRunner(t)
+	for _, e := range entries {
+		buf, err := corpusFS.ReadFile("corpus/" + e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fe FrozenEpisode
+		if err := json.Unmarshal(buf, &fe); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		t.Run(fe.Name, func(t *testing.T) {
+			// The frozen episode must equal what its seed generates today:
+			// a generator change that silently rewrites frozen schedules
+			// would replay a different scenario than the one frozen.
+			if fe.Episode.Seed >= 0 {
+				regen, err := json.Marshal(Generate(fe.Episode.Seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				frozen, err := json.Marshal(fe.Episode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(regen) != string(frozen) {
+					t.Fatalf("generator drift: Generate(%d) no longer reproduces the frozen episode\nfrozen:  %s\ncurrent: %s",
+						fe.Episode.Seed, frozen, regen)
+				}
+			}
+			res, problems := Replay(r, fe)
+			for _, p := range problems {
+				t.Error(p)
+			}
+			if t.Failed() {
+				t.Logf("episode: %+v", fe.Episode.Spec.Scenario)
+				t.Logf("detail: %s", res.Row.Detail)
+			}
+		})
+	}
+}

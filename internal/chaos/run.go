@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/matrix"
+)
+
+// DefaultBase is the episode testbed configuration: small and fast
+// (hundreds of episodes must fit a CI soak budget), scheduler-tolerant
+// FT timings (episodes run under the race detector), and a fixed matrix
+// seed so ONE serial reference solve is amortized across all episodes.
+func DefaultBase() experiment.ScenarioMatrixConfig {
+	return experiment.ScenarioMatrixConfig{
+		Workers:         epMinWorkers,
+		Iters:           epIters,
+		CheckpointEvery: 8,
+		Nx:              12,
+		Ny:              6,
+		StepDelay:       time.Millisecond,
+		Timeout:         60 * time.Second,
+		Seed:            7,
+	}.WithDefaults()
+}
+
+// Runner executes episodes against a shared base configuration and the
+// amortized serial reference.
+type Runner struct {
+	base experiment.ScenarioMatrixConfig
+	gen  matrix.Generator
+	ref  []float64
+}
+
+// NewRunner solves the serial reference once and returns a Runner.
+func NewRunner(base experiment.ScenarioMatrixConfig) (*Runner, error) {
+	base = base.WithDefaults()
+	gen, ref, err := base.Reference()
+	if err != nil {
+		return nil, fmt.Errorf("chaos runner: %w", err)
+	}
+	return &Runner{base: base, gen: gen, ref: ref}, nil
+}
+
+// EpisodeResult is one executed episode with its classified row and the
+// freeze-worthy failure reasons (empty on a healthy episode).
+type EpisodeResult struct {
+	Episode Episode
+	Row     experiment.ScenarioResult
+	// Failures lists why the episode is freeze-worthy. Reason strings
+	// carry a stable "category:" prefix; Signature() folds them into the
+	// equivalence class the shrinker must preserve.
+	Failures []string
+}
+
+// Signature is the failure equivalence class: the classified outcome
+// plus the sorted set of failure categories. Shrinking keeps a
+// reduction only when the signature is preserved, so a minimized
+// schedule still reproduces the SAME bug, not just any bug.
+func (r EpisodeResult) Signature() string {
+	cats := map[string]bool{}
+	for _, f := range r.Failures {
+		cat := f
+		for i := 0; i < len(f); i++ {
+			if f[i] == ':' {
+				cat = f[:i]
+				break
+			}
+		}
+		cats[cat] = true
+	}
+	keys := make([]string, 0, len(cats))
+	for k := range cats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sig := r.Row.Outcome.String()
+	for _, k := range keys {
+		sig += "+" + k
+	}
+	return sig
+}
+
+// Run executes one episode on a fresh simulated cluster and classifies
+// it. Deterministic in distribution: the schedule and configuration are
+// fixed by the episode, and classification is over the same serial
+// reference every time.
+func (r *Runner) Run(ep Episode) EpisodeResult {
+	cfg := r.base
+	cfg.Workers = ep.Workers
+	cfg.CheckpointEvery = ep.CheckpointEvery
+	row := experiment.RunScenario(cfg, r.gen, ep.Spec, r.ref[0])
+	return EpisodeResult{Episode: ep, Row: row, Failures: failures(ep, row)}
+}
+
+// failures derives the freeze-worthy reasons from a classified row:
+// a forbidden outcome (hung, wrong answer, harness failure), an outcome
+// the oracle did not predict, a trigger that never fired, or an
+// episode-level invariant violation.
+func failures(ep Episode, row experiment.ScenarioResult) []string {
+	var out []string
+	switch row.Outcome {
+	case experiment.OutcomeHung, experiment.OutcomeWrongAnswer, experiment.OutcomeFailed:
+		out = append(out, fmt.Sprintf("forbidden-outcome: %v (%s)", row.Outcome, row.Detail))
+	default:
+		want, strict := OracleExpect(len(ep.Spec.Scenario.Events), ep.Spec.Spares)
+		if strict && row.Outcome != want {
+			out = append(out, fmt.Sprintf("oracle-mismatch: classified %v, oracle expects %v (%s)",
+				row.Outcome, want, row.Detail))
+		}
+	}
+	for _, e := range row.Unfired {
+		out = append(out, fmt.Sprintf("unfired: %v", e))
+	}
+	for _, v := range row.Invariants {
+		out = append(out, "invariant: "+v)
+	}
+	return out
+}
+
+// LogEntry is one machine-readable episode log line (JSON lines).
+type LogEntry struct {
+	Seed     int64    `json:"seed"`
+	Shape    string   `json:"shape"`
+	Events   int      `json:"events"`
+	Spares   int      `json:"spares"`
+	Workers  int      `json:"workers"`
+	Outcome  string   `json:"outcome"`
+	WallNS   int64    `json:"wall_ns"`
+	TTRNS    int64    `json:"ttr_ns"`
+	Failures []string `json:"failures,omitempty"`
+	Shrunk   *Episode `json:"shrunk,omitempty"`
+}
+
+// FuzzConfig budgets a fuzzing run: a fixed episode count, an optional
+// wall-clock cap (whichever ends first), and the shrinking toggle.
+type FuzzConfig struct {
+	// Episodes is the episode budget (seeds Seed, Seed+1, ...).
+	Episodes int
+	// Seed is the base seed; episode i runs Generate(Seed+i).
+	Seed int64
+	// Wall stops the run early once exceeded (0: no wall budget).
+	Wall time.Duration
+	// Shrink minimizes every failing episode before reporting it.
+	Shrink bool
+	// Log, when non-nil, receives one JSON line per episode.
+	Log io.Writer
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress func(format string, args ...any)
+}
+
+// FuzzReport summarizes a fuzzing run.
+type FuzzReport struct {
+	// Episodes is the number of episodes actually executed.
+	Episodes int
+	// ByOutcome counts classified outcomes.
+	ByOutcome map[string]int
+	// Failures holds every freeze-worthy episode (shrunk when enabled).
+	Failures []EpisodeResult
+	// TopTTR holds the highest time-to-recover recovered episodes
+	// (descending), capped at ten — the outliers frozen when the corpus
+	// has no true failures to seed from.
+	TopTTR []EpisodeResult
+}
+
+// Fuzz runs the budgeted loop: generate, execute, classify, log, and
+// shrink + collect every freeze-worthy episode.
+func Fuzz(r *Runner, cfg FuzzConfig) (*FuzzReport, error) {
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 100
+	}
+	rep := &FuzzReport{ByOutcome: make(map[string]int)}
+	start := time.Now()
+	enc := json.NewEncoder(io.Discard)
+	if cfg.Log != nil {
+		enc = json.NewEncoder(cfg.Log)
+	}
+	for i := 0; i < cfg.Episodes; i++ {
+		if cfg.Wall > 0 && time.Since(start) > cfg.Wall {
+			if cfg.Progress != nil {
+				cfg.Progress("wall budget exhausted after %d episodes", i)
+			}
+			break
+		}
+		ep := Generate(cfg.Seed + int64(i))
+		res := r.Run(ep)
+		rep.Episodes++
+		rep.ByOutcome[res.Row.Outcome.String()]++
+		entry := LogEntry{
+			Seed:     ep.Seed,
+			Shape:    ep.Shape,
+			Events:   len(ep.Spec.Scenario.Events),
+			Spares:   ep.Spec.Spares,
+			Workers:  ep.Workers,
+			Outcome:  res.Row.Outcome.String(),
+			WallNS:   int64(res.Row.Wall),
+			TTRNS:    res.Row.TTRNS,
+			Failures: res.Failures,
+		}
+		if len(res.Failures) > 0 {
+			if cfg.Progress != nil {
+				cfg.Progress("seed %d (%s) FAILED: %v", ep.Seed, ep.Shape, res.Failures)
+			}
+			if cfg.Shrink {
+				shrunk, tried := Shrink(r, res)
+				if cfg.Progress != nil {
+					cfg.Progress("seed %d shrunk %d->%d events (%d reruns)",
+						ep.Seed, len(ep.Spec.Scenario.Events), len(shrunk.Episode.Spec.Scenario.Events), tried)
+				}
+				entry.Shrunk = &shrunk.Episode
+				res = shrunk
+			}
+			rep.Failures = append(rep.Failures, res)
+		} else if cfg.Progress != nil && (i+1)%25 == 0 {
+			cfg.Progress("%d/%d episodes, %d failures", i+1, cfg.Episodes, len(rep.Failures))
+		}
+		if err := enc.Encode(entry); err != nil {
+			return rep, fmt.Errorf("chaos: episode log: %w", err)
+		}
+		if res.Row.Outcome == experiment.OutcomeRecovered && res.Row.TTRNS > 0 && len(res.Failures) == 0 {
+			rep.TopTTR = append(rep.TopTTR, res)
+			sort.Slice(rep.TopTTR, func(a, b int) bool {
+				return rep.TopTTR[a].Row.TTRNS > rep.TopTTR[b].Row.TTRNS
+			})
+			if len(rep.TopTTR) > 10 {
+				rep.TopTTR = rep.TopTTR[:10]
+			}
+		}
+	}
+	return rep, nil
+}

@@ -205,16 +205,19 @@ func TestStorageCostModel(t *testing.T) {
 
 func TestPartitionNodeKeepsProcAlive(t *testing.T) {
 	ready := make(chan struct{}, 2)
+	partitioned := make(chan struct{})
+	pinged := make(chan struct{})
 	cl := New(testCfg(2, 1), func(ctx *ProcCtx) error {
 		ready <- struct{}{}
 		if ctx.Rank() == 0 {
-			time.Sleep(30 * time.Millisecond)
+			<-partitioned
 			err := ctx.ProcPing(1, 20*time.Millisecond)
+			close(pinged)
 			if !errors.Is(err, gaspi.ErrTimeout) {
 				return fmt.Errorf("want timeout through partition, got %v", err)
 			}
 		} else {
-			time.Sleep(100 * time.Millisecond) // stays alive
+			<-pinged // stays alive until the ping verdict is in
 		}
 		return nil
 	})
@@ -222,6 +225,7 @@ func TestPartitionNodeKeepsProcAlive(t *testing.T) {
 	<-ready
 	<-ready
 	cl.PartitionNode(1, true)
+	close(partitioned)
 	for _, r := range mustWait(t, cl) {
 		if r.Err != nil {
 			t.Fatalf("rank %d: %v", r.Rank, r.Err)

@@ -135,3 +135,11 @@ const PlanVersion int64 = 0
 // noCheckpoint is the version allreduced when a rank has no usable
 // checkpoint.
 const noCheckpoint int64 = -1
+
+// CounterAgreementViolations counts recovery version agreements that
+// confirmed a version some member could not actually reassemble — a
+// protocol invariant (the confirm round is a min-reduce over per-member
+// fetch success, so a violation means the reduce itself lied). Must stay
+// zero on every rank in every run; the chaos fuzzer asserts it per
+// episode.
+const CounterAgreementViolations = "core.agreement_violations"

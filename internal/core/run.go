@@ -254,13 +254,31 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		if err := app.Init(ctx, false); err != nil {
 			return fmt.Errorf("core: init (logical %d): %w", ctx.Logical, err)
 		}
-		if err := app.Rebuild(ctx); err != nil {
-			return err
+		// Rebuild and the initial Restore (the normalized start vector)
+		// are collective: a peer dying inside them surfaces a failure
+		// acknowledgment HERE, before the loop's handler is reachable.
+		// Recover exactly like a loop-phase failure — the victim's plan
+		// checkpoint is already replicated (Init waits for it before
+		// returning), so a rescue can adopt the identity, and with no
+		// state checkpoints yet the version agreement restarts the group
+		// from scratch. Only a death inside Init itself (before the plan
+		// exists) stays terminal: the paper's protocol covers failures
+		// from the post-pre-processing checkpoint onward.
+		serr := app.Rebuild(ctx)
+		if serr == nil {
+			serr = app.Restore(ctx, nil, 0)
 		}
-		// Establish the initial application state (collective, e.g. the
-		// normalized start vector), symmetric with the recovery path.
-		if err := app.Restore(ctx, nil, 0); err != nil {
-			return err
+		if serr != nil {
+			var fde *ft.FailureDetectedError
+			if !errors.As(serr, &fde) {
+				return serr
+			}
+			it, rerr := recoverAndReload(ctx, app, fde.Notice)
+			if rerr != nil {
+				return rerr
+			}
+			iter = it
+			lastCP = it
 		}
 	}
 
@@ -453,6 +471,15 @@ func reload(ctx *Ctx, app App) (int64, error) {
 		allOk, err := ctx.Worker.AllreduceI64([]int64{ok}, gaspi.OpMin)
 		if err != nil {
 			return 0, err
+		}
+		if allOk[0] == 1 && ferr != nil {
+			// This member voted 0, yet the min-reduce confirmed: the
+			// agreement protocol itself is broken. Counted so the chaos
+			// fuzzer's invariant sweep ("version agreement never resolves
+			// to an unrestorable version") can assert on it across every
+			// episode, and fatal because restoring would diverge the group.
+			ctx.Rec.Inc(CounterAgreementViolations, 1)
+			return 0, fmt.Errorf("core: version agreement confirmed v%d this member cannot reassemble: %w", version, ferr)
 		}
 		if allOk[0] == 1 {
 			if err := app.Restore(ctx, payload, version); err != nil {

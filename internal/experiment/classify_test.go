@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ft"
+	"repro/internal/gaspi"
+	"repro/internal/trace"
+)
+
+// Satellite fix for the wrong-answer classifier: the tolerance is an
+// explicit function of the matrix size, and a near-miss inside the
+// envelope classifies as recovered, not as silent corruption.
+
+func TestEigToleranceScalesWithDim(t *testing.T) {
+	small := EigTolerance(4)
+	big := EigTolerance(400)
+	if small <= 0 || big <= 0 {
+		t.Fatalf("tolerances must be positive: %g %g", small, big)
+	}
+	if big <= small {
+		t.Fatalf("tolerance must grow with dim: dim 4 -> %g, dim 400 -> %g", small, big)
+	}
+	if EigTolerance(0) != EigTolerance(1) {
+		t.Fatalf("degenerate dims must floor at 1")
+	}
+}
+
+func TestEigMatchesNearMiss(t *testing.T) {
+	const dim = 144 // the scenario-matrix default (12x6 graphene, 2 per site)
+	want := -3.2041
+	tol := EigTolerance(dim)
+
+	// A reassociation-sized near-miss (half the envelope) is a match.
+	if !EigMatches(want+0.5*tol*abs(want), want, dim) {
+		t.Fatalf("near-miss within tolerance must classify as recovered")
+	}
+	// Exactly at the envelope still matches (<=, not <).
+	if !EigMatches(want, want, dim) {
+		t.Fatalf("exact match must match")
+	}
+	// Corruption-sized errors (10x the envelope) must not.
+	if EigMatches(want+10*tol, want, dim) {
+		t.Fatalf("error beyond tolerance must classify as wrong answer")
+	}
+	// The envelope is relative: the same absolute error that fails near
+	// magnitude 1 passes at magnitude 1e6.
+	bigWant := 1e6
+	absErr := 5 * tol
+	if EigMatches(1+absErr, 1, dim) {
+		t.Fatalf("absolute error %g must fail at magnitude 1", absErr)
+	}
+	if !EigMatches(bigWant+absErr, bigWant, dim) {
+		t.Fatalf("absolute error %g must pass at magnitude %g (relative envelope)", absErr, bigWant)
+	}
+	// ...but near-zero references do not make the envelope vanish: the
+	// scale floors at 1.
+	if !EigMatches(0.5*tol, 0, dim) {
+		t.Fatalf("near-zero reference must keep the floored envelope")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestScenarioInvariantsSweep(t *testing.T) {
+	mk := func(n int) []*trace.Recorder {
+		recs := make([]*trace.Recorder, n)
+		for i := range recs {
+			recs[i] = trace.NewRecorder()
+		}
+		return recs
+	}
+
+	t.Run("clean recovered run", func(t *testing.T) {
+		recs := mk(3)
+		recs[1].Inc("core.ttr.rebuild_ns", 100)
+		recs[1].Inc("core.ttr.restore_ns", 200)
+		recs[1].Inc("core.ttr.total_ns", 400)
+		if v := scenarioInvariants(recs, OutcomeRecovered, nil); len(v) != 0 {
+			t.Fatalf("clean run flagged: %v", v)
+		}
+	})
+
+	t.Run("epoch regression", func(t *testing.T) {
+		recs := mk(2)
+		recs[0].Inc(ft.CounterEpochRegressions, 1)
+		v := scenarioInvariants(recs, OutcomeRecovered, nil)
+		if len(v) != 1 || !strings.Contains(v[0], "epoch regressed") {
+			t.Fatalf("regression not flagged: %v", v)
+		}
+	})
+
+	t.Run("ttr phases exceed total", func(t *testing.T) {
+		recs := mk(2)
+		recs[1].Inc("core.ttr.rebuild_ns", 500)
+		recs[1].Inc("core.ttr.total_ns", 100)
+		v := scenarioInvariants(recs, OutcomeRecovered, nil)
+		if len(v) != 1 || !strings.Contains(v[0], "exceed total") {
+			t.Fatalf("monotonicity violation not flagged: %v", v)
+		}
+		// The same counters on a victim rank are legitimate (killed
+		// mid-recovery: phase charged, total never completed).
+		if v := scenarioInvariants(recs, OutcomeRecovered, map[gaspi.Rank]bool{1: true}); len(v) != 0 {
+			t.Fatalf("victim rank must be exempt: %v", v)
+		}
+		// And on a non-recovered outcome the TTR sweep does not run at all.
+		if v := scenarioInvariants(recs, OutcomeUnrecoverable, nil); len(v) != 0 {
+			t.Fatalf("non-recovered outcome must skip TTR sweep: %v", v)
+		}
+	})
+}

@@ -390,7 +390,7 @@ func RunTTRBench(c RecoveryBenchConfig) (TTRRow, error) {
 		Spares: 2, Async: true, FullEvery: c.WithDefaults().FullEvery,
 		Expect: OutcomeRecovered,
 	}
-	res := runScenario(sc, gen, spec, ref[0])
+	res := RunScenario(sc, gen, spec, ref[0])
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	row := TTRRow{
 		Scenario:  spec.Scenario.Name,

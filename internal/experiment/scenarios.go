@@ -15,7 +15,6 @@ package experiment
 import (
 	"errors"
 	"fmt"
-	"math"
 	"strings"
 	"time"
 
@@ -287,6 +286,11 @@ type ScenarioResult struct {
 	// Unfired lists scheduled events whose trigger never matched — a
 	// scenario-specification bug.
 	Unfired []cluster.FaultEvent
+	// Invariants lists episode-level invariant violations (epoch
+	// regression, agreement resolving to an unrestorable version,
+	// non-monotone TTR decomposition) — empty on every healthy run,
+	// whatever the classified outcome.
+	Invariants []string
 	// Detail carries the classified error text, when any.
 	Detail string
 }
@@ -300,7 +304,7 @@ func (r ScenarioResult) TTR() time.Duration {
 
 // Ok reports whether the row met its spec.
 func (r ScenarioResult) Ok() bool {
-	if r.Outcome != r.Spec.Expect || len(r.Unfired) > 0 {
+	if r.Outcome != r.Spec.Expect || len(r.Unfired) > 0 || len(r.Invariants) > 0 {
 		return false
 	}
 	if r.Spec.WantPFSRestore && r.RestorePFS == 0 {
@@ -345,24 +349,42 @@ func scenarioClusterConfig(c ScenarioMatrixConfig, procs int, sc *cluster.Scenar
 	}
 }
 
-// RunScenarioMatrix executes every scenario and classifies its outcome
-// against the serial Lanczos reference.
-func RunScenarioMatrix(c ScenarioMatrixConfig) (*ScenarioMatrixResult, error) {
+// Reference builds the testbed's matrix generator and the serial Lanczos
+// reference eigenvalues every scenario run is classified against. Shared
+// by the matrix and the chaos fuzzer so both judge against the same
+// oracle (and the fuzzer amortizes the serial solve across episodes).
+func (c ScenarioMatrixConfig) Reference() (matrix.Generator, []float64, error) {
 	c = c.WithDefaults()
 	gen := matrix.DefaultGraphene(c.Nx, c.Ny, uint64(c.Seed))
 	ref, err := lanczos.SerialLowestEigs(gen, c.Iters, 2, uint64(c.Seed))
 	if err != nil {
-		return nil, fmt.Errorf("scenario matrix: serial reference: %w", err)
+		return nil, nil, fmt.Errorf("scenario reference: %w", err)
+	}
+	return gen, ref, nil
+}
+
+// RunScenarioMatrix executes every scenario and classifies its outcome
+// against the serial Lanczos reference.
+func RunScenarioMatrix(c ScenarioMatrixConfig) (*ScenarioMatrixResult, error) {
+	c = c.WithDefaults()
+	gen, ref, err := c.Reference()
+	if err != nil {
+		return nil, fmt.Errorf("scenario matrix: %w", err)
 	}
 	res := &ScenarioMatrixResult{Cfg: c, RefEigs: ref}
 	for _, spec := range c.Specs() {
-		res.Rows = append(res.Rows, runScenario(c, gen, spec, ref[0]))
+		res.Rows = append(res.Rows, RunScenario(c, gen, spec, ref[0]))
 	}
 	return res, nil
 }
 
-func runScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec, wantEig float64) ScenarioResult {
-	out := ScenarioResult{Spec: spec}
+// RunScenario executes ONE scenario spec on a fresh simulated cluster and
+// classifies the run: the shared harness under both the hand-written
+// matrix and the chaos fuzzer's randomized episodes. The returned row
+// carries the classified outcome, the recovery-phase decomposition, the
+// unfired-trigger list and any episode-level invariant violations.
+func RunScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec, wantEig float64) (out ScenarioResult) {
+	out = ScenarioResult{Spec: spec}
 	procs := 1 + spec.Spares + c.Workers
 	sc := spec.Scenario // copy; the injector consumes events
 	ccfg := scenarioClusterConfig(c, procs, &sc)
@@ -399,6 +421,11 @@ func runScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 	out.Wall = time.Since(start)
 	inj := job.Cluster.Injector()
 	out.Unfired = inj.Pending()
+	// Sweep the episode-level invariants on every exit path, once the
+	// outcome is classified (the TTR checks are outcome-dependent).
+	defer func() {
+		out.Invariants = scenarioInvariants(job.Recorders, out.Outcome, inj.FiredVictims())
+	}()
 	if !done {
 		out.Outcome = OutcomeHung
 		out.Detail = "deadline exceeded"
@@ -461,10 +488,13 @@ func runScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 		return out
 	}
 	// Recovery legitimately regroups the allreduce reduction tree, so
-	// only the converged lowest eigenvalue is comparable bit-for-bit-ish.
-	if scale := math.Max(1, math.Abs(wantEig)); math.Abs(eigs[0]-wantEig) > 1e-6*scale {
+	// only the converged lowest eigenvalue is comparable — within the
+	// explicit per-matrix-size tolerance envelope (EigTolerance): a
+	// near-miss inside it is a recovered run, outside it is the one
+	// absolutely forbidden outcome, silent corruption.
+	if !EigMatches(eigs[0], wantEig, gen.Dim()) {
 		out.Outcome = OutcomeWrongAnswer
-		out.Detail = fmt.Sprintf("eig0 %v, reference %v", eigs[0], wantEig)
+		out.Detail = fmt.Sprintf("eig0 %v, reference %v (tol %.3g rel)", eigs[0], wantEig, EigTolerance(gen.Dim()))
 		return out
 	}
 	out.Outcome = OutcomeRecovered
@@ -485,6 +515,9 @@ func (r *ScenarioMatrixResult) Render() string {
 			status = "SPEC-MISMATCH"
 			if len(row.Unfired) > 0 {
 				status = fmt.Sprintf("UNFIRED:%d", len(row.Unfired))
+			}
+			if len(row.Invariants) > 0 {
+				status = fmt.Sprintf("INVARIANT:%d", len(row.Invariants))
 			}
 		}
 		src := fmt.Sprintf("%d/%d/%d/%d",

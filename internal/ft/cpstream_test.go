@@ -174,7 +174,18 @@ func TestCPStreamReceiverDeath(t *testing.T) {
 			}
 		default:
 			go s.Serve(store.put)
-			time.Sleep(5 * time.Millisecond)
+			// Die only after at least one full frame landed, so the exit
+			// strikes mid-stream instead of racing the sender's first push.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				store.mu.Lock()
+				n := len(store.frames)
+				store.mu.Unlock()
+				if n > 0 || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
 			p.Exit(-1)
 			return nil
 		}

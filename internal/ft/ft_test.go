@@ -322,8 +322,12 @@ func (h *ftHarness) finish(t *testing.T) []gaspi.Result {
 	return res
 }
 
-// waitRecoveries blocks until at least `want` recoveries happened (observed
-// via the detector's counter) or times out.
+// waitRecoveries blocks until at least `want` recoveries happened — the
+// detector acknowledged them AND every group member finished its group
+// commit. Both conditions are counters, not wall-clock waits: the group
+// size is constant across epochs (rescues replace victims), and each
+// member increments ft.recoveries exactly once per committed epoch, so
+// `want` completed epochs put the summed counter at want×groupsize.
 func (h *ftHarness) waitRecoveries(t *testing.T, want int64) {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
@@ -333,8 +337,23 @@ func (h *ftHarness) waitRecoveries(t *testing.T, want int64) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	// Give workers a moment to finish their group commit.
-	time.Sleep(20 * time.Millisecond)
+	members := int64(h.lay.Procs - 1 - h.lay.Spares)
+	for h.sumCounter("ft.recoveries") < want*members {
+		if time.Now().After(deadline) {
+			t.Fatalf("group commit %d incomplete: %d of %d member commits",
+				want, h.sumCounter("ft.recoveries"), want*members)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// sumCounter sums a named counter across every rank's recorder.
+func (h *ftHarness) sumCounter(name string) int64 {
+	var sum int64
+	for _, r := range h.recs {
+		sum += r.Counter(name)
+	}
+	return sum
 }
 
 // waitScans blocks until the detector has completed at least `want` ping
@@ -378,7 +397,7 @@ func TestFailureFreeRunAndShutdown(t *testing.T) {
 func TestSingleWorkerFailureRecovery(t *testing.T) {
 	lay := Layout{Procs: 8, Spares: 2}
 	h := newFTHarness(t, lay, testFTCfg())
-	time.Sleep(30 * time.Millisecond)
+	h.waitScans(t, 1)
 	victim := lay.InitialPhysical(1) // logical 1
 	h.job.Kill(victim, "test kill -9")
 	h.waitRecoveries(t, 1)
@@ -411,7 +430,7 @@ func TestSingleWorkerFailureRecovery(t *testing.T) {
 func TestSequentialFailuresRecovery(t *testing.T) {
 	lay := Layout{Procs: 9, Spares: 3}
 	h := newFTHarness(t, lay, testFTCfg())
-	time.Sleep(30 * time.Millisecond)
+	h.waitScans(t, 1)
 	h.job.Kill(lay.InitialPhysical(0), "kill 1")
 	h.waitRecoveries(t, 1)
 	h.job.Kill(lay.InitialPhysical(3), "kill 2")
@@ -437,7 +456,7 @@ func TestSequentialFailuresRecovery(t *testing.T) {
 func TestSimultaneousFailuresSingleEpoch(t *testing.T) {
 	lay := Layout{Procs: 10, Spares: 3}
 	h := newFTHarness(t, lay, testFTCfg())
-	time.Sleep(30 * time.Millisecond)
+	h.waitScans(t, 1)
 	// Three simultaneous kills: the threaded FD should detect all in one
 	// scan and recover them in a single epoch.
 	h.job.Kill(lay.InitialPhysical(0), "sim kill")
@@ -469,7 +488,7 @@ func TestSimultaneousFailuresSingleEpoch(t *testing.T) {
 func TestSpareDeathNeedsNoRecovery(t *testing.T) {
 	lay := Layout{Procs: 7, Spares: 2}
 	h := newFTHarness(t, lay, testFTCfg())
-	time.Sleep(30 * time.Millisecond)
+	h.waitScans(t, 1)
 	h.job.Kill(2, "spare dies") // rank 2 is a spare
 	// Wait for the FD to notice (epoch bump without recovery).
 	deadline := time.Now().Add(10 * time.Second)
@@ -498,7 +517,7 @@ func TestSpareDeathNeedsNoRecovery(t *testing.T) {
 func TestFalsePositivePartitionedWorkerIsKilled(t *testing.T) {
 	lay := Layout{Procs: 7, Spares: 2}
 	h := newFTHarness(t, lay, testFTCfg())
-	time.Sleep(30 * time.Millisecond)
+	h.waitScans(t, 1)
 	victim := lay.InitialPhysical(2)
 	// Network failure, not death: the worker lives but is unreachable.
 	h.job.Partition(victim, true)
@@ -523,7 +542,7 @@ func TestFalsePositivePartitionedWorkerIsKilled(t *testing.T) {
 func TestFDJoinsWorkersWhenSparesExhausted(t *testing.T) {
 	lay := Layout{Procs: 4, Spares: 0} // FD + 3 workers, no spares
 	h := newFTHarness(t, lay, testFTCfg())
-	time.Sleep(30 * time.Millisecond)
+	h.waitScans(t, 1)
 	h.job.Kill(lay.InitialPhysical(1), "exhaust spares")
 	// No recovery counter here since the FD leaves Run; wait for the
 	// rescue note instead.
@@ -671,6 +690,7 @@ func TestProberDetectsFailure(t *testing.T) {
 		t.Run(mode, func(t *testing.T) {
 			cfg := testFTCfg()
 			var suspected atomic.Bool
+			recs := []*trace.Recorder{trace.NewRecorder(), trace.NewRecorder(), trace.NewRecorder()}
 			job := gaspi.Launch(testGaspiCfg(4), func(p *gaspi.Proc) error {
 				if p.Rank() == 3 {
 					if err := p.SegmentCreate(9, 8); err != nil {
@@ -681,9 +701,9 @@ func TestProberDetectsFailure(t *testing.T) {
 				}
 				var b *Prober
 				if mode == "alltoall" {
-					b = NewAllToAllProber(p, cfg, trace.NewRecorder())
+					b = NewAllToAllProber(p, cfg, recs[p.Rank()])
 				} else {
-					b = NewNeighborProber(p, cfg, trace.NewRecorder())
+					b = NewNeighborProber(p, cfg, recs[p.Rank()])
 				}
 				b.Start()
 				defer b.Stop()
@@ -710,7 +730,25 @@ func TestProberDetectsFailure(t *testing.T) {
 				}
 			})
 			defer job.Close()
-			time.Sleep(20 * time.Millisecond)
+			// Kill only once every prober has pinged at least once, so the
+			// test exercises detection of a failure that strikes a running
+			// prober rather than racing the probers' startup.
+			warmup := time.Now().Add(10 * time.Second)
+			for {
+				ready := true
+				for _, r := range recs {
+					if r.Counter("prober.pings") == 0 {
+						ready = false
+					}
+				}
+				if ready {
+					break
+				}
+				if time.Now().After(warmup) {
+					t.Fatal("probers never started pinging")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
 			job.Kill(3, "prober target")
 			res, ok := job.WaitTimeout(30 * time.Second)
 			if !ok {
@@ -734,12 +772,23 @@ func TestProberFailureFreeOverheadCounted(t *testing.T) {
 	job := gaspi.Launch(testGaspiCfg(3), func(p *gaspi.Proc) error {
 		b := NewAllToAllProber(p, cfg, recs[p.Rank()])
 		b.Start()
-		time.Sleep(50 * time.Millisecond)
+		// Run until at least one full scan completed rather than sleeping a
+		// fixed interval: on a loaded host a short sleep may not buy the
+		// prober goroutine a single slice, making "Scans == 0" a false alarm.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st := b.Stats()
+			if st.Scans > 0 && st.Pings > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Stop()
+				return fmt.Errorf("prober idle: %+v", st)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
 		b.Stop()
 		st := b.Stats()
-		if st.Scans == 0 || st.Pings == 0 {
-			return fmt.Errorf("prober idle: %+v", st)
-		}
 		if st.Suspicions != 0 {
 			return fmt.Errorf("false suspicion in failure-free run: %+v", st)
 		}
@@ -791,6 +840,8 @@ func TestStandbyPromotionSeedsFromLastNotice(t *testing.T) {
 	// the rescue mapping forward, not reset to the initial layout.
 	lay := Layout{Procs: 6, Spares: 2}
 	cfg := testFTCfg()
+	fdRec := trace.NewRecorder()
+	var promoted atomic.Bool
 	job := gaspi.Launch(testGaspiCfg(lay.Procs), func(p *gaspi.Proc) error {
 		if err := CreateBoard(p, lay); err != nil {
 			return err
@@ -818,9 +869,10 @@ func TestStandbyPromotionSeedsFromLastNotice(t *testing.T) {
 			if d.Epoch() != 1 {
 				return fmt.Errorf("epoch = %d, want 1 (carried forward)", d.Epoch())
 			}
+			promoted.Store(true)
 			return nil
 		case 0:
-			d := NewDetector(p, lay, cfg, trace.NewRecorder())
+			d := NewDetector(p, lay, cfg, fdRec)
 			_, _, err := d.Run()
 			return err
 		default:
@@ -845,14 +897,29 @@ func TestStandbyPromotionSeedsFromLastNotice(t *testing.T) {
 		}
 	})
 	t.Cleanup(job.Close)
-	time.Sleep(20 * time.Millisecond)
+	waitCounter := func(name string, want int64, what string) {
+		deadline := time.Now().Add(30 * time.Second)
+		for fdRec.Counter(name) < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened (%s = %d, want %d)", what, name, fdRec.Counter(name), want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitCounter("fd.scans", 1, "first FD scan")
 	// First: a worker failure, recovered normally (epoch 1; spare 1 takes
 	// logical 0 since it is the lowest idle).
 	job.Kill(lay.InitialPhysical(0), "worker fails")
-	time.Sleep(100 * time.Millisecond)
+	waitCounter("fd.recoveries", 1, "worker recovery")
 	// Then: the FD dies; the standby must promote seeded with epoch 1.
 	job.Kill(0, "FD fails")
-	time.Sleep(200 * time.Millisecond)
+	deadline := time.Now().Add(30 * time.Second)
+	for !promoted.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never promoted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	res := job.Shutdown()
 	for _, r := range res {
 		if r.Err != nil && r.Death == nil {
@@ -873,15 +940,21 @@ func TestWriteBoardsContent(t *testing.T) {
 		NewlyFailed:  []Rank{2},
 		WorkerFailed: true,
 	}
+	// The FD writes into every rank's board segment; hold it back until
+	// all ranks created theirs (the 10ms sleep this replaces hid that
+	// ordering requirement instead of enforcing it).
+	var boards sync.WaitGroup
+	boards.Add(lay.Procs)
 	job := gaspi.Launch(testGaspiCfg(lay.Procs), func(p *gaspi.Proc) error {
 		if err := CreateBoard(p, lay); err != nil {
 			return err
 		}
+		boards.Done()
 		switch p.Rank() {
 		case 0:
 			d := NewDetector(p, lay, cfg, trace.NewRecorder())
 			d.status[2] = StatusFailed // so WriteBoards skips rank 2
-			time.Sleep(10 * time.Millisecond)
+			boards.Wait()
 			return d.WriteBoards(want)
 		case 2:
 			return nil // "failed" rank: gets no board

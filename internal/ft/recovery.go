@@ -107,6 +107,13 @@ const (
 	// CounterEpochRestarts counts epochs restarted by a further failure
 	// acknowledged while recovery was in flight (the compound-fault path).
 	CounterEpochRestarts = "ft.epoch.restarts"
+	// CounterEpochRegressions counts acknowledgments carrying an epoch
+	// STRICTLY OLDER than one this machine already processed. The board
+	// protocol makes notices monotone, so this must stay zero on every
+	// rank in every run — the chaos fuzzer's episode-level invariant. (A
+	// re-acknowledgment of the current epoch is normal and not counted:
+	// drivers read the board without consuming.)
+	CounterEpochRegressions = "ft.epoch.regressions"
 )
 
 // RecoveryMachine is the shared recovery epoch state machine. All methods
@@ -213,6 +220,9 @@ func (m *RecoveryMachine) notify(obs func(Transition), trs ...Transition) {
 func (m *RecoveryMachine) Ack(n *Notice) error {
 	m.mu.Lock()
 	if n.Epoch <= m.epoch {
+		if n.Epoch < m.epoch {
+			m.rec.Inc(CounterEpochRegressions, 1)
+		}
 		m.mu.Unlock()
 		return nil
 	}
