@@ -30,16 +30,19 @@ import (
 // cmd/bench-hotpath runs the same workloads standalone and emits
 // BENCH_hotpath.json.
 
-func benchSpMVJob(b *testing.B, legacy bool, threads int) {
-	const workers = 2
+func benchSpMVJob(b *testing.B, legacy bool, threads, workers, shards int) {
 	gen := matrix.DefaultGraphene(64, 32, 5)
 	const warm = 64
 	benchJobCfg(b, gaspi.Config{
 		Procs:   workers,
 		Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
 		// Dedicated data-plane run: poll hard enough that the hot waits
-		// never park (and so never allocate), even on one core.
-		SpinYields: 512,
+		// never park (and so never allocate) — a park costs one pulse
+		// channel, which would show up in the 0 allocs/op gates. The
+		// race-checked sharded gates run ~20x slower, hence the wide
+		// budget (it is a poll cap, not a busy cost in the common case).
+		SpinYields:   1 << 16,
+		FabricShards: shards,
 	}, func(p *gaspi.Proc) error {
 		c := &spmvm.Direct{P: p, Base: 0, Workers: workers, Group: gaspi.GroupAll}
 		lo, hi := matrix.BlockRange(gen.Dim(), workers, c.Logical())
@@ -105,22 +108,32 @@ func benchSpMVJob(b *testing.B, legacy bool, threads int) {
 }
 
 func BenchmarkSpMV(b *testing.B) {
-	benchSpMVJob(b, false, 1)
+	benchSpMVJob(b, false, 1, 2, 0)
+}
+
+// BenchmarkSpMVSharded is the sharded-data-plane allocation gate: six
+// ranks striped over four pinned delivery shards, so shards serve
+// multiple destinations (exercising the per-shard heaps, FIFO clamps and
+// overflow machinery). MUST report 0 allocs/op — the CI bench-smoke job
+// greps for it — proving sharding did not reintroduce boxing anywhere in
+// the spMVM steady state.
+func BenchmarkSpMVSharded(b *testing.B) {
+	benchSpMVJob(b, false, 1, 6, 4)
 }
 
 // benchCollJob measures the collective hot path (or its preserved legacy
 // message-path counterpart): every rank runs b.N operations, rank 0 times
 // them. Collectives are self-synchronizing, so no extra coordination is
 // needed beyond the warmup barrier.
-func benchCollJob(b *testing.B, legacy bool, body func(p *gaspi.Proc, n int) error) {
+func benchCollJob(b *testing.B, legacy bool, procs, shards int, body func(p *gaspi.Proc, n int) error) {
 	const warm = 64
 	benchJobCfg(b, gaspi.Config{
-		Procs:   4,
+		Procs:   procs,
 		Latency: fabric.LatencyModel{Base: 2 * time.Microsecond},
-		// Dedicated data-plane run: poll hard enough that the hot waits
-		// never park (and so never allocate), even on one core.
-		SpinYields:        512,
+		// See benchSpMVJob for the SpinYields sizing.
+		SpinYields:        1 << 16,
 		LegacyCollectives: legacy,
+		FabricShards:      shards,
 	}, func(p *gaspi.Proc) error {
 		if err := body(p, warm); err != nil {
 			return err
@@ -166,11 +179,11 @@ func benchBarrier(p *gaspi.Proc, n int) error {
 }
 
 func BenchmarkCollBarrier(b *testing.B) {
-	benchCollJob(b, false, benchBarrier)
+	benchCollJob(b, false, 4, 0, benchBarrier)
 }
 
 func BenchmarkCollBarrierLegacy(b *testing.B) {
-	benchCollJob(b, true, benchBarrier)
+	benchCollJob(b, true, 4, 0, benchBarrier)
 }
 
 func benchAllreduce(p *gaspi.Proc, n int) error {
@@ -185,17 +198,26 @@ func benchAllreduce(p *gaspi.Proc, n int) error {
 }
 
 func BenchmarkCollAllreduceF64(b *testing.B) {
-	benchCollJob(b, false, benchAllreduce)
+	benchCollJob(b, false, 4, 0, benchAllreduce)
+}
+
+// BenchmarkCollAllreduceF64Sharded runs the binomial allreduce over an
+// eight-rank group striped onto four pinned delivery shards (two
+// destinations per shard). MUST report 0 allocs/op, like the unsharded
+// gate: the collective fast path's zero-allocation steady state has to
+// hold per shard, not just in the one-pump-per-rank layout.
+func BenchmarkCollAllreduceF64Sharded(b *testing.B) {
+	benchCollJob(b, false, 8, 4, benchAllreduce)
 }
 
 func BenchmarkCollAllreduceF64Legacy(b *testing.B) {
-	benchCollJob(b, true, benchAllreduce)
+	benchCollJob(b, true, 4, 0, benchAllreduce)
 }
 
 // BenchmarkCollAllreduceF64Large exercises the segmented (chunked,
 // ack-flow-controlled) large-vector protocol.
 func BenchmarkCollAllreduceF64Large(b *testing.B) {
-	benchCollJob(b, false, func(p *gaspi.Proc, n int) error {
+	benchCollJob(b, false, 4, 0, func(p *gaspi.Proc, n int) error {
 		in := make([]float64, 4096)
 		out := make([]float64, len(in))
 		for i := range in {
@@ -211,7 +233,7 @@ func BenchmarkCollAllreduceF64Large(b *testing.B) {
 }
 
 func BenchmarkSpMVLegacy(b *testing.B) {
-	benchSpMVJob(b, true, 1)
+	benchSpMVJob(b, true, 1, 2, 0)
 }
 
 func BenchmarkCPStreamPush(b *testing.B) {

@@ -1,0 +1,83 @@
+// Command bench-scale measures the scaling trajectory of the sharded
+// fabric data plane and emits BENCH_scale.json: a ranks × GOMAXPROCS ×
+// message-size sweep in which every point runs twice — the sharded layout
+// (Shards = min(GOMAXPROCS, ranks)) against the historical
+// one-pump-per-rank layout (Shards = ranks) — so the effect of collapsing
+// N delivery spinners into a few doorbell-driven shards is measured, not
+// assumed.
+//
+// Three measurements per (ranks, cores) point:
+//
+//   - spMVM weak scaling: iterations/sec of the distributed y = A·x loop
+//     over a Laplacian1D matrix with RowsPerRank rows per rank (the -full
+//     sweep reaches 1024 ranks and a 2M-row matrix).
+//   - allreduce ops/sec on the registered-segment fast path.
+//   - pairwise one-sided streaming MB/s per message size, which exercises
+//     the intake rings and doorbell batching directly.
+//
+// The cores axis re-pins GOMAXPROCS; it only buys real parallelism on a
+// host with that many CPUs, so the emitted JSON records host_cpus (see
+// EXPERIMENTS.md for how to read a sweep from a small host).
+//
+// Usage: go run ./cmd/bench-scale [-full] [-out FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/experiment"
+)
+
+type output struct {
+	Benchmark string                  `json:"benchmark"`
+	GOOS      string                  `json:"goos"`
+	GOARCH    string                  `json:"goarch"`
+	NumCPU    int                     `json:"num_cpu"`
+	Result    *experiment.ScaleResult `json:"scale"`
+}
+
+func main() {
+	full := flag.Bool("full", false, "widen the sweep to 1024 ranks / multi-million-row matrices")
+	spmvIters := flag.Int("spmviters", 0, "spMVM iteration budget at the smallest rank count (0: default)")
+	collOps := flag.Int("collops", 0, "allreduce operations per point (0: default)")
+	streamMsgs := flag.Int("streammsgs", 0, "streaming messages per pair (0: default)")
+	out := flag.String("out", "BENCH_scale.json", "output file")
+	flag.Parse()
+
+	cfg := experiment.ScaleConfig{
+		Full:       *full,
+		SpMVIters:  *spmvIters,
+		CollOps:    *collOps,
+		StreamMsgs: *streamMsgs,
+	}
+	res, err := experiment.RunScale(cfg, func(msg string) {
+		fmt.Println(msg)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-scale:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+
+	o := output{
+		Benchmark: "scale",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Result:    res,
+	}
+	blob, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-scale:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-scale:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -127,7 +127,12 @@ func TestNackOnClosedEndpoint(t *testing.T) {
 }
 
 func TestNackNotSentToClosedSender(t *testing.T) {
-	tr := New(fastCfg(2))
+	// A wide latency window makes the schedule deterministic even under
+	// real parallelism: the sender is guaranteed to be closed before the
+	// message (and therefore its NACK) can come due on the shard.
+	cfg := fastCfg(2)
+	cfg.Latency.Base = 5 * time.Millisecond
+	tr := New(cfg)
 	defer tr.Close()
 	a, b := tr.Endpoint(0), tr.Endpoint(1)
 	b.Close()

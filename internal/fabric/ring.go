@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// postEntry is one posted message in a shard's intake ring. The post time
+// and the deterministic part of the delivery delay are stamped by the
+// producer, so time spent queued in the ring never inflates the modeled
+// latency; jitter is added by the shard (which owns the RNG — keeping all
+// random-number work out of the producer path, see shard.admit).
+type postEntry struct {
+	msg  Message
+	at   time.Time
+	d    time.Duration
+	mgmt bool
+}
+
+// ringSlot pairs an entry with its publication sequence (the Vyukov
+// bounded-queue scheme: seq == pos means free, seq == pos+1 means
+// published, anything else means the slot still belongs to an earlier
+// lap).
+type ringSlot struct {
+	seq atomic.Uint64
+	e   postEntry
+}
+
+// postRing is the lock-free multi-producer single-consumer intake of a
+// shard: the doorbell ring. Producers claim a slot by CAS on the tail
+// cursor (never blocking the other producers on a mutex, and never
+// touching the shard's heap), publish the entry, and ring the shard's
+// doorbell only when the shard is actually parked — so back-to-back posts
+// from one sender (the spMVM gather posting to every consumer, the
+// checkpoint flusher streaming chunk writes) coalesce into at most one
+// channel wakeup instead of one per message.
+//
+// The consumer drains strictly in claim order: a claimed-but-unpublished
+// slot parks the drain at that position, which is exactly what preserves
+// per-producer post order (and with it the per-(source, destination) FIFO
+// guarantee) through the ring.
+type postRing struct {
+	slots []ringSlot
+	mask  uint64
+	_     [48]byte // keep the producer cursor off the consumer's line
+	tail  atomic.Uint64
+	_     [56]byte
+	head  uint64 // consumer-only
+}
+
+// ringDepth is the per-shard intake capacity. Must be a power of two.
+// Producers that find the ring full spin-yield until the shard drains a
+// slot (the shard drains its entire ring every loop iteration, so a full
+// ring is transient backpressure, not a stall).
+const ringDepth = 4096
+
+func newPostRing() *postRing {
+	r := &postRing{
+		slots: make([]ringSlot, ringDepth),
+		mask:  ringDepth - 1,
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push claims a slot, publishes e, and returns true. When the ring is full
+// it spin-yields for space, bailing out (message dropped, returns false)
+// only if closed() reports the transport is shutting down — the one case
+// in which the consumer may never drain again.
+func (r *postRing) push(e postEntry, closed func() bool) bool {
+	for {
+		pos := r.tail.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.e = e
+				s.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos: // full: the consumer has not freed this lap yet
+			if closed() {
+				return false
+			}
+			runtime.Gosched()
+		}
+		// seq > pos: another producer advanced tail; reload and retry.
+	}
+}
+
+// pop takes the next published entry, in claim order. Consumer-only.
+func (r *postRing) pop() (postEntry, bool) {
+	s := &r.slots[r.head&r.mask]
+	if s.seq.Load() != r.head+1 {
+		return postEntry{}, false
+	}
+	e := s.e
+	s.e = postEntry{} // release the payload reference for the collector
+	s.seq.Store(r.head + uint64(len(r.slots)))
+	r.head++
+	return e, true
+}
+
+// empty reports whether the next slot in claim order is unpublished.
+// Consumer-only (it reads the consumer cursor).
+func (r *postRing) empty() bool {
+	return r.slots[r.head&r.mask].seq.Load() != r.head+1
+}

@@ -1,0 +1,372 @@
+package fabric
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spinThreshold is the due-time horizon below which a shard busy-yields
+// instead of arming a timer: Go timers fire ~50-100µs late under load,
+// which would swamp the microsecond-scale latencies the time-compressed
+// experiments model. Yield-spinning delivers with ~1µs precision at the
+// cost of briefly occupying a P — and since the fabric runs at most one
+// shard per core (Config.Shards defaults to min(GOMAXPROCS, N)), at most
+// one goroutine per shard ever spins, instead of the one-pump-per-rank
+// design's N potential spinners.
+const spinThreshold = 50 * time.Microsecond
+
+// deferRetryDelay paces redelivery attempts to a destination whose inbox
+// is full. The old per-rank pump blocked the whole pump on a full inbox;
+// a shard serves many destinations, so a saturated receive queue must not
+// stall the others — due messages for it park in a per-destination
+// overflow queue and are retried at this cadence (and opportunistically on
+// every shard loop iteration).
+const deferRetryDelay = 100 * time.Microsecond
+
+// shard is one delivery engine of the sharded data plane. Destinations
+// are striped across shards round-robin (shard = dst % Shards), so the
+// messages of a collective round — whose partners are ranks at power-of-
+// two distances — land on distinct heaps instead of serializing on one,
+// and so do the per-partner halo pushes of the spMVM gather.
+//
+// All mutable delivery state (the monomorphic timer heap, the sequence
+// counter, the per-(source, destination) FIFO clamps, the jitter RNG, the
+// overflow queues) is owned by the shard goroutine alone: producers only
+// touch the lock-free intake ring and the doorbell. There is no mutex on
+// the post path at all.
+type shard struct {
+	t  *Transport
+	id int
+
+	ring     *postRing
+	wake     chan struct{}
+	done     chan struct{}
+	sleeping atomic.Bool
+	once     sync.Once
+
+	// Consumer-goroutine state (no locks — single owner).
+	h       msgHeap
+	seq     uint64
+	lastDue map[pairKey]time.Time
+	rng     *rand.Rand
+	timer   *time.Timer
+
+	// Full-inbox overflow: per-destination FIFO of due-but-undeliverable
+	// messages, plus the list of destinations with pending overflow.
+	deferred  map[Rank]*overflowQueue
+	deferDsts []Rank
+}
+
+// pairKey identifies a directed (source, destination) pair: the unit of
+// the fabric's FIFO guarantee, preserved across the shard boundary by
+// clamping every message's due time to its pair's previous one.
+type pairKey struct{ from, to Rank }
+
+// heapItem is one scheduled message in a shard's timer heap.
+type heapItem struct {
+	due  time.Time
+	seq  uint64
+	mgmt bool
+	msg  Message
+}
+
+// msgHeap is a hand-rolled binary min-heap over heapItem. container/heap
+// would box every item into an interface{} on Push and Pop — two heap
+// allocations per delivered message, which the zero-copy data plane cannot
+// afford; the monomorphic implementation allocates only on slice growth.
+type msgHeap []heapItem
+
+func (h msgHeap) less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *msgHeap) push(it heapItem) {
+	*h = append(*h, it)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *msgHeap) pop() heapItem {
+	a := *h
+	n := len(a) - 1
+	top := a[0]
+	a[0] = a[n]
+	a[n] = heapItem{} // release the payload reference for the collector
+	*h = a[:n]
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
+}
+
+// overflowQueue is a slice-backed FIFO of messages awaiting inbox space.
+// Popping advances head; the backing array is reset (and reused) once
+// drained, so steady-state overflow churn does not allocate.
+type overflowQueue struct {
+	items []heapItem
+	head  int
+}
+
+func (q *overflowQueue) len() int { return len(q.items) - q.head }
+
+func (q *overflowQueue) push(it heapItem) { q.items = append(q.items, it) }
+
+func (q *overflowQueue) peek() *heapItem { return &q.items[q.head] }
+
+func (q *overflowQueue) popFront() {
+	q.items[q.head] = heapItem{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}
+
+func newShard(t *Transport, id int, seed int64) *shard {
+	s := &shard{
+		t:        t,
+		id:       id,
+		ring:     newPostRing(),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		lastDue:  make(map[pairKey]time.Time),
+		rng:      rand.New(rand.NewSource(seed)),
+		deferred: make(map[Rank]*overflowQueue),
+	}
+	s.timer = time.NewTimer(time.Hour)
+	if !s.timer.Stop() {
+		<-s.timer.C
+	}
+	return s
+}
+
+// post enqueues a message into the intake ring and rings the doorbell.
+// Called from any producer goroutine; lock-free.
+func (s *shard) post(m Message, d time.Duration, mgmt bool) {
+	e := postEntry{msg: m, at: time.Now(), d: d, mgmt: mgmt}
+	if !s.ring.push(e, s.t.closed.Load) {
+		return // transport shutting down: in-flight messages are discarded
+	}
+	s.doorbell()
+}
+
+// doorbell wakes the shard iff it is parked. A shard that is running (or
+// spinning on a near-due message) observes the ring directly, so the
+// common back-to-back-post case performs no channel operation — that is
+// the wakeup coalescing the one-channel-send-per-message design lacked.
+func (s *shard) doorbell() {
+	if s.sleeping.Load() && s.sleeping.CompareAndSwap(true, false) {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (s *shard) stop() { s.once.Do(func() { close(s.done) }) }
+
+// admit moves one ring entry into the timer heap: jitter is drawn from the
+// shard-owned RNG (producers never touch it — the old design computed
+// jitter under the pump mutex, serializing every producer to a
+// destination), and the due time is clamped to the pair's previous due
+// time so per-(source, destination) delivery order survives both jitter
+// and sharding.
+func (s *shard) admit(e postEntry) {
+	d := e.d
+	if !e.mgmt && s.t.cfg.Latency.Jitter > 0 {
+		d += time.Duration(s.rng.Float64() * s.t.cfg.Latency.Jitter * float64(s.t.cfg.Latency.Base))
+	}
+	due := e.at.Add(d)
+	k := pairKey{from: e.msg.From, to: e.msg.To}
+	if last, ok := s.lastDue[k]; ok && due.Before(last) {
+		due = last
+	}
+	s.lastDue[k] = due
+	s.seq++
+	s.h.push(heapItem{due: due, seq: s.seq, mgmt: e.mgmt, msg: e.msg})
+}
+
+// drain admits every published ring entry.
+func (s *shard) drain() {
+	for {
+		e, ok := s.ring.pop()
+		if !ok {
+			return
+		}
+		s.admit(e)
+	}
+}
+
+// deliverOrDefer hands a due message to the transport; a full destination
+// inbox defers it to the destination's overflow queue instead of blocking
+// the shard (which serves other destinations too). A destination with
+// queued overflow keeps strict FIFO: new due messages for it join the
+// queue behind the parked ones.
+func (s *shard) deliverOrDefer(it heapItem) {
+	dst := it.msg.To
+	if q, ok := s.deferred[dst]; ok && q.len() > 0 {
+		q.push(it)
+		return
+	}
+	if s.t.deliver(it.msg, it.mgmt) {
+		return
+	}
+	q, ok := s.deferred[dst]
+	if !ok {
+		q = &overflowQueue{}
+		s.deferred[dst] = q
+	}
+	q.push(it)
+	s.deferDsts = append(s.deferDsts, dst)
+}
+
+// flushDeferred retries the overflow queues in arrival order per
+// destination, compacting the pending-destination list in place.
+func (s *shard) flushDeferred() {
+	if len(s.deferDsts) == 0 {
+		return
+	}
+	kept := s.deferDsts[:0]
+	for _, dst := range s.deferDsts {
+		q := s.deferred[dst]
+		for q.len() > 0 {
+			it := q.peek()
+			if !s.t.deliver(it.msg, it.mgmt) {
+				break
+			}
+			q.popFront()
+		}
+		if q.len() > 0 {
+			kept = append(kept, dst)
+		}
+	}
+	s.deferDsts = kept
+}
+
+// run is the shard's delivery loop: drain the intake ring into the heap,
+// deliver everything due, then either spin (near-due head: the shard is
+// the group's single time-keeper, re-draining the ring while it waits) or
+// park on the doorbell/timer. Steady state performs no heap allocation.
+func (s *shard) run() {
+	for {
+		s.drain()
+		s.flushDeferred()
+		progressed := false
+		for len(s.h) > 0 {
+			now := time.Now()
+			if s.h[0].due.After(now) {
+				break
+			}
+			it := s.h.pop()
+			s.deliverOrDefer(it)
+			progressed = true
+		}
+		if progressed {
+			continue // new posts may have raced in; drain again before waiting
+		}
+
+		// Nothing due. Work out how long until something could be.
+		wait := time.Duration(-1) // -1: park indefinitely
+		if len(s.h) > 0 {
+			wait = time.Until(s.h[0].due)
+			if wait <= 0 {
+				// The head slipped past due between the delivery loop's
+				// clock read and this one (preemption): deliver now rather
+				// than mistaking a stale deadline for "nothing scheduled".
+				continue
+			}
+		}
+		if len(s.deferDsts) > 0 && (wait < 0 || wait > deferRetryDelay) {
+			wait = deferRetryDelay
+		}
+
+		if wait >= 0 && wait <= spinThreshold {
+			// Time-keeper spin: hold the deadline with ~1µs precision,
+			// consuming doorbell-free posts as they appear.
+			deadline := time.Now().Add(wait)
+			for time.Now().Before(deadline) {
+				if !s.ring.empty() {
+					break
+				}
+				select {
+				case <-s.done:
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+			continue
+		}
+
+		// Park. Publish sleeping before the final ring check: a producer
+		// either sees sleeping and rings the doorbell, or published its
+		// entry before our check and we see it here (both, harmlessly, on
+		// the race — the buffered wake at worst causes one spurious loop).
+		s.sleeping.Store(true)
+		if !s.ring.empty() {
+			s.sleeping.Store(false)
+			continue
+		}
+		if wait < 0 {
+			select {
+			case <-s.wake:
+			case <-s.done:
+				return
+			}
+		} else {
+			s.timer.Reset(wait)
+			select {
+			case <-s.wake:
+				// Non-blocking drain: if the timer fired concurrently the
+				// stale value at worst causes one spurious wake next park.
+				// (A blocking drain would deadlock under Go 1.23+ timer
+				// semantics, where Stop==false no longer implies a value
+				// is in flight.)
+				if !s.timer.Stop() {
+					select {
+					case <-s.timer.C:
+					default:
+					}
+				}
+			case <-s.timer.C:
+			case <-s.done:
+				if !s.timer.Stop() {
+					select {
+					case <-s.timer.C:
+					default:
+					}
+				}
+				return
+			}
+		}
+		s.sleeping.Store(false)
+	}
+}

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,7 +14,7 @@ import (
 //
 //	Base + PerByte*s + U(0, Jitter*Base)
 //
-// where U is uniform noise drawn from a deterministic per-destination stream.
+// where U is uniform noise drawn from a deterministic per-shard stream.
 type LatencyModel struct {
 	// Base is the zero-byte message latency (e.g. ~1.3µs for QDR IB,
 	// scaled by the experiment's time-scale factor).
@@ -54,6 +55,14 @@ type Config struct {
 	InboxDepth int
 	// Seed seeds the deterministic jitter streams.
 	Seed int64
+	// Shards is the number of data-plane delivery shards. Destinations are
+	// striped across shards round-robin (dst % Shards), each shard owning
+	// its own timer heap, jitter RNG and doorbell ring. Defaults to
+	// min(GOMAXPROCS, N): one shard per core the runtime will actually
+	// schedule, so at most that many time-keeper spinners exist at once.
+	// Shards = N reproduces the historical one-pump-per-rank layout (the
+	// bench-scale baseline arm).
+	Shards int
 }
 
 func (c *Config) withDefaults() Config {
@@ -63,6 +72,15 @@ func (c *Config) withDefaults() Config {
 	}
 	if cc.Latency.MgmtDelay == 0 {
 		cc.Latency.MgmtDelay = cc.Latency.Base
+	}
+	if cc.Shards <= 0 {
+		cc.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cc.Shards > cc.N {
+		cc.Shards = cc.N
+	}
+	if cc.Shards < 1 {
+		cc.Shards = 1
 	}
 	return cc
 }
@@ -83,16 +101,35 @@ type Stats struct {
 	PerKind [256]uint64
 }
 
-// Transport is the simulated interconnect: N endpoints plus one delivery
-// pump per endpoint.
-type Transport struct {
-	cfg   Config
-	eps   []*Endpoint
-	pumps []*pump
-
-	mu          sync.RWMutex
+// linkState is an immutable snapshot of the fabric's partition and
+// link-failure state, published with an atomic pointer swap so the
+// delivery hot path never takes a lock to consult it. allUp short-circuits
+// the common no-failures case to a single pointer load and branch.
+type linkState struct {
+	allUp       bool
 	partitioned []bool
 	linksDown   map[linkKey]bool
+}
+
+func (ls *linkState) ok(a, b Rank) bool {
+	if ls.allUp {
+		return true
+	}
+	return !ls.partitioned[a] && !ls.partitioned[b] && !ls.linksDown[normLink(a, b)]
+}
+
+// Transport is the simulated interconnect: N endpoints plus a set of
+// delivery shards, each serving the destinations striped onto it.
+type Transport struct {
+	cfg    Config
+	eps    []*Endpoint
+	shards []*shard
+
+	// mu serializes link-state *mutations* only (SetPartitioned,
+	// SetLinkDown build the next snapshot under it); readers go through
+	// the links pointer and never block.
+	mu    sync.Mutex
+	links atomic.Pointer[linkState]
 
 	closed atomic.Bool
 
@@ -114,19 +151,23 @@ func normLink(a, b Rank) linkKey {
 	return linkKey{a, b}
 }
 
-// New creates a transport with cfg.N endpoints and starts its delivery pumps.
+// New creates a transport with cfg.N endpoints and starts its delivery
+// shards.
 func New(cfg Config) *Transport {
 	cfg = cfg.withDefaults()
 	if cfg.N <= 0 {
 		panic(fmt.Sprintf("fabric: invalid endpoint count %d", cfg.N))
 	}
 	t := &Transport{
-		cfg:         cfg,
-		eps:         make([]*Endpoint, cfg.N),
-		pumps:       make([]*pump, cfg.N),
-		partitioned: make([]bool, cfg.N),
-		linksDown:   make(map[linkKey]bool),
+		cfg:    cfg,
+		eps:    make([]*Endpoint, cfg.N),
+		shards: make([]*shard, cfg.Shards),
 	}
+	t.links.Store(&linkState{
+		allUp:       true,
+		partitioned: make([]bool, cfg.N),
+		linksDown:   map[linkKey]bool{},
+	})
 	for i := range t.eps {
 		t.eps[i] = &Endpoint{
 			rank: Rank(i),
@@ -134,16 +175,29 @@ func New(cfg Config) *Transport {
 			in:   make(chan Message, cfg.InboxDepth),
 			done: make(chan struct{}),
 		}
-		t.pumps[i] = newPump(t, Rank(i), cfg.Seed+int64(i)*7919)
 	}
-	for _, p := range t.pumps {
-		go p.run()
+	for i := range t.shards {
+		t.shards[i] = newShard(t, i, cfg.Seed+int64(i)*7919)
+	}
+	for _, s := range t.shards {
+		go s.run()
 	}
 	return t
 }
 
 // N returns the number of endpoints.
 func (t *Transport) N() int { return len(t.eps) }
+
+// Shards returns the number of delivery shards.
+func (t *Transport) Shards() int { return len(t.shards) }
+
+// shardOf maps a destination to its delivery shard. Round-robin striping
+// (rather than contiguous blocks) spreads the traffic of neighboring
+// ranks — a collective round's power-of-two partners, the spMVM halo
+// partners — across distinct heaps.
+func (t *Transport) shardOf(dst Rank) *shard {
+	return t.shards[int(dst)%len(t.shards)]
+}
 
 // Endpoint returns the endpoint with the given rank.
 func (t *Transport) Endpoint(r Rank) *Endpoint {
@@ -156,7 +210,7 @@ func (t *Transport) Endpoint(r Rank) *Endpoint {
 // Latency exposes the configured latency model (read-only).
 func (t *Transport) Latency() LatencyModel { return t.cfg.Latency }
 
-// Close shuts down the transport: all endpoints are closed and the pumps
+// Close shuts down the transport: all endpoints are closed and the shards
 // stop. In-flight messages are discarded.
 func (t *Transport) Close() {
 	if !t.closed.CompareAndSwap(false, true) {
@@ -165,18 +219,20 @@ func (t *Transport) Close() {
 	for _, e := range t.eps {
 		e.Close()
 	}
-	for _, p := range t.pumps {
-		p.stop()
+	for _, s := range t.shards {
+		s.stop()
 	}
 }
 
 // SetPartitioned marks an endpoint as network-partitioned (down=true) or
 // heals it. While partitioned, all data-plane messages to and from the
 // endpoint are silently dropped; the endpoint itself stays alive.
+// Publishes a fresh link-state snapshot; concurrent deliveries keep
+// reading the previous one lock-free.
 func (t *Transport) SetPartitioned(r Rank, down bool) {
 	t.mu.Lock()
-	t.partitioned[r] = down
-	t.mu.Unlock()
+	defer t.mu.Unlock()
+	t.publishLinks(func(ls *linkState) { ls.partitioned[r] = down })
 }
 
 // SetLinkDown takes a single bidirectional link down (down=true) or restores
@@ -184,20 +240,46 @@ func (t *Transport) SetPartitioned(r Rank, down bool) {
 // restriction 3: a process reachable by some peers but not the detector).
 func (t *Transport) SetLinkDown(a, b Rank, down bool) {
 	t.mu.Lock()
-	if down {
-		t.linksDown[normLink(a, b)] = true
-	} else {
-		delete(t.linksDown, normLink(a, b))
+	defer t.mu.Unlock()
+	t.publishLinks(func(ls *linkState) {
+		if down {
+			ls.linksDown[normLink(a, b)] = true
+		} else {
+			delete(ls.linksDown, normLink(a, b))
+		}
+	})
+}
+
+// publishLinks builds the next immutable link-state snapshot from the
+// current one and swaps it in. Caller holds t.mu.
+func (t *Transport) publishLinks(mutate func(*linkState)) {
+	cur := t.links.Load()
+	next := &linkState{
+		partitioned: make([]bool, len(cur.partitioned)),
+		linksDown:   make(map[linkKey]bool, len(cur.linksDown)),
 	}
-	t.mu.Unlock()
+	copy(next.partitioned, cur.partitioned)
+	for k, v := range cur.linksDown {
+		next.linksDown[k] = v
+	}
+	mutate(next)
+	next.allUp = len(next.linksDown) == 0
+	if next.allUp {
+		for _, p := range next.partitioned {
+			if p {
+				next.allUp = false
+				break
+			}
+		}
+	}
+	t.links.Store(next)
 }
 
 // linkOK reports whether the data-plane path a→b is currently usable.
+// Lock-free: a single atomic pointer load, plus (only when some failure
+// is active) the snapshot lookups.
 func (t *Transport) linkOK(a, b Rank) bool {
-	t.mu.RLock()
-	ok := !t.partitioned[a] && !t.partitioned[b] && !t.linksDown[normLink(a, b)]
-	t.mu.RUnlock()
-	return ok
+	return t.links.Load().ok(a, b)
 }
 
 // Stats returns a snapshot of the fabric counters.
@@ -216,37 +298,41 @@ func (t *Transport) Stats() Stats {
 }
 
 // post schedules m for delivery. mgmt messages use the management plane:
-// fixed latency and immune to partitions.
+// fixed latency and immune to partitions. The deterministic delay is
+// computed here; jitter is added by the owning shard (which owns the RNG).
 func (t *Transport) post(m Message, mgmt bool) {
 	t.sent.Add(1)
 	t.bytes.Add(uint64(m.wireSize()))
 	t.perKind[m.Kind].Add(1)
-	p := t.pumps[m.To]
 	var d time.Duration
 	if mgmt {
 		d = t.cfg.Latency.MgmtDelay
 	} else {
-		d = t.cfg.Latency.delay(m.wireSize(), nil) // jitter added in pump (owns the rng)
+		d = t.cfg.Latency.delay(m.wireSize(), nil)
 	}
-	p.push(m, d, mgmt)
+	t.shardOf(m.To).post(m, d, mgmt)
 }
 
-// deliver hands a due message to its destination endpoint, generating a NACK
-// if the endpoint is closed or dropping it if the path is partitioned.
-func (t *Transport) deliver(m Message, mgmt bool) {
+// deliver hands a due message to its destination endpoint, generating a
+// NACK if the endpoint is closed or dropping it if the path is
+// partitioned. Returns false — message not consumed — only when the
+// destination's inbox is full; the shard then parks it in the
+// destination's overflow queue and retries, so one saturated receive
+// queue never stalls the other destinations on the shard.
+func (t *Transport) deliver(m Message, mgmt bool) bool {
 	dst := t.eps[m.To]
 	if dst.Closed() {
 		t.nack(m)
-		return
+		return true
 	}
 	if !mgmt && !t.linkOK(m.From, m.To) {
 		t.dropped.Add(1)
-		return
+		return true
 	}
 	// Registered-memory fast path: offer the due message to the
 	// endpoint's delivery sink. A consumed message never touches the
 	// receive channel — the payload lands in its destination region on
-	// this (pump) goroutine, like an RDMA write into registered memory.
+	// this (shard) goroutine, like an RDMA write into registered memory.
 	if !mgmt && dst.trySink(m) {
 		t.delivered.Add(1)
 		t.fast.Add(1)
@@ -260,13 +346,17 @@ func (t *Transport) deliver(m Message, mgmt bool) {
 			// ambiguity a real fabric has at connection teardown.
 			t.nack(m)
 		}
-		return
+		return true
 	}
 	select {
 	case dst.in <- m:
 		t.delivered.Add(1)
+		return true
 	case <-dst.done:
 		t.nack(m)
+		return true
+	default:
+		return false // inbox full: caller defers and retries
 	}
 }
 

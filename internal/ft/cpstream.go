@@ -215,6 +215,9 @@ func (s *CPStream) push(to gaspi.Rank, key string, blob []byte, kind CPFrameKind
 	if err := post(to, SegCP, 0, hdr, CPQueue); err != nil {
 		return err
 	}
+	// All chunks target one receiver rank, i.e. one fabric shard: the
+	// burst coalesces into a single doorbell wakeup there, and the shard
+	// batches the whole run of chunk writes through its timer heap.
 	base := int64(len(hdr))
 	for off := 0; off < len(blob); off += s.chunk {
 		end := min(off+s.chunk, len(blob))

@@ -43,6 +43,11 @@ import (
 // bookkeeping — see collDataPost for why the borrowed-buffer contract
 // holds without it).
 //
+// The binomial rounds address partners at power-of-two distances, and the
+// fabric stripes destinations round-robin over its delivery shards: the
+// posts of one round therefore land on distinct shard heaps and deliver
+// in parallel instead of serializing behind a single timer heap.
+//
 // Vectors longer than one chunk run the segmented pipelined protocol:
 // chunks alternate between the two sub-slots of the round, and the sender
 // posts chunk c only after the receiver's ack of chunk c-2 — a two-chunk

@@ -29,6 +29,11 @@ type Config struct {
 	InboxDepth int
 	// Seed seeds the fabric's deterministic jitter streams.
 	Seed int64
+	// FabricShards is the number of fabric delivery shards (default 0:
+	// min(GOMAXPROCS, Procs)). Setting it to Procs reproduces the
+	// historical one-pump-per-rank layout, which the scaling benchmarks
+	// use as their baseline arm.
+	FabricShards int
 	// SpinYields is the user-space poll budget of the data-plane hot
 	// waits before they park (default DefaultSpinYields; see its doc for
 	// the tuning trade-off).
@@ -101,6 +106,7 @@ func Launch(cfg Config, main func(*Proc) error) *Job {
 		Latency:    cfg.Latency,
 		InboxDepth: cfg.InboxDepth,
 		Seed:       cfg.Seed,
+		Shards:     cfg.FabricShards,
 	})
 	job := &Job{
 		cfg:     cfg,

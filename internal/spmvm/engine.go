@@ -249,6 +249,10 @@ func (e *Engine) SpMV(x, y []float64, it int64) error {
 
 	// 1. Push my values to every consumer (the paper: owners write the RHS
 	// values via one-sided communication before every spMVM iteration).
+	// The consumers' ranks stripe across the fabric's delivery shards, and
+	// the back-to-back posts of this loop ride the lock-free intake rings
+	// with at most one doorbell wakeup per parked shard — not one channel
+	// send per partner.
 	if e.segF != nil {
 		// Zero-copy: gather straight into the registered send staging
 		// region and post it borrowed — the fabric copies it exactly
