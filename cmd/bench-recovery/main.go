@@ -39,6 +39,9 @@ type output struct {
 	Checkpoint []experiment.CheckpointCostRow `json:"checkpoint_cost"`
 	Restore    experiment.RestoreBenchRow     `json:"restore"`
 	TTR        experiment.TTRRow              `json:"ttr"`
+	// TTRLocalized is the same kill measured under the localized
+	// O(degree) repair instead of the global recommit.
+	TTRLocalized experiment.TTRRow `json:"ttr_localized"`
 }
 
 func main() {
@@ -83,22 +86,30 @@ func main() {
 	fmt.Printf("  striped:    %.2f ms (%.0f MB/s, %.2fx)\n", restore.StripedMs, restore.StripedMBpS, restore.Speedup)
 
 	fmt.Println("end-to-end time-to-recover: kill -9 mid-iteration, delta engine")
-	ttr, err := experiment.RunTTRBench(cfg)
+	ttr, err := experiment.RunTTRBench(cfg, false)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ttr arm:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("  outcome %s in %.2f s wall; detect %.2f + ack %.2f + rebuild %.2f + restore %.2f = ttr %.2f ms (restores l/n/r/p %s)\n",
+	fmt.Printf("  global:    outcome %s in %.2f s wall; detect %.2f + ack %.2f + rebuild %.2f + restore %.2f = ttr %.2f ms (restores l/n/r/p %s)\n",
 		ttr.Outcome, ttr.WallS, ttr.DetectMs, ttr.AckMs, ttr.RebuildMs, ttr.RestoreMs, ttr.TTRMs, ttr.RestoreSources)
+	ttrLoc, err := experiment.RunTTRBench(cfg, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttr localized arm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  localized: outcome %s in %.2f s wall; detect %.2f + ack %.2f + localized %.2f + restore %.2f = ttr %.2f ms (restores l/n/r/p %s)\n",
+		ttrLoc.Outcome, ttrLoc.WallS, ttrLoc.DetectMs, ttrLoc.AckMs, ttrLoc.LocalizedMs, ttrLoc.RestoreMs, ttrLoc.TTRMs, ttrLoc.RestoreSources)
 
 	res := output{
 		Benchmark:  "recovery",
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
-		Checkpoint: rows,
-		Restore:    restore,
-		TTR:        ttr,
+		Checkpoint:   rows,
+		Restore:      restore,
+		TTR:          ttr,
+		TTRLocalized: ttrLoc,
 	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -107,7 +107,12 @@ func (h *Heat) Init(ctx *core.Ctx, restore bool) error {
 // Rebuild implements core.App.
 func (h *Heat) Rebuild(ctx *core.Ctx) error {
 	if h.eng != nil {
-		h.eng.Close() // release the old engine's worker pool
+		h.eng.Close() // release the old engine's worker pool (idempotent)
+		h.eng = nil
+	}
+	// Delete-if-present, as in the Lanczos app: an aborted engine build
+	// rolls its own segment back, so the retry may find it already gone.
+	if _, err := ctx.Proc.SegmentSize(HaloSeg); err == nil {
 		if err := ctx.Proc.SegmentDelete(HaloSeg); err != nil {
 			return err
 		}
@@ -125,6 +130,10 @@ func (h *Heat) Rebuild(ctx *core.Ctx) error {
 	h.w = make([]float64, n)
 	return nil
 }
+
+// HaloPartners reports the halo partner set from the communication plan
+// (see Lanczos.HaloPartners).
+func (h *Heat) HaloPartners(*core.Ctx) []int { return planPartners(h.plan) }
 
 // Close releases the engine's worker pool; the framework calls it when
 // the worker flow ends (Rebuild already closes superseded engines).

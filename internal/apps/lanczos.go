@@ -111,7 +111,13 @@ func (a *Lanczos) Init(ctx *core.Ctx, restore bool) error {
 // worker group. Collective (engine creation barriers).
 func (a *Lanczos) Rebuild(ctx *core.Ctx) error {
 	if a.eng != nil {
-		a.eng.Close() // release the old engine's worker pool
+		a.eng.Close() // release the old engine's worker pool (idempotent)
+		a.eng = nil
+	}
+	// Delete-if-present rather than delete-if-engine: an engine build
+	// aborted by a mid-rebuild death rolls its own segment back, so either
+	// state (segment present or absent) is legal here on a retry.
+	if _, err := ctx.Proc.SegmentSize(HaloSeg); err == nil {
 		if err := ctx.Proc.SegmentDelete(HaloSeg); err != nil {
 			return err
 		}
@@ -131,6 +137,35 @@ func (a *Lanczos) Rebuild(ctx *core.Ctx) error {
 		a.solver.SetEngine(eng)
 	}
 	return nil
+}
+
+// HaloPartners reports the logical ranks this worker exchanges halo data
+// with, from the communication plan — the application-derived half of the
+// localized repair set the framework hands to the FT worker after every
+// rebuild.
+func (a *Lanczos) HaloPartners(*core.Ctx) []int { return planPartners(a.plan) }
+
+// planPartners derives the deduplicated halo partner set (consumers and
+// producers alike) from a communication plan.
+func planPartners(p *spmvm.Plan) []int {
+	if p == nil {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range p.SendTo {
+		if !seen[s.To] {
+			seen[s.To] = true
+			out = append(out, s.To)
+		}
+	}
+	for _, r := range p.RecvFrom {
+		if !seen[r.From] {
+			seen[r.From] = true
+			out = append(out, r.From)
+		}
+	}
+	return out
 }
 
 // Close releases the engine's worker pool; the framework calls it when

@@ -83,6 +83,7 @@ func TestGenerateWellFormed(t *testing.T) {
 		"baseline",
 		"single/at-iteration", "single/during-flush", "single/during-collective",
 		"compound/kill-during-recovery", "compound/double-death", "compound/flush-racing-collective",
+		"compound/kill-during-localized-repair", "compound/kill-repair-set-member",
 		"exhaustion",
 	} {
 		if shapes[want] == 0 {
@@ -129,10 +130,10 @@ func newTestRunner(t *testing.T) *Runner {
 // set. (Wall and TTR times are real durations and legitimately vary.)
 func TestEpisodeReplayDeterministic(t *testing.T) {
 	r := newTestRunner(t)
-	// One recovered compound and one crisp abort, fixed seeds chosen by
-	// shape so the test is stable against generator evolution only via
-	// the determinism test above.
-	eps := []Episode{Generate(3), Generate(11)}
+	// One recovered compound (a localized repair-set kill) and one crisp
+	// abort, fixed seeds chosen by shape so the test is stable against
+	// generator evolution only via the determinism test above.
+	eps := []Episode{Generate(20), Generate(0)}
 	for _, ep := range eps {
 		a := r.Run(ep)
 		b := r.Run(ep)

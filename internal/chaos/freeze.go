@@ -35,12 +35,25 @@ type FrozenEpisode struct {
 	Failures []string `json:"failures,omitempty"`
 }
 
-// Freeze builds the corpus entry for an executed episode.
+// Freeze builds the corpus entry for an executed episode. An episode the
+// shrinker (or anything else) modified away from what its seed generates
+// is frozen with the seed detached: the corpus drift guard compares
+// Generate(seed) against the frozen schedule, and a shrunk schedule is
+// intentionally not the generated one.
 func Freeze(name, note string, res EpisodeResult) FrozenEpisode {
+	ep := res.Episode
+	if ep.Seed >= 0 {
+		frozen, err1 := json.Marshal(ep)
+		regen, err2 := json.Marshal(Generate(ep.Seed))
+		if err1 != nil || err2 != nil || string(frozen) != string(regen) {
+			ep.Seed = -1
+			note += " (seed detached: schedule shrunk)"
+		}
+	}
 	return FrozenEpisode{
 		Name:     name,
 		Note:     note,
-		Episode:  res.Episode,
+		Episode:  ep,
 		Outcome:  res.Row.Outcome.String(),
 		TTRNS:    res.Row.TTRNS,
 		Failures: res.Failures,

@@ -64,6 +64,13 @@ type Episode struct {
 // the detector can join the workers as the last rescue, so either
 // recovered or a crisp abort is acceptable there. The generator never
 // emits boundary episodes, but shrinking can reduce into one.
+//
+// The prediction is deliberately blind to the repair MODE. A localized
+// episode may legally complete through the O(degree) path, restart the
+// epoch localized after a mid-repair death, or fall back to the global
+// recommit (a fresher notice naming several victims routes every
+// survivor to the collective path) — all are correct executions and all
+// must end in the same outcome, which is the only thing the oracle pins.
 func OracleExpect(events, spares int) (want experiment.ScenarioOutcome, strict bool) {
 	if events <= spares {
 		return experiment.OutcomeRecovered, true
@@ -133,7 +140,7 @@ func Generate(seed int64) Episode {
 	case shape < 85:
 		// A compound schedule: the shapes the recovery epoch state
 		// machine exists for.
-		switch rng.Intn(3) {
+		switch rng.Intn(5) {
 		case 0:
 			// A second rank dies while the first victim's recovery is in
 			// flight (kill during another rank's restore).
@@ -153,6 +160,36 @@ func Generate(seed int64) Episode {
 					Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: iter}},
 				cluster.FaultEvent{Kind: kill(rng), Logical: victims[1],
 					Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: iter}})
+		case 2:
+			// Localized repair under fire: while the first victim's
+			// O(degree) repair is in flight, a second rank — possibly a
+			// bystander that skipped the handshake, possibly a repair-set
+			// spoke — is killed. The fresher notice restarts the epoch;
+			// whether the restart stays localized or (with two victims
+			// named) falls back to the global recommit, the run must
+			// recover (see OracleExpect).
+			ep.Shape = "compound/kill-during-localized-repair"
+			ep.Spec.Localized = true
+			events = append(events,
+				cluster.FaultEvent{Kind: kill(rng), Logical: victims[0],
+					Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: safeIter(rng, cp)}},
+				cluster.FaultEvent{Kind: kill(rng), Logical: victims[1],
+					Trigger: cluster.Trigger{Kind: cluster.DuringRecovery, Epoch: 1}})
+		case 3:
+			// Kill a member of the victim's repair set: the second death
+			// targets a checkpoint-chain neighbor of the first victim — a
+			// spoke whose join notification the promoted hub is actively
+			// waiting for. The hub must observe the fresher notice and
+			// restart instead of stalling on the dead spoke.
+			ep.Shape = "compound/kill-repair-set-member"
+			ep.Spec.Localized = true
+			victim := victims[0]
+			spoke := chainNeighbor(victim, ep.Workers, rng)
+			events = append(events,
+				cluster.FaultEvent{Kind: kill(rng), Logical: victim,
+					Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: safeIter(rng, cp)}},
+				cluster.FaultEvent{Kind: kill(rng), Logical: spoke,
+					Trigger: cluster.Trigger{Kind: cluster.DuringRecovery, Epoch: 1}})
 		default:
 			// A death racing the background flush plus a death at a
 			// collective's entry — the flusher and the fault-aware
@@ -185,9 +222,16 @@ func Generate(seed int64) Episode {
 		ep.Spec.Spares = len(events) + 1
 	}
 	// The async engine and the delta engine are orthogonal to the
-	// schedule: flip them randomly where not already forced.
+	// schedule: flip them randomly where not already forced. So is the
+	// localized-repair mode: its routing predicate is per-notice, so on
+	// shapes it is not written for (multi-victim epochs, exhaustion) the
+	// flip must degrade to the global recommit with identical outcomes —
+	// exactly the fallback surface worth fuzzing.
 	if !ep.Spec.Async && rng.Intn(3) == 0 {
 		ep.Spec.Async = true
+	}
+	if !ep.Spec.Localized && rng.Intn(3) == 0 {
+		ep.Spec.Localized = true
 	}
 	if rng.Intn(3) == 0 {
 		ep.Spec.FullEvery = 4
@@ -210,6 +254,24 @@ func Generate(seed int64) Episode {
 	}
 	ep.Spec.Expect, _ = OracleExpect(len(events), ep.Spec.Spares)
 	return ep
+}
+
+// chainNeighbor picks one of a victim's checkpoint-chain neighbors
+// (victim±1 mod workers, the ft-layer repair-set spokes the hub waits
+// for), excluding logical 0 — the never-killed collector rank every
+// episode keeps alive.
+func chainNeighbor(victim, workers int, rng *rand.Rand) int {
+	prev, next := (victim-1+workers)%workers, (victim+1)%workers
+	switch {
+	case prev == 0:
+		return next
+	case next == 0:
+		return prev
+	case rng.Intn(2) == 0:
+		return prev
+	default:
+		return next
+	}
 }
 
 // safeIter picks a fault iteration mid-checkpoint-interval, away from

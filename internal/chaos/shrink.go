@@ -60,6 +60,13 @@ func Shrink(r *Runner, failing EpisodeResult) (EpisodeResult, int) {
 		ep.Spec.FullEvery = 0
 		try(ep)
 	}
+	if best.Episode.Spec.Localized {
+		// A failure that reproduces under the global recommit is not a
+		// localized-repair bug; drop the mode when the signature survives.
+		ep := best.Episode
+		ep.Spec.Localized = false
+		try(ep)
+	}
 	if best.Episode.Spec.PFSEvery != 0 {
 		ep := best.Episode
 		ep.Spec.PFSEvery = 0

@@ -189,7 +189,8 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		// them. The classification happens here because the cluster layer
 		// cannot name ft's states.
 		w.Machine().SetObserver(func(tr ft.Transition) {
-			entry := tr.To == ft.StateAcked || tr.To == ft.StateGroupRebuild
+			entry := tr.To == ft.StateAcked || tr.To == ft.StateGroupRebuild ||
+				tr.To == ft.StateLocalizedRepair
 			inj.NoteRecovery(p.Rank(), ctx.Logical, tr.Epoch, entry)
 		})
 		// During-collective triggers observe every collective the worker
@@ -266,6 +267,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		// from the post-pre-processing checkpoint onward.
 		serr := app.Rebuild(ctx)
 		if serr == nil {
+			installHaloPartners(ctx, app)
 			serr = app.Restore(ctx, nil, 0)
 		}
 		if serr != nil {
@@ -321,6 +323,13 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		stop := rec.Start(phase)
 		err := app.Step(ctx, iter)
 		stop()
+		if err == nil && w.RepairPending() {
+			// The step completed while a failure notice newer than this
+			// worker's epoch sat on the board: an iteration computed during
+			// another rank's repair window — the survivor-throughput signal
+			// the localized-repair benchmark reports.
+			rec.Inc("core.iters_during_repair", 1)
+		}
 		if err != nil {
 			var fde *ft.FailureDetectedError
 			if !errors.As(err, &fde) {
@@ -442,6 +451,7 @@ func reload(ctx *Ctx, app App) (int64, error) {
 	if err := app.Rebuild(ctx); err != nil {
 		return 0, err
 	}
+	installHaloPartners(ctx, app)
 
 	mine := noCheckpoint
 	if ctx.CP != nil {
@@ -498,6 +508,17 @@ func reload(ctx *Ctx, app App) (int64, error) {
 		if v, ok := ctx.CP.FindLatestBelow(ctx.Cfg.StateName, ctx.Logical, version); ok {
 			mine = v
 		}
+	}
+}
+
+// installHaloPartners hands the application's communication-plan partner
+// set to the FT worker after every (re)build — the application-derived
+// half of the localized repair set. Apps without a partner notion (dense
+// collectives only) simply never implement the interface; the repair set
+// then degrades to the checkpoint-chain neighbors.
+func installHaloPartners(ctx *Ctx, app App) {
+	if hp, ok := app.(interface{ HaloPartners(ctx *Ctx) []int }); ok {
+		ctx.Worker.SetHaloPartners(hp.HaloPartners(ctx))
 	}
 }
 

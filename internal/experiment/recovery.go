@@ -359,7 +359,7 @@ func RunRestoreBench(c RecoveryBenchConfig) (RestoreBenchRow, error) {
 }
 
 // TTRRow is the end-to-end time-to-recover of a mid-iteration kill -9
-// with the delta engine enabled.
+// with the delta engine enabled, under either repair mode.
 type TTRRow struct {
 	Scenario  string  `json:"scenario"`
 	Outcome   string  `json:"outcome"`
@@ -367,15 +367,21 @@ type TTRRow struct {
 	DetectMs  float64 `json:"detect_ms"`
 	AckMs     float64 `json:"ack_ms"`
 	RebuildMs float64 `json:"rebuild_ms"`
-	RestoreMs float64 `json:"restore_ms"`
-	TTRMs     float64 `json:"ttr_ms"`
+	// LocalizedMs is the localized-repair phase time (the O(degree)
+	// path's replacement for the global rebuild phase; zero on the
+	// global-recommit arm).
+	LocalizedMs float64 `json:"localized_ms,omitempty"`
+	RestoreMs   float64 `json:"restore_ms"`
+	TTRMs       float64 `json:"ttr_ms"`
 	// Restores by replica source (local/neighbor/remote/pfs).
 	RestoreSources string `json:"restore_sources"`
 }
 
 // RunTTRBench runs the kill-mid-iteration scenario under the delta engine
-// and decomposes its time-to-recover.
-func RunTTRBench(c RecoveryBenchConfig) (TTRRow, error) {
+// and decomposes its time-to-recover. With localized set the repair runs
+// the non-collective O(degree) path (survivors outside the repair set
+// keep computing); otherwise the global recommit.
+func RunTTRBench(c RecoveryBenchConfig, localized bool) (TTRRow, error) {
 	sc := ScenarioMatrixConfig{Seed: 7}.WithDefaults()
 	gen := matrix.DefaultGraphene(sc.Nx, sc.Ny, uint64(sc.Seed))
 	ref, err := lanczos.SerialLowestEigs(gen, sc.Iters, 2, uint64(sc.Seed))
@@ -383,30 +389,39 @@ func RunTTRBench(c RecoveryBenchConfig) (TTRRow, error) {
 		return TTRRow{}, fmt.Errorf("recovery bench: serial reference: %w", err)
 	}
 	mid := 2*sc.CheckpointEvery + sc.CheckpointEvery/2
+	name := "kill -9 mid-iteration, delta engine, global recommit"
+	if localized {
+		name = "kill -9 mid-iteration, delta engine, localized repair"
+	}
 	spec := ScenarioSpec{
-		Scenario: cluster.Scenario{Name: "kill -9 mid-iteration, delta engine",
+		Scenario: cluster.Scenario{Name: name,
 			Events: []cluster.FaultEvent{{Kind: cluster.ProcKill, Logical: 1,
 				Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: mid}}}},
 		Spares: 2, Async: true, FullEvery: c.WithDefaults().FullEvery,
-		Expect: OutcomeRecovered,
+		Localized: localized,
+		Expect:    OutcomeRecovered,
 	}
 	res := RunScenario(sc, gen, spec, ref[0])
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	row := TTRRow{
-		Scenario:  spec.Scenario.Name,
-		Outcome:   res.Outcome.String(),
-		WallS:     res.Wall.Seconds(),
-		DetectMs:  ms(res.DetectNS),
-		AckMs:     ms(res.AckNS),
-		RebuildMs: ms(res.RebuildNS),
-		RestoreMs: ms(res.RestoreNS),
-		TTRMs:     ms(int64(res.TTR())),
+		Scenario:    spec.Scenario.Name,
+		Outcome:     res.Outcome.String(),
+		WallS:       res.Wall.Seconds(),
+		DetectMs:    ms(res.DetectNS),
+		AckMs:       ms(res.AckNS),
+		RebuildMs:   ms(res.RebuildNS),
+		LocalizedMs: ms(res.LocalizedNS),
+		RestoreMs:   ms(res.RestoreNS),
+		TTRMs:       ms(int64(res.TTR())),
 		RestoreSources: fmt.Sprintf("%d/%d/%d/%d",
 			res.RestoreLocal, res.RestoreNeighbor, res.RestoreRemote, res.RestorePFS),
 	}
 	if !res.Ok() {
 		return row, fmt.Errorf("recovery bench: scenario %q ended %v (want %v): %s",
 			spec.Scenario.Name, res.Outcome, spec.Expect, res.Detail)
+	}
+	if localized && res.LocalizedNS == 0 {
+		return row, fmt.Errorf("recovery bench: scenario %q never charged the localized phase", spec.Scenario.Name)
 	}
 	return row, nil
 }

@@ -41,13 +41,16 @@ type ScaleConfig struct {
 	// StreamMsgs is the number of messages per sender in the streaming
 	// sweep.
 	StreamMsgs int
-	// StreamMaxRanks caps the rank counts the streaming sweep visits.
-	// The stream point's signal is per-pair bandwidth vs message size,
-	// not job size — and its passive receivers park in the closing
-	// barrier for the whole stream, where the collective liveness
-	// re-probe (every parked waiter probes all N-1 members on a
-	// backed-off timer) grows quadratically with ranks and saturates a
-	// small host's fabric long before the data plane does.
+	// StreamMaxRanks optionally caps the rank counts the streaming sweep
+	// visits. Zero means uncapped: the sweep visits every entry of Ranks.
+	// The cap existed because the stream's passive receivers park in the
+	// closing barrier for the whole stream, and the old collective
+	// liveness re-probe (every parked waiter probing all N-1 members on a
+	// backed-off timer) grew quadratically with ranks, saturating a small
+	// host's fabric long before the data plane did. Parked waiters now
+	// probe only their ring successor (constant degree, verified gossip
+	// fans out an observed death), so the full sweep is affordable and
+	// the field remains only as a manual trim for slow hosts.
 	StreamMaxRanks int
 	// VecLen is the allreduce vector length (fits one chunk).
 	VecLen int
@@ -83,9 +86,6 @@ func (c ScaleConfig) WithDefaults() ScaleConfig {
 	}
 	if c.StreamMsgs <= 0 {
 		c.StreamMsgs = 2000
-	}
-	if c.StreamMaxRanks <= 0 {
-		c.StreamMaxRanks = 64
 	}
 	if c.VecLen <= 0 {
 		c.VecLen = 64
@@ -233,7 +233,7 @@ func RunScale(c ScaleConfig, progress func(string)) (*ScaleResult, error) {
 			})
 
 			for _, size := range c.MsgSizes {
-				if ranks > c.StreamMaxRanks {
+				if c.StreamMaxRanks > 0 && ranks > c.StreamMaxRanks {
 					continue
 				}
 				progress(fmt.Sprintf("stream ranks=%d cores=%d size=%d", ranks, cores, size))

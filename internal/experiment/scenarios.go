@@ -83,6 +83,9 @@ type ScenarioSpec struct {
 	// k-th generation a full base, dirty-chunk deltas between; 0 = the
 	// legacy full-blob format).
 	FullEvery int
+	// Localized enables the non-collective O(degree) group repair
+	// (ft.Config.LocalizedRepair) for this row.
+	Localized bool
 	// Expect is the required outcome.
 	Expect ScenarioOutcome
 	// WantPFSRestore additionally requires at least one restore served
@@ -245,6 +248,32 @@ func (c ScenarioMatrixConfig) Specs() []ScenarioSpec {
 			Spares: 3, PFSEvery: 1, Expect: OutcomeRecovered, WantPFSRestore: true,
 		},
 		{
+			// Localized repair under fire, case 1: while logical 1's
+			// O(degree) repair is in flight, a BYSTANDER (logical 3, neither
+			// chain neighbor nor 1-D halo partner of the victim) is killed.
+			// The fresh notice restarts the epoch; since it again names a
+			// single victim, the restarted epoch stays localized.
+			Scenario: cluster.Scenario{Name: "kill during another rank's repair",
+				Events: []cluster.FaultEvent{
+					at(cluster.ProcExit, 1, mid),
+					{Kind: cluster.ProcKill, Logical: 3,
+						Trigger: cluster.Trigger{Kind: cluster.DuringRecovery, Epoch: 1}}}},
+			Spares: 2, Localized: true, Expect: OutcomeRecovered,
+		},
+		{
+			// Localized repair under fire, case 2: the victim's checkpoint-
+			// chain neighbor (logical 2 — a repair-set spoke the hub waits
+			// for) is killed during the repair handshake. The hub's join
+			// wait must observe the fresher notice and restart rather than
+			// stall on the dead spoke.
+			Scenario: cluster.Scenario{Name: "kill a repair-set member",
+				Events: []cluster.FaultEvent{
+					at(cluster.ProcExit, 1, mid),
+					{Kind: cluster.ProcKill, Logical: 2,
+						Trigger: cluster.Trigger{Kind: cluster.DuringRecovery, Epoch: 1}}}},
+			Spares: 2, Localized: true, Expect: OutcomeRecovered,
+		},
+		{
 			// Three simultaneous kills against one spare (plus the FD
 			// joining): restriction 1 — must abort crisply, never hang.
 			Scenario: cluster.Scenario{Name: "spares exhausted",
@@ -271,9 +300,11 @@ type ScenarioResult struct {
 	// DetectNS is the worst-case fault-detection time (OHF1): a worker
 	// first stalling on the failure to the acknowledgment arriving.
 	DetectNS int64
-	// AckNS/RebuildNS/RestoreNS decompose recovery time by machine phase
-	// (max across ranks — the critical path).
-	AckNS, RebuildNS, RestoreNS int64
+	// AckNS/RebuildNS/LocalizedNS/RestoreNS decompose recovery time by
+	// machine phase (max across ranks — the critical path). LocalizedNS is
+	// the localized path's replacement for the rebuild phase; at most one
+	// of the two is non-zero per epoch on a given rank.
+	AckNS, RebuildNS, LocalizedNS, RestoreNS int64
 	// Restores by replica source, summed across ranks.
 	RestoreLocal, RestoreNeighbor, RestoreRemote, RestorePFS int64
 	// TTRNS is the scenario's time-to-recover: the per-rank sum of the
@@ -392,9 +423,11 @@ func RunScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 	if spec.Async {
 		cpMode = checkpoint.Async
 	}
+	ftCfg := c.FT
+	ftCfg.LocalizedRepair = spec.Localized
 	cfg := core.Config{
 		Spares:          spec.Spares,
-		FT:              c.FT,
+		FT:              ftCfg,
 		EnableHC:        true,
 		EnableCP:        true,
 		CheckpointEvery: c.CheckpointEvery,
@@ -439,10 +472,12 @@ func RunScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 	out.DetectNS = sum.MaxCounter[ft.CounterDetectNS]
 	out.AckNS = sum.MaxCounter[ft.CounterAckNS]
 	out.RebuildNS = sum.MaxCounter[ft.CounterRebuildNS]
+	out.LocalizedNS = sum.MaxCounter[ft.CounterLocalizedNS]
 	out.RestoreNS = sum.MaxCounter[ft.CounterRestoreNS]
 	for _, r := range job.Recorders {
 		t := r.Counter(ft.CounterDetectNS) + r.Counter(ft.CounterAckNS) +
-			r.Counter(ft.CounterRebuildNS) + r.Counter(ft.CounterRestoreNS)
+			r.Counter(ft.CounterRebuildNS) + r.Counter(ft.CounterLocalizedNS) +
+			r.Counter(ft.CounterRestoreNS)
 		if t > out.TTRNS {
 			out.TTRNS = t
 		}
@@ -529,7 +564,7 @@ func (r *ScenarioMatrixResult) Render() string {
 			fmt.Sprintf("%.2f", row.Wall.Seconds()),
 			fmt.Sprintf("%d", row.Recoveries),
 			fmt.Sprintf("%d", row.EpochRestarts),
-			ms(row.DetectNS), ms(row.AckNS), ms(row.RebuildNS), ms(row.RestoreNS),
+			ms(row.DetectNS), ms(row.AckNS), ms(row.RebuildNS), ms(row.LocalizedNS), ms(row.RestoreNS),
 			ms(int64(row.TTR())),
 			src,
 			row.Detail,
@@ -537,7 +572,7 @@ func (r *ScenarioMatrixResult) Render() string {
 	}
 	b.WriteString(trace.Table([]string{
 		"scenario", "outcome", "spec", "wall[s]", "recov", "restart",
-		"detect[ms]", "ack[ms]", "rebuild[ms]", "restore[ms]", "ttr[ms]", "src l/n/r/p", "detail"},
+		"detect[ms]", "ack[ms]", "rebuild[ms]", "localized[ms]", "restore[ms]", "ttr[ms]", "src l/n/r/p", "detail"},
 		rows))
 	return b.String()
 }

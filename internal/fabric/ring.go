@@ -1,7 +1,6 @@
 package fabric
 
 import (
-	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -10,12 +9,16 @@ import (
 // and the deterministic part of the delivery delay are stamped by the
 // producer, so time spent queued in the ring never inflates the modeled
 // latency; jitter is added by the shard (which owns the RNG — keeping all
-// random-number work out of the producer path, see shard.admit).
+// random-number work out of the producer path, see shard.admit). ps is the
+// shard-wide post sequence, the total order the consumer re-establishes
+// when a full ring forces some entries through the spill queue (see
+// shard.enqueue).
 type postEntry struct {
 	msg  Message
 	at   time.Time
 	d    time.Duration
 	mgmt bool
+	ps   uint64
 }
 
 // ringSlot pairs an entry with its publication sequence (the Vyukov
@@ -50,9 +53,11 @@ type postRing struct {
 }
 
 // ringDepth is the per-shard intake capacity. Must be a power of two.
-// Producers that find the ring full spin-yield until the shard drains a
-// slot (the shard drains its entire ring every loop iteration, so a full
-// ring is transient backpressure, not a stall).
+// A full ring splits by caller (shard.enqueue): ordinary producers wait
+// for space — that wait is the fabric's flow control — while delivery
+// goroutines, which can arrive here posting NACKs or sink completion
+// replies into their own ring, divert to the shard's spill queue instead
+// of deadlocking.
 const ringDepth = 4096
 
 func newPostRing() *postRing {
@@ -66,11 +71,11 @@ func newPostRing() *postRing {
 	return r
 }
 
-// push claims a slot, publishes e, and returns true. When the ring is full
-// it spin-yields for space, bailing out (message dropped, returns false)
-// only if closed() reports the transport is shutting down — the one case
-// in which the consumer may never drain again.
-func (r *postRing) push(e postEntry, closed func() bool) bool {
+// tryPush claims a slot, publishes e, and returns true — or returns false
+// immediately if the ring is full (the caller diverts to the spill queue).
+// Races with other producers (a lost tail CAS, a slot freed mid-look) are
+// retried; only the genuine full state fails. Never blocks, never yields.
+func (r *postRing) tryPush(e postEntry) bool {
 	for {
 		pos := r.tail.Load()
 		s := &r.slots[pos&r.mask]
@@ -83,10 +88,7 @@ func (r *postRing) push(e postEntry, closed func() bool) bool {
 				return true
 			}
 		case seq < pos: // full: the consumer has not freed this lap yet
-			if closed() {
-				return false
-			}
-			runtime.Gosched()
+			return false
 		}
 		// seq > pos: another producer advanced tail; reload and retry.
 	}

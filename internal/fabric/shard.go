@@ -3,6 +3,7 @@ package fabric
 import (
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,21 @@ const spinThreshold = 50 * time.Microsecond
 // every shard loop iteration).
 const deferRetryDelay = 100 * time.Microsecond
 
+// lingerGrace is how long a shard keeps time-keeper-spinning after its
+// last delivery before parking on the doorbell. Request/response traffic
+// (the small-collective ping-pong, FD pings) turns messages around within
+// a round-trip; lingering across that gap means the response's post is
+// consumed straight from the intake ring instead of paying a doorbell →
+// channel → scheduler wake, which at small rank counts costs more than
+// the modeled wire latency itself.
+const lingerGrace = 100 * time.Microsecond
+
+// lingerYieldAbort is the Gosched round-trip above which a lingering shard
+// concludes the P is contended and parks instead of spinning on. An idle
+// machine turns a yield around in well under a microsecond; taking 10µs+
+// to get the CPU back means runnable goroutines are queued behind us.
+const lingerYieldAbort = 10 * time.Microsecond
+
 // shard is one delivery engine of the sharded data plane. Destinations
 // are striped across shards round-robin (shard = dst % Shards), so the
 // messages of a collective round — whose partners are ranks at power-of-
@@ -47,12 +63,26 @@ type shard struct {
 	sleeping atomic.Bool
 	once     sync.Once
 
+	// Spill intake: where a delivery goroutine's own posts (NACKs, sink
+	// completion replies) go when the ring is full — the consumer waiting
+	// for space in a ring only it drains would deadlock. Ordinary
+	// producers wait for ring space instead (see enqueue); that wait is
+	// the fabric's flow control. postSeq stamps every entry so the
+	// consumer can merge ring and spill back into post order (the
+	// per-(source, destination) FIFO clamp in admit requires same-pair
+	// entries to be admitted in post order).
+	postSeq atomic.Uint64
+	spillOn atomic.Bool
+	spillMu sync.Mutex
+	spill   []postEntry
+
 	// Consumer-goroutine state (no locks — single owner).
-	h       msgHeap
-	seq     uint64
-	lastDue map[pairKey]time.Time
-	rng     *rand.Rand
-	timer   *time.Timer
+	h        msgHeap
+	seq      uint64
+	lastDue  map[pairKey]time.Time
+	rng      *rand.Rand
+	timer    *time.Timer
+	lastWork time.Time // last delivery, for the post-delivery linger
 
 	// Full-inbox overflow: per-destination FIFO of due-but-undeliverable
 	// messages, plus the list of destinations with pending overflow.
@@ -168,22 +198,135 @@ func newShard(t *Transport, id int, seed int64) *shard {
 	return s
 }
 
-// post enqueues a message into the intake ring and rings the doorbell.
-// Called from any producer goroutine; lock-free.
+// post enqueues a message into the intake (ring, or spill queue when the
+// ring is full) and rings the doorbell. Called from any producer
+// goroutine; lock-free unless the ring is full.
 func (s *shard) post(m Message, d time.Duration, mgmt bool) {
-	e := postEntry{msg: m, at: time.Now(), d: d, mgmt: mgmt}
-	if !s.ring.push(e, s.t.closed.Load) {
+	e := postEntry{msg: m, at: time.Now(), d: d, mgmt: mgmt, ps: s.postSeq.Add(1)}
+	if !s.enqueue(e) {
 		return // transport shutting down: in-flight messages are discarded
 	}
 	s.doorbell()
 }
 
-// doorbell wakes the shard iff it is parked. A shard that is running (or
-// spinning on a near-due message) observes the ring directly, so the
-// common back-to-back-post case performs no channel operation — that is
-// the wakeup coalescing the one-channel-send-per-message design lacked.
+// fullSpinLaps is how many yield laps a producer burns on a full ring
+// before escalating to timed sleeps. The yields handle the common
+// transient (consumer is mid-drain, space frees within its timeslice);
+// the sleeps handle the pathological one-P schedule in which a flooding
+// producer refills the entire drained ring inside its own timeslice —
+// a pure-Gosched wait puts the starved producer right back behind the
+// flooder in the round-robin, forever, while a timer wake breaks the
+// rotation and lets it claim a slot.
+const fullSpinLaps = 4
+
+// fullSleep is the timed wait a producer pays per full-ring lap after the
+// yield laps are exhausted. It doubles as the fabric's flow control: a
+// producer posting faster than the shard delivers spends its excess time
+// here instead of growing unbounded queues ahead of slower traffic.
+const fullSleep = 10 * time.Microsecond
+
+// enqueue places e in the intake. The happy path is a lock-free ring
+// claim. A full ring splits by caller:
+//
+//   - An ordinary producer WAITS for space (yield laps, then timed
+//     sleeps). This wait is load-bearing: it is the only backpressure in
+//     the fabric, bounding how far a flooding sender can run ahead of
+//     delivery. Without it a hot poll loop grows the spill and overflow
+//     queues by millions of entries and protocol-critical messages queue
+//     behind them for minutes.
+//
+//   - A delivery goroutine (a shard posting a NACK or a sink completion
+//     reply — possibly into its own ring) must NEVER wait, so it diverts
+//     to the spill queue. Once engaged, ALL its posts append there
+//     (checked again under the lock — the consumer may have just swept
+//     it) until the next gather, so it cannot jump its own spilled entry
+//     by finding a freed ring slot; gather merges spill and ring back
+//     into post order by ps.
+//
+// The caller check costs a runtime.Stack parse and happens only on the
+// cold full-ring path. Returns false only when the transport is shutting
+// down and the intake is congested — the one case in which the consumer
+// may never drain again.
+func (s *shard) enqueue(e postEntry) bool {
+	shardCtx := -1 // lazily resolved: 1 = delivery goroutine, 0 = producer
+	for fulls := 0; ; {
+		if s.spillOn.Load() {
+			if shardCtx < 0 {
+				shardCtx = 0
+				if s.t.onShardGoroutine() {
+					shardCtx = 1
+				}
+			}
+			if shardCtx == 1 {
+				s.spillMu.Lock()
+				if s.spillOn.Load() {
+					s.spill = append(s.spill, e)
+					s.spillMu.Unlock()
+					return true
+				}
+				s.spillMu.Unlock()
+			}
+		}
+		if s.ring.tryPush(e) {
+			return true
+		}
+		if s.t.closed.Load() {
+			return false
+		}
+		if shardCtx < 0 {
+			shardCtx = 0
+			if s.t.onShardGoroutine() {
+				shardCtx = 1
+			}
+		}
+		if shardCtx == 1 {
+			s.spillMu.Lock()
+			s.spill = append(s.spill, e)
+			s.spillOn.Store(true)
+			s.spillMu.Unlock()
+			return true
+		}
+		if fulls++; fulls <= fullSpinLaps {
+			runtime.Gosched()
+		} else {
+			time.Sleep(fullSleep)
+		}
+	}
+}
+
+// goid parses the current goroutine's id out of its runtime.Stack header
+// ("goroutine N [...]"). Used only on the cold full-ring path to decide
+// whether the caller is a delivery goroutine; ids are assigned from a
+// monotonic counter and never reused, so a stored id stays valid.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id uint64
+	for i := len("goroutine "); i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// onShardGoroutine reports whether the calling goroutine is one of the
+// transport's delivery shards.
+func (t *Transport) onShardGoroutine() bool {
+	_, ok := t.shardGoids.Load(goid())
+	return ok
+}
+
+// doorbell wakes the shard iff it is parked. A shard that is running,
+// spinning on a near-due message, or lingering after a delivery observes
+// the ring directly, so the common back-to-back-post case performs no
+// channel operation — that is the wakeup coalescing the
+// one-channel-send-per-message design lacked.
 func (s *shard) doorbell() {
 	if s.sleeping.Load() && s.sleeping.CompareAndSwap(true, false) {
+		s.t.wakes.Add(1)
 		select {
 		case s.wake <- struct{}{}:
 		default:
@@ -221,6 +364,39 @@ func (s *shard) drain() {
 		if !ok {
 			return
 		}
+		s.admit(e)
+	}
+}
+
+// gather moves the whole intake into the timer heap. With no spill
+// engaged this is the plain lock-free ring drain; when a full ring
+// diverted entries to the spill queue, the spill is swept FIRST (clearing
+// the flag, so new posts go back to claiming ring slots) and then the
+// ring, and the union is admitted in post-sequence order — the
+// admit-order contract of the per-pair FIFO clamp. The sweep order is
+// load-bearing: a gathered entry's older same-pair sibling either sits in
+// the swept spill, or was ring-pushed before the sweep began and is
+// therefore still in the ring when the post-sweep drain runs — either
+// way it lands in the same batch, and the sort puts it first.
+func (s *shard) gather() {
+	if !s.spillOn.Load() {
+		s.drain()
+		return
+	}
+	s.spillMu.Lock()
+	batch := s.spill
+	s.spill = nil
+	s.spillOn.Store(false)
+	s.spillMu.Unlock()
+	for {
+		e, ok := s.ring.pop()
+		if !ok {
+			break
+		}
+		batch = append(batch, e)
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].ps < batch[j].ps })
+	for _, e := range batch {
 		s.admit(e)
 	}
 }
@@ -272,12 +448,14 @@ func (s *shard) flushDeferred() {
 }
 
 // run is the shard's delivery loop: drain the intake ring into the heap,
-// deliver everything due, then either spin (near-due head: the shard is
-// the group's single time-keeper, re-draining the ring while it waits) or
-// park on the doorbell/timer. Steady state performs no heap allocation.
+// deliver everything due, then either spin (near-due head or post-delivery
+// linger: the shard is the group's single time-keeper, re-draining the
+// ring while it waits) or park on the doorbell/timer. Steady state
+// performs no heap allocation.
 func (s *shard) run() {
+	s.t.shardGoids.Store(goid(), struct{}{})
 	for {
-		s.drain()
+		s.gather()
 		s.flushDeferred()
 		progressed := false
 		for len(s.h) > 0 {
@@ -290,6 +468,7 @@ func (s *shard) run() {
 			progressed = true
 		}
 		if progressed {
+			s.lastWork = time.Now()
 			continue // new posts may have raced in; drain again before waiting
 		}
 
@@ -306,6 +485,53 @@ func (s *shard) run() {
 		}
 		if len(s.deferDsts) > 0 && (wait < 0 || wait > deferRetryDelay) {
 			wait = deferRetryDelay
+		}
+
+		// Post-delivery linger: just after delivering, the next post is
+		// almost always imminent — a request/response protocol turns the
+		// message around within a round-trip. Parking now would make that
+		// next post pay the doorbell → channel → scheduler wake (the
+		// regression the one-pump-per-rank layout didn't have, since hot
+		// pumps rarely slept). Stay in the time-keeper spin for a grace
+		// window instead, consuming doorbell-free posts as they appear.
+		//
+		// The linger is strictly a latency optimization, so it must yield
+		// under CPU contention: if a Gosched doesn't come back promptly,
+		// other runnable goroutines are hungry for this P (oversubscribed
+		// simulations, GOMAXPROCS=1 CI) and holding it would starve the
+		// very producers whose posts we are waiting for. Park instead —
+		// the doorbell still works.
+		if grace := lingerGrace - time.Since(s.lastWork); grace > 0 && (wait < 0 || wait > spinThreshold) {
+			if wait >= 0 && wait < grace {
+				grace = wait
+			}
+			contended := false
+			deadline := time.Now().Add(grace)
+			for time.Now().Before(deadline) {
+				if !s.ring.empty() {
+					break
+				}
+				select {
+				case <-s.done:
+					return
+				default:
+				}
+				yieldAt := time.Now()
+				runtime.Gosched()
+				if time.Since(yieldAt) > lingerYieldAbort {
+					contended = true
+					break
+				}
+			}
+			if !contended {
+				// Ring content, a now-due head, or a quiet expiry (lastWork
+				// is stale, so the next pass won't re-linger and parks with
+				// a freshly computed wait): all re-evaluated at the loop
+				// top.
+				continue
+			}
+			// Contended: fall through to the park/spin decision below so
+			// the waiting producers get the P.
 		}
 
 		if wait >= 0 && wait <= spinThreshold {
@@ -331,7 +557,7 @@ func (s *shard) run() {
 		// entry before our check and we see it here (both, harmlessly, on
 		// the race — the buffered wake at worst causes one spurious loop).
 		s.sleeping.Store(true)
-		if !s.ring.empty() {
+		if !s.ring.empty() || s.spillOn.Load() {
 			s.sleeping.Store(false)
 			continue
 		}

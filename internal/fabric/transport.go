@@ -97,6 +97,12 @@ type Stats struct {
 	// sink (the registered-memory fast path) instead of traversing the
 	// receive channel. Always a subset of Delivered.
 	FastDelivered uint64
+	// DoorbellWakes counts the channel wakeups that actually reached a
+	// parked shard. The gap between Sent and this is the doorbell-free
+	// traffic: posts consumed straight from the intake ring by a shard
+	// that was processing, holding a near-due deadline, or lingering
+	// after a delivery.
+	DoorbellWakes uint64
 	// PerKind counts sent messages by kind value.
 	PerKind [256]uint64
 }
@@ -133,12 +139,22 @@ type Transport struct {
 
 	closed atomic.Bool
 
+	// shardGoids holds the goroutine ids of the delivery shards. A post
+	// arriving from one of them (a NACK, a one-sided sink's completion
+	// reply) is the delivery path posting to itself and must divert to the
+	// spill queue when the ring is full — the consumer waiting for space
+	// in a ring only it drains is a deadlock. Ordinary producers wait
+	// instead: that wait is the fabric's flow control. Consulted only on
+	// the cold full-ring path.
+	shardGoids sync.Map
+
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
 	nacks     atomic.Uint64
 	bytes     atomic.Uint64
 	fast      atomic.Uint64
+	wakes     atomic.Uint64
 	perKind   [256]atomic.Uint64
 }
 
@@ -291,6 +307,7 @@ func (t *Transport) Stats() Stats {
 	s.Nacks = t.nacks.Load()
 	s.Bytes = t.bytes.Load()
 	s.FastDelivered = t.fast.Load()
+	s.DoorbellWakes = t.wakes.Load()
 	for i := range s.PerKind {
 		s.PerKind[i] = t.perKind[i].Load()
 	}

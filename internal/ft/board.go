@@ -27,13 +27,31 @@ type Notice struct {
 	// Unrecoverable reports that more workers failed than spares remain
 	// (the paper's restriction 1).
 	Unrecoverable bool
+	// FailedLogicals lists the logical worker ranks whose hosts died in
+	// this epoch (parallel to the worker entries of NewlyFailed). Localized
+	// repair keys off it: it is the deterministic input from which every
+	// survivor derives the same repair mode and repair set — a single
+	// victim routes to the localized path, anything else to the global
+	// recommit.
+	FailedLogicals []int32
 }
 
-// BoardSize returns the notice-board segment size for a layout.
+// BoardSize returns the notice-board segment size for a layout. The last 8
+// bytes are the repair beacon (see BeaconOff): they are never covered by
+// the FD's notice writes, which write only the encoded notice from offset
+// zero.
 func BoardSize(l Layout) int {
-	// epoch(8) + flags(2) + counts(4+4+4) + status(n) + actPhys(4w) + newlyFailed(4n)
-	return 22 + l.Procs + 4*l.Workers() + 4*l.Procs
+	// epoch(8) + flags(2) + counts(4+4+4+4) + status(n) + actPhys(4w) +
+	// newlyFailed(4n) + failedLogicals(4w) + beacon(8)
+	return 26 + l.Procs + 4*l.Workers() + 4*l.Procs + 4*l.Workers() + 8
 }
+
+// BeaconOff returns the byte offset of the repair beacon within the board
+// segment: 8 bytes where a localized-repair hub publishes (little-endian)
+// the epoch it has adopted the new group for. Repair-set spokes poll it
+// with one-sided reads — hub-passive, so the hub never needs to know which
+// survivors consider themselves part of the repair set.
+func BeaconOff(l Layout) int { return BoardSize(l) - 8 }
 
 // Encode serializes the notice for the one-sided board write.
 func (n *Notice) Encode() []byte {
@@ -50,6 +68,7 @@ func (n *Notice) Encode() []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(n.Status)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(n.ActPhys)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(n.NewlyFailed)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(n.FailedLogicals)))
 	for _, s := range n.Status {
 		b = append(b, byte(s))
 	}
@@ -59,12 +78,15 @@ func (n *Notice) Encode() []byte {
 	for _, r := range n.NewlyFailed {
 		b = binary.LittleEndian.AppendUint32(b, uint32(r))
 	}
+	for _, l := range n.FailedLogicals {
+		b = binary.LittleEndian.AppendUint32(b, uint32(l))
+	}
 	return b
 }
 
 // DecodeNotice parses a notice-board image.
 func DecodeNotice(b []byte) (*Notice, error) {
-	if len(b) < 22 {
+	if len(b) < 26 {
 		return nil, fmt.Errorf("ft: notice too short (%d bytes)", len(b))
 	}
 	n := &Notice{
@@ -75,11 +97,12 @@ func DecodeNotice(b []byte) (*Notice, error) {
 	ns := int(binary.LittleEndian.Uint32(b[10:]))
 	na := int(binary.LittleEndian.Uint32(b[14:]))
 	nf := int(binary.LittleEndian.Uint32(b[18:]))
-	need := 22 + ns + 4*na + 4*nf
-	if ns < 0 || na < 0 || nf < 0 || len(b) < need {
+	nl := int(binary.LittleEndian.Uint32(b[22:]))
+	need := 26 + ns + 4*na + 4*nf + 4*nl
+	if ns < 0 || na < 0 || nf < 0 || nl < 0 || len(b) < need {
 		return nil, fmt.Errorf("ft: notice truncated: have %d bytes, need %d", len(b), need)
 	}
-	off := 22
+	off := 26
 	n.Status = make([]ProcStatus, ns)
 	for i := range n.Status {
 		n.Status[i] = ProcStatus(b[off])
@@ -94,6 +117,13 @@ func DecodeNotice(b []byte) (*Notice, error) {
 	for i := range n.NewlyFailed {
 		n.NewlyFailed[i] = Rank(int32(binary.LittleEndian.Uint32(b[off:])))
 		off += 4
+	}
+	if nl > 0 {
+		n.FailedLogicals = make([]int32, nl)
+		for i := range n.FailedLogicals {
+			n.FailedLogicals[i] = int32(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+		}
 	}
 	return n, nil
 }

@@ -219,6 +219,7 @@ func (d *Detector) handleFailures(failed []Rank) *Notice {
 	d.epoch++
 	workerFailed := false
 	unrecoverable := false
+	var failedLogicals []int32
 	for _, r := range failed {
 		prev := d.status[r]
 		d.status[r] = StatusFailed
@@ -236,6 +237,7 @@ func (d *Detector) handleFailures(failed []Rank) *Notice {
 		if logical < 0 {
 			continue // already replaced in this epoch
 		}
+		failedLogicals = append(failedLogicals, int32(logical))
 		if spare, ok := d.pickSpare(); ok {
 			d.status[spare] = StatusWorking
 			d.actPhys[logical] = spare
@@ -255,12 +257,13 @@ func (d *Detector) handleFailures(failed []Rank) *Notice {
 		_ = d.p.ProcKill(r, gaspi.Block)
 	}
 	return &Notice{
-		Epoch:         d.epoch,
-		Status:        append([]ProcStatus(nil), d.status...),
-		ActPhys:       append([]Rank(nil), d.actPhys...),
-		NewlyFailed:   append([]Rank(nil), failed...),
-		WorkerFailed:  workerFailed,
-		Unrecoverable: unrecoverable,
+		Epoch:          d.epoch,
+		Status:         append([]ProcStatus(nil), d.status...),
+		ActPhys:        append([]Rank(nil), d.actPhys...),
+		NewlyFailed:    append([]Rank(nil), failed...),
+		WorkerFailed:   workerFailed,
+		Unrecoverable:  unrecoverable,
+		FailedLogicals: failedLogicals,
 	}
 }
 

@@ -50,6 +50,14 @@ const (
 	// NotifShutdown tells idle processes (FD, spares) the application
 	// completed.
 	NotifShutdown gaspi.NotificationID = 1
+	// NotifJoinPrev and NotifJoinNext are the localized-repair join slots
+	// on the repair hub's board: the victim's checkpoint-chain neighbors
+	// announce themselves by notifying the hub with the repair's epoch as
+	// value, so the hub knows its restore sources are group-ready before it
+	// re-initializes data. Spares parked in WaitActivation wait on slots
+	// 0..1 only, so repair traffic never disturbs them.
+	NotifJoinPrev gaspi.NotificationID = 2
+	NotifJoinNext gaspi.NotificationID = 3
 )
 
 // BaseGroupID is the group id of the initial worker group; the group
@@ -201,6 +209,15 @@ type Config struct {
 	// (e.g. when the FD itself died — the paper's restriction 2). Zero
 	// means 100×CommTimeout.
 	StallLimit time.Duration
+	// LocalizedRepair enables the non-collective O(degree) group repair:
+	// for a single-victim epoch, only the victim's halo partners, its
+	// checkpoint-chain neighbors and the promoted rescue run the repair
+	// handshake; every other survivor adopts the new membership view
+	// locally (GroupAdoptCommit) and keeps iterating until its next
+	// collective reconciles it. Multi-victim epochs — including a repair
+	// losing one of its own members, which restarts the epoch with a fresh
+	// notice — fall back to the global recommit path on every rank alike.
+	LocalizedRepair bool
 }
 
 func (c Config) withDefaults() Config {

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
@@ -39,6 +40,12 @@ func SetupInitialGroup(p *gaspi.Proc, lay Layout, timeout time.Duration) error {
 // (GroupRebuild→Acked). On success the machine is left in StateRestore:
 // data re-initialization from the checkpoint is the caller's next step,
 // completed with Machine().Resume().
+//
+// With Config.LocalizedRepair, a single-victim epoch routes to the
+// localized O(degree) path instead of the collective commit; see
+// recoverLocalized. The mode is a pure function of the notice, so every
+// survivor of an epoch picks the same path — mixing an adopt-commit with
+// a handshake-commit on one group id would deadlock the handshakers.
 func (w *Worker) Recover(n *Notice) error {
 	stop := w.rec.Start(trace.PhaseReinit)
 	defer stop()
@@ -55,6 +62,10 @@ func (w *Worker) Recover(n *Notice) error {
 		}
 		w.rm.Set(n.ActPhys)
 		w.epoch = n.Epoch
+		// Publish the membership view version. Usually a no-op after
+		// checkNotice, but it covers the rescue path (AdoptIdentity joins
+		// the epoch without ever passing through checkNotice).
+		w.p.SetViewVersion(n.Epoch)
 
 		// Acked phase: enforce the death of every suspect (handles
 		// transient failures and false positives, as in the paper).
@@ -65,6 +76,18 @@ func (w *Worker) Recover(n *Notice) error {
 		// Repair communication infrastructure: abandon operations stuck
 		// towards dead or unreachable ranks.
 		w.p.PurgeQueues()
+
+		if w.useLocalized(n) {
+			n2, err := w.recoverLocalized(n, deadline)
+			if err != nil {
+				return err
+			}
+			if n2 != nil {
+				n = n2 // repair-set member died mid-repair: restart epoch
+				continue
+			}
+			return nil
+		}
 
 		if err := w.sm.BeginRebuild(); err != nil {
 			return err
@@ -125,6 +148,242 @@ func (w *Worker) Recover(n *Notice) error {
 			}
 		}
 	}
+}
+
+// useLocalized reports whether a notice routes to the localized repair
+// path. The predicate reads only the notice and static config, so every
+// survivor derives the same mode for the epoch — the invariant the whole
+// scheme rests on. Multi-victim epochs (including a repair that lost one
+// of its own members and restarted with a fresher notice naming two
+// logicals) take the global recommit on every rank alike.
+func (w *Worker) useLocalized(n *Notice) bool {
+	return w.hc && w.cfg.LocalizedRepair && n.WorkerFailed &&
+		!n.Unrecoverable && len(n.FailedLogicals) == 1
+}
+
+// chainNeighbors returns the logical ranks of a victim's checkpoint-chain
+// neighbors — computable by every rank from the worker count alone, which
+// is what lets the hub know its join set without knowing the victim's
+// application-level halo.
+func chainNeighbors(victim, workers int) (prev, next int) {
+	return (victim - 1 + workers) % workers, (victim + 1) % workers
+}
+
+// inRepairSet reports whether this worker belongs to a victim's repair
+// set: the victim's halo partners (from the application's communication
+// plan) plus its checkpoint-chain neighbors (the restore sources).
+func (w *Worker) inRepairSet(victim int) bool {
+	prev, next := chainNeighbors(victim, w.lay.Workers())
+	if w.logical == prev || w.logical == next {
+		return true
+	}
+	for _, p := range w.haloPartners {
+		if p == victim {
+			return true
+		}
+	}
+	return false
+}
+
+// recoverLocalized is the localized O(degree) repair of a single-victim
+// epoch. Every survivor tears down the old group and ADOPTS the new
+// membership locally (GroupAdoptCommit) — the member list is a pure
+// function of the notice, so no collective handshake is needed to agree
+// on it. Only the repair set then synchronizes:
+//
+//   - The hub (the promoted rescue, holding the victim's identity)
+//     publishes an epoch beacon in its board segment and waits for its
+//     checkpoint-chain neighbors to join.
+//   - Spokes (chain neighbors and the victim's halo partners) announce
+//     themselves to the hub (chain only) and poll the hub's beacon with
+//     one-sided reads until it carries this epoch. The beacon is
+//     hub-passive: the hub never needs to know which survivors consider
+//     the victim a halo partner.
+//   - Bystanders skip the handshake entirely and proceed to restore —
+//     they keep computing until their next collective, where the
+//     membership-version check reconciles them.
+//
+// A fresher notice during the handshake (a repair-set member died)
+// returns the notice for Recover's loop to restart the epoch — the mode
+// is re-derived from the new notice, falling back to the global recommit
+// when it names several victims.
+func (w *Worker) recoverLocalized(n *Notice, deadline time.Time) (*Notice, error) {
+	if err := w.sm.BeginLocalizedRepair(); err != nil {
+		return nil, err
+	}
+	victim := int(n.FailedLogicals[0])
+	if victim < 0 || victim >= len(n.ActPhys) {
+		return nil, fmt.Errorf("ft: notice names invalid victim logical %d", victim)
+	}
+	hub := n.ActPhys[victim]
+
+	w.p.GroupDelete(w.gid)
+	newGid := WorkerGroupID(n.Epoch)
+	if err := w.p.GroupCreate(newGid); err != nil && !errors.Is(err, gaspi.ErrInvalid) {
+		return nil, err
+	}
+	for _, r := range n.WorkingRanks() {
+		if err := w.p.GroupAdd(newGid, r); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.p.GroupAdoptCommit(newGid); err != nil {
+		return nil, err
+	}
+
+	var err error
+	switch {
+	case w.p.Rank() == hub:
+		err = w.hubHandshake(n, deadline)
+	case w.inRepairSet(victim):
+		err = w.spokeHandshake(n, hub, victim, deadline)
+	}
+	if err != nil {
+		var fde *FailureDetectedError
+		if errors.As(err, &fde) {
+			w.p.GroupDelete(newGid)
+			return fde.Notice, nil
+		}
+		return nil, err
+	}
+	w.gid = newGid
+	w.rec.Inc("ft.recoveries", 1)
+	return nil, w.sm.BeginRestore()
+}
+
+// repairWait drives one blocking repair-handshake step with the worker's
+// communication timeout, checking the board between attempts like
+// Worker.retry, but charging nothing to the detect phase: a timed-out
+// wait here is the normal idle state of the handshake, not a failure
+// symptom. A queue error (a one-sided read NACKed by a dead peer) purges
+// the queues so the next attempt starts clean.
+func (w *Worker) repairWait(deadline time.Time, op func(timeout time.Duration) error) error {
+	for {
+		err := op(w.cfg.CommTimeout)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, gaspi.ErrQueue) {
+			w.p.PurgeQueues()
+		} else if !errors.Is(err, gaspi.ErrTimeout) && !errors.Is(err, gaspi.ErrConnection) {
+			return err
+		}
+		n2, nerr := w.checkNotice()
+		if nerr != nil {
+			return nerr
+		}
+		if n2 != nil {
+			w.rec.Event("ft:ack")
+			return &FailureDetectedError{Notice: n2}
+		}
+		if !errors.Is(err, gaspi.ErrTimeout) {
+			// Pace the instantly-returning errors in a slice of the
+			// timeout so a fresher notice is acked promptly.
+			time.Sleep(w.cfg.CommTimeout / 10)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: during localized repair", ErrStalled)
+		}
+	}
+}
+
+// hubHandshake is the promoted rescue's side of the localized repair: it
+// publishes the epoch beacon (spokes poll it one-sidedly), then waits for
+// its checkpoint-chain neighbors' join notifications so its restore
+// sources are known to be group-ready before data re-initialization.
+func (w *Worker) hubHandshake(n *Notice, deadline time.Time) error {
+	victim := int(n.FailedLogicals[0])
+	prev, next := chainNeighbors(victim, w.lay.Workers())
+	var bcn [8]byte
+	binary.LittleEndian.PutUint64(bcn[:], n.Epoch)
+	if err := w.p.SegmentCopyIn(SegBoard, BeaconOff(w.lay), bcn[:]); err != nil {
+		return err
+	}
+	wantPrev := prev != victim           // false only when W==1: no survivors
+	wantNext := wantPrev && next != prev // W==2 collapses both roles onto one
+	// joinsDone sweeps both join slots and CONSUMES every value it sees:
+	// a join carrying this epoch is latched in got[], anything else is a
+	// stale join from an abandoned epoch. Consuming (rather than leaving a
+	// matched join in the slot) is what lets the blocking wait below truly
+	// block while the other join is outstanding — a set slot would make
+	// NotifyWaitsome return instantly and turn the handshake into a spin
+	// that starves co-scheduled ranks.
+	var got [2]bool
+	joinsDone := func() (bool, error) {
+		want := [2]bool{wantPrev, wantNext}
+		for i, id := range [...]gaspi.NotificationID{NotifJoinPrev, NotifJoinNext} {
+			v, err := w.p.NotifyPeek(SegBoard, id)
+			if err != nil {
+				return false, err
+			}
+			if v == 0 {
+				continue
+			}
+			if _, err := w.p.NotifyReset(SegBoard, id); err != nil {
+				return false, err
+			}
+			if want[i] && uint64(v) == n.Epoch {
+				got[i] = true
+			}
+		}
+		return (got[0] || !wantPrev) && (got[1] || !wantNext), nil
+	}
+	return w.repairWait(deadline, func(t time.Duration) error {
+		ok, err := joinsDone()
+		if err != nil || ok {
+			return err
+		}
+		if _, err := w.p.NotifyWaitsome(SegBoard, NotifJoinPrev, 2, t); err != nil {
+			return err
+		}
+		ok, err = joinsDone()
+		if err != nil || ok {
+			return err
+		}
+		return gaspi.ErrTimeout
+	})
+}
+
+// spokeHandshake is a repair-set survivor's side of the localized repair:
+// chain neighbors announce themselves on the hub's join slot, then every
+// spoke polls the hub's beacon with one-sided reads (into its own,
+// otherwise unused, beacon bytes) until the hub has adopted this epoch's
+// group. A dead hub NACKs the read; the FD's fresher notice then restarts
+// the epoch via repairWait's board check.
+func (w *Worker) spokeHandshake(n *Notice, hub Rank, victim int, deadline time.Time) error {
+	prev, next := chainNeighbors(victim, w.lay.Workers())
+	const q = gaspi.QueueID(0)
+	// Prev wins the slot when W==2 collapses both chain roles onto the
+	// single survivor — mirroring the hub's expectation exactly.
+	if w.logical == prev {
+		if err := w.p.Notify(hub, SegBoard, NotifJoinPrev, int64(n.Epoch), q); err != nil {
+			return err
+		}
+	} else if w.logical == next {
+		if err := w.p.Notify(hub, SegBoard, NotifJoinNext, int64(n.Epoch), q); err != nil {
+			return err
+		}
+	}
+	off := int64(BeaconOff(w.lay))
+	return w.repairWait(deadline, func(t time.Duration) error {
+		if err := w.p.Read(hub, SegBoard, off, SegBoard, off, 8, q); err != nil {
+			return err
+		}
+		if err := w.p.WaitQueue(q, t); err != nil {
+			return err
+		}
+		blob, err := w.p.SegmentCopyOut(SegBoard, int(off), 8)
+		if err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint64(blob) != n.Epoch {
+			// Hub not adopted yet: pace the poll in a slice of the
+			// timeout so the hub isn't hammered with reads.
+			time.Sleep(w.cfg.CommTimeout / 10)
+			return gaspi.ErrTimeout
+		}
+		return nil
+	})
 }
 
 // AdoptIdentity turns an activated rescue process into a worker: the

@@ -55,6 +55,13 @@ const (
 	// StateResume: the epoch completed; the machine passes through this
 	// state back to Healthy.
 	StateResume
+	// StateLocalizedRepair: the localized alternative to GroupRebuild —
+	// the new group is adopt-committed locally and, on repair-set members
+	// only, the O(degree) hub/spoke handshake synchronizes the ranks that
+	// actually bordered the failure. Declared after StateResume so the
+	// original states keep their values; Ack and BeginRestore treat it
+	// exactly like GroupRebuild.
+	StateLocalizedRepair
 )
 
 func (s RecoveryState) String() string {
@@ -69,6 +76,8 @@ func (s RecoveryState) String() string {
 		return "Restore"
 	case StateResume:
 		return "Resume"
+	case StateLocalizedRepair:
+		return "LocalizedRepair"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -100,6 +109,11 @@ const (
 	CounterAckNS = "ft.phase.ack_ns"
 	// CounterRebuildNS is time spent in GroupRebuild (OHF2).
 	CounterRebuildNS = "ft.phase.rebuild_ns"
+	// CounterLocalizedNS is time spent in LocalizedRepair — the localized
+	// path's replacement for the rebuild phase. Bystanders charge only
+	// their local adopt-commit here (microseconds); repair-set members
+	// additionally charge the O(degree) handshake.
+	CounterLocalizedNS = "ft.phase.localized_ns"
 	// CounterRestoreNS is time spent in Restore (OHF3).
 	CounterRestoreNS = "ft.phase.restore_ns"
 	// CounterEpochs counts completed recovery epochs (Resume reached).
@@ -180,6 +194,8 @@ func phaseCounter(s RecoveryState) string {
 		return CounterAckNS
 	case StateGroupRebuild:
 		return CounterRebuildNS
+	case StateLocalizedRepair:
+		return CounterLocalizedNS
 	case StateRestore:
 		return CounterRestoreNS
 	default:
@@ -227,7 +243,7 @@ func (m *RecoveryMachine) Ack(n *Notice) error {
 		return nil
 	}
 	switch m.state {
-	case StateGroupRebuild, StateRestore:
+	case StateGroupRebuild, StateLocalizedRepair, StateRestore:
 		m.rec.Inc(CounterEpochRestarts, 1)
 	case StateHealthy, StateAcked:
 		// Fresh failure, or a newer notice superseding a pending one.
@@ -249,10 +265,27 @@ func (m *RecoveryMachine) BeginRebuild() error {
 	return m.step(StateAcked, StateGroupRebuild)
 }
 
-// BeginRestore enters data re-initialization (OHF3). Legal only from
-// GroupRebuild.
+// BeginLocalizedRepair enters the localized repair phase — the O(degree)
+// replacement for GroupRebuild when a single victim's epoch routes to the
+// non-collective path. Legal only from Acked.
+func (m *RecoveryMachine) BeginLocalizedRepair() error {
+	return m.step(StateAcked, StateLocalizedRepair)
+}
+
+// BeginRestore enters data re-initialization (OHF3). Legal from
+// GroupRebuild (global recommit) or LocalizedRepair (localized path).
 func (m *RecoveryMachine) BeginRestore() error {
-	return m.step(StateGroupRebuild, StateRestore)
+	m.mu.Lock()
+	if m.state != StateGroupRebuild && m.state != StateLocalizedRepair {
+		defer m.mu.Unlock()
+		return fmt.Errorf("ft: recovery transition to %v from %v (want %v or %v)",
+			StateRestore, m.state, StateGroupRebuild, StateLocalizedRepair)
+	}
+	tr := m.move(StateRestore)
+	obs := m.observer
+	m.mu.Unlock()
+	m.notify(obs, tr)
+	return nil
 }
 
 // Resume completes the epoch: from Restore (the worker path) or directly

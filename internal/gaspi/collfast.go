@@ -159,6 +159,15 @@ func (p *Proc) collSetup(g *group) {
 		r:     r,
 		chunk: collChunkElems,
 	}
+	// Replay fast-path posts that arrived before this segment existed (an
+	// early-adopting repair-set peer racing ahead of our GroupAdoptCommit).
+	// Safe without cross-slot ordering: while the segment was missing this
+	// rank never acked anything, so the window protocol bounds each slot to
+	// at most one outstanding value — a stashed message and a direct-applied
+	// one can never target the same slot.
+	for _, m := range p.takePendingColl(s.id) {
+		p.applyOneSided(m)
+	}
 }
 
 // collTeardown releases a group's collective segment (failed commit,
@@ -172,14 +181,33 @@ func (p *Proc) collTeardown(gid GroupID, g *group) {
 
 // collCheckMembers fails with ErrConnBroken when any group member is
 // conclusively dead (state vector corrupt): the collective can never
-// complete, so waiting out the timeout would only delay recovery.
+// complete, so waiting out the timeout would only delay recovery. The
+// first discovery of a dead member also gossips the news to the rest of
+// the group (see gossipDead) — with constant-degree ring probing, this
+// rank may be the only one whose probe target died.
 func (p *Proc) collCheckMembers(g *group) error {
 	for _, m := range g.members {
 		if m != p.rank && ProcState(p.statevec[m].Load()) == StateCorrupt {
+			p.gossipDead(g, m)
 			return fmt.Errorf("%w: group %d, rank %d", ErrConnBroken, g.id, m)
 		}
 	}
 	return nil
+}
+
+// gossipDead fans a "rank looks dead" hint out to the other group members,
+// at most once per (this process, dead rank) pair. Receivers verify the
+// claim themselves by probing the named rank (nic.go kDeadGossip), so a
+// stale or malicious hint cannot corrupt anyone's state vector.
+func (p *Proc) gossipDead(g *group, dead Rank) {
+	if int(dead) >= len(p.deadGossiped) || p.deadGossiped[dead].Swap(true) {
+		return
+	}
+	for _, m := range g.members {
+		if m != p.rank && m != dead {
+			_ = p.ep.Send(m, fabric.Message{Kind: kDeadGossip, Args: [4]int64{int64(dead)}})
+		}
+	}
 }
 
 // collProbeInterval is the initial pacing of the liveness probes a
@@ -194,18 +222,23 @@ const collProbeInterval = 2 * time.Millisecond
 // collProbeMaxInterval caps the probe backoff of a long-parked waiter.
 const collProbeMaxInterval = 50 * time.Millisecond
 
-// collProbeMembers posts a fire-and-forget liveness probe to every other
-// group member. A live member's NIC discards it silently; a dead member's
-// closed endpoint NACKs it, which marks the member corrupt and wakes every
-// collective waiter. Probing the whole group (not just the awaited round
-// partner) matters because a collective is doomed by ANY member's death —
-// including one whose failure only manifests as an alive partner stalling
-// forever behind it.
+// collProbeMembers posts a fire-and-forget liveness probe to this rank's
+// ring successor in the group's member order. A live successor's NIC
+// discards it silently; a dead one's closed endpoint NACKs it, which marks
+// it corrupt and wakes this waiter. Constant-degree probing replaces the
+// old probe-everyone scheme, whose aggregate traffic grew quadratically
+// with group size and capped the bench-scale stream sweep: with a ring,
+// total probe load is O(members) per tick. A death anywhere still breaks
+// every waiter promptly — the dead member's ring predecessor discovers the
+// NACK and gossips it to the whole group (collCheckMembers → gossipDead),
+// and each receiver verifies with its own direct probe.
 func (p *Proc) collProbeMembers(g *group) {
-	for _, m := range g.members {
-		if m != p.rank {
-			_ = p.ep.Send(m, fabric.Message{Kind: kProbe})
-		}
+	n := len(g.members)
+	if n <= 1 {
+		return
+	}
+	if succ := g.members[(g.myIdx+1)%n]; succ != p.rank {
+		_ = p.ep.Send(succ, fabric.Message{Kind: kProbe})
 	}
 }
 
@@ -265,9 +298,10 @@ func (s *segment) takeNotif(slot NotificationID, want int64) bool {
 // collPark is the shared cold-path wait of every collective waiter (fast
 // slot awaits and legacy round receives): parked until cond succeeds,
 // woken by the condition's pulse, a corrupt-marking NACK, the probe tick
-// (re-probing the whole group, so a member dying at any point — even
-// after every survivor stopped sending — breaks the wait promptly with
-// ErrConnBroken), the timeout, or death.
+// (re-probing the ring successor; a death elsewhere in the group reaches
+// this waiter through the predecessor's verified gossip — so a member
+// dying at any point, even after every survivor stopped sending, still
+// breaks the wait promptly with ErrConnBroken), the timeout, or death.
 func (p *Proc) collPark(g *group, pl *pulse, timeout time.Duration, cond func() bool) error {
 	p.collProbeMembers(g)
 	timer, stop := deadline(timeout)

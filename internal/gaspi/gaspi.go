@@ -111,6 +111,12 @@ var (
 	// ErrRemote reports that the remote side rejected an operation
 	// (unknown segment, out-of-bounds access, full passive buffer).
 	ErrRemote = errors.New("gaspi: remote error")
+	// ErrStaleView reports that a collective was attempted on a group whose
+	// membership view is older than the process's published view version:
+	// the caller missed a localized repair and must apply the new view
+	// (rebuild the group from the latest notice) before collectives on the
+	// group can proceed.
+	ErrStaleView = errors.New("gaspi: stale membership view")
 )
 
 // Message kinds on the fabric (fabric.KindNack is reserved by the fabric).
@@ -129,6 +135,7 @@ const (
 	kKill       uint8 = 12 // management-plane kill (gaspi_proc_kill extension)
 	kColl       uint8 = 13 // collective round payload (barrier/allreduce/commit)
 	kProbe      uint8 = 14 // fire-and-forget collective liveness probe
+	kDeadGossip uint8 = 15 // fire-and-forget "rank X looks dead" hint (Args[0]=X)
 )
 
 // remote error codes carried in acks (Args[0]).

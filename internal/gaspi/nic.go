@@ -55,6 +55,14 @@ func (p *Proc) applyOneSided(m fabric.Message) {
 			if code == remOK && m.Args[2] > 0 {
 				code = s.setNotification(m.Args[2]-1, m.Args[3])
 			}
+		} else if m.Token == 0 && SegmentID(m.Args[0]) < 0 {
+			// Fire-and-forget fast-path collective post for a registered
+			// collective segment this process hasn't created yet: during a
+			// localized repair the repair set adopts the new group at
+			// different times, and the sender's resume cursor would never
+			// re-send a dropped round. Park it; collSetup replays the stash.
+			p.stashPendingColl(m)
+			return
 		}
 		if m.Token != 0 {
 			// Token 0 is a fire-and-forget post (collective round data):
@@ -66,6 +74,10 @@ func (p *Proc) applyOneSided(m fabric.Message) {
 		code := int64(remBadSegment)
 		if s, err := p.segLookup(SegmentID(m.Args[0])); err == nil {
 			code = s.setNotification(m.Args[2]-1, m.Args[3])
+		} else if m.Token == 0 && SegmentID(m.Args[0]) < 0 {
+			// Same early-adopter race as the kWrite arm above.
+			p.stashPendingColl(m)
+			return
 		}
 		if m.Token != 0 {
 			// Token 0 is a fire-and-forget post (collective round
@@ -125,6 +137,17 @@ func (p *Proc) handleMessage(m fabric.Message) {
 	case kProbe:
 		// Collective liveness probe: needs no answer from a live process —
 		// only a dead endpoint's NACK carries information.
+
+	case kDeadGossip:
+		// A peer's ring probe hit a dead endpoint and it is fanning the
+		// news out. Don't trust the claim — verify it: probe the named rank
+		// directly. A truly dead endpoint NACKs the probe, which marks it
+		// corrupt here through the ordinary path; a live rank ignores the
+		// probe and nothing changes, so a lying (or stale) gossiper is
+		// harmless.
+		if sus := Rank(m.Args[0]); sus >= 0 && int(sus) < p.n && sus != p.rank {
+			p.reply(sus, fabric.Message{Kind: kProbe, From: p.rank, To: sus})
+		}
 
 	case kPingAck:
 		p.completeToken(m.Token, opResult{})

@@ -45,6 +45,31 @@ type Proc struct {
 	// of buffered, so abandoned entries can never accumulate in collBuf.
 	collHorizon map[GroupID]uint64
 
+	// pendingColl parks fire-and-forget fast-path collective posts (token-0
+	// kWrite/kNotify) that arrived for a registered collective segment this
+	// process has not created yet. During a localized repair, repair-set
+	// ranks adopt the new group (and its segment) at different times; a
+	// post from an early adopter must not be silently dropped — the
+	// sender's resume cursor would never re-send it and the round would
+	// deadlock. collSetup replays the stash once the segment exists;
+	// GroupDelete purges it. Guarded by pendCollMu.
+	pendCollMu   sync.Mutex
+	pendingColl  map[SegmentID][]fabric.Message
+	pendCollN    int
+	pendCollDrop atomic.Uint64
+
+	// viewVersion is the membership view version this process has observed
+	// (the latest worker-failure notice epoch). Groups committed before the
+	// current version are stale: collectives on them fail fast with
+	// ErrStaleView so the caller reconciles against the new view instead of
+	// parking in a round with a dead member.
+	viewVersion atomic.Uint64
+
+	// deadGossiped[r] latches once this process has broadcast a kDeadGossip
+	// hint about rank r, bounding gossip to one fan-out per (observer, dead
+	// rank) pair.
+	deadGossiped []atomic.Bool
+
 	// error state vector
 	statevec []atomic.Uint32
 	// corruptPulse wakes collective waiters when a rank is marked corrupt,
@@ -221,6 +246,57 @@ func (p *Proc) markCorrupt(r Rank) {
 		p.corruptPulse.Broadcast()
 		p.collPulse.Broadcast()
 	}
+}
+
+// SetViewVersion publishes a new membership view version (monotone: lower
+// versions are ignored). The ft layer calls it when a worker-failure notice
+// arrives; from then on collectives on groups committed under an older view
+// fail fast with ErrStaleView until the group is rebuilt.
+func (p *Proc) SetViewVersion(v uint64) {
+	for {
+		cur := p.viewVersion.Load()
+		if v <= cur || p.viewVersion.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ViewVersion returns the membership view version this process has observed.
+func (p *Proc) ViewVersion() uint64 { return p.viewVersion.Load() }
+
+// pendCollMax bounds the total number of parked fast-path collective posts;
+// beyond it new arrivals are counted and dropped (the sender's collective
+// then times out and resumes, the pre-existing behavior).
+const pendCollMax = 4096
+
+// stashPendingColl parks a fast-path collective post whose target segment
+// does not exist yet (see the pendingColl field comment).
+func (p *Proc) stashPendingColl(m fabric.Message) {
+	p.pendCollMu.Lock()
+	defer p.pendCollMu.Unlock()
+	if p.pendCollN >= pendCollMax {
+		p.pendCollDrop.Add(1)
+		return
+	}
+	if p.pendingColl == nil {
+		p.pendingColl = make(map[SegmentID][]fabric.Message)
+	}
+	sid := SegmentID(m.Args[0])
+	p.pendingColl[sid] = append(p.pendingColl[sid], m)
+	p.pendCollN++
+}
+
+// takePendingColl removes and returns the parked posts for segment sid in
+// arrival order.
+func (p *Proc) takePendingColl(sid SegmentID) []fabric.Message {
+	p.pendCollMu.Lock()
+	defer p.pendCollMu.Unlock()
+	ms := p.pendingColl[sid]
+	if ms != nil {
+		delete(p.pendingColl, sid)
+		p.pendCollN -= len(ms)
+	}
+	return ms
 }
 
 // State returns the error state vector entry for rank r

@@ -120,20 +120,21 @@ func Launch(cfg Config, main func(*Proc) error) *Job {
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		p := &Proc{
-			rank:        Rank(i),
-			n:           cfg.Procs,
-			cfg:         cfg,
-			job:         job,
-			ep:          tr.Endpoint(Rank(i)),
-			segs:        make(map[SegmentID]*segment),
-			groups:      make(map[GroupID]*group),
-			queues:      make([]*queue, cfg.Queues),
-			pending:     make(map[uint64]*pendingOp),
-			passiveCh:   make(chan passiveMsg, cfg.PassiveDepth),
-			collBuf:     make(map[collKey][]byte),
-			collHorizon: make(map[GroupID]uint64),
-			statevec:    make([]atomic.Uint32, cfg.Procs),
-			dead:        make(chan struct{}),
+			rank:         Rank(i),
+			n:            cfg.Procs,
+			cfg:          cfg,
+			job:          job,
+			ep:           tr.Endpoint(Rank(i)),
+			segs:         make(map[SegmentID]*segment),
+			groups:       make(map[GroupID]*group),
+			queues:       make([]*queue, cfg.Queues),
+			pending:      make(map[uint64]*pendingOp),
+			passiveCh:    make(chan passiveMsg, cfg.PassiveDepth),
+			collBuf:      make(map[collKey][]byte),
+			collHorizon:  make(map[GroupID]uint64),
+			statevec:     make([]atomic.Uint32, cfg.Procs),
+			deadGossiped: make([]atomic.Bool, cfg.Procs),
+			dead:         make(chan struct{}),
 		}
 		for q := range p.queues {
 			p.queues[q] = &queue{id: QueueID(q)}

@@ -151,10 +151,15 @@ func NewEngine(c Comm, plan *Plan, csr *matrix.CSR, seg gaspi.SegmentID) (*Engin
 	// Segment creation is collective in GASPI: nobody may start pushing
 	// halo data before every peer's segment exists.
 	if err := c.Barrier(); err != nil {
+		// Roll the segment back: when a peer dies inside this barrier the
+		// whole rebuild is retried after the next repair, and the retry
+		// must be able to create the segment afresh.
+		_ = c.Proc().SegmentDelete(seg)
 		return nil, fmt.Errorf("spmvm: halo segment barrier: %w", err)
 	}
 	raw, err := c.Proc().SegmentData(seg)
 	if err != nil {
+		_ = c.Proc().SegmentDelete(seg)
 		return nil, err
 	}
 	e.segBytes = raw
