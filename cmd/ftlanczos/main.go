@@ -142,7 +142,7 @@ func main() {
 	sum := trace.Aggregate(job.Recorders)
 	fmt.Printf("\ncompleted in %v wall (%.1fs model), %d process death(s), %d recovery epoch(s)\n",
 		wall.Round(time.Millisecond), experiment.Model(wall, *timeScale).Seconds(),
-		deaths, job.Recorders[0].Counter("fd.recoveries"))
+		deaths, job.Recorders[0].Counter(trace.KFDRecoveries))
 	fmt.Println("\ncritical-path overhead decomposition:")
 	for p := 0; p < trace.NumPhases; p++ {
 		fmt.Printf("  %-16s %10.3fs wall  %10.1fs model\n",

@@ -1,0 +1,104 @@
+// Command ftlint is the repo-native static-analysis suite: it enforces
+// the zero-copy borrowed-buffer contract (borrowcheck), the
+// no-blocking-under-lock rule (lockblock), the copy-on-write snapshot
+// discipline (cowpublish), the trace-key registry (tracekey), and — via
+// the compiler's escape analysis — the 0 allocs/op guarantee of every
+// //ftlint:hotpath-annotated function (hotpath).
+//
+// Usage:
+//
+//	go run ./cmd/ftlint [-passes borrowcheck,lockblock,...] [-no-escape] [patterns...]
+//
+// Patterns default to ./... . Exit status: 0 clean, 1 findings, 2
+// operational failure. Waivers are explicit in the source:
+// //ftlint:ignore <pass>: <reason>. See DESIGN.md "statically enforced
+// invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	passesFlag := flag.String("passes", "", "comma-separated subset of passes to run (default: all of "+strings.Join(analysis.PassNames(), ",")+")")
+	noEscape := flag.Bool("no-escape", false, "skip the hotpath escape-analysis gate (it shells out to 'go build')")
+	verbose := flag.Bool("v", false, "report per-package progress and pass statistics")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	enabled := map[string]bool{}
+	if *passesFlag == "" {
+		for _, n := range analysis.PassNames() {
+			enabled[n] = true
+		}
+	} else {
+		valid := map[string]bool{}
+		for _, n := range analysis.PassNames() {
+			valid[n] = true
+		}
+		for _, n := range strings.Split(*passesFlag, ",") {
+			n = strings.TrimSpace(n)
+			if !valid[n] {
+				fmt.Fprintf(os.Stderr, "ftlint: unknown pass %q (have %s)\n", n, strings.Join(analysis.PassNames(), ", "))
+				os.Exit(2)
+			}
+			enabled[n] = true
+		}
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "ftlint: no packages matched")
+		os.Exit(2)
+	}
+
+	var passes []analysis.Pass
+	for _, p := range analysis.Passes() {
+		if enabled[p.Name()] {
+			passes = append(passes, p)
+		}
+	}
+
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "ftlint: %s (%d files, %d type errors)\n", pkg.ImportPath, len(pkg.Files), len(pkg.TypeErrs))
+		}
+		findings = append(findings, analysis.Run(pkg, passes)...)
+	}
+
+	if enabled["hotpath"] && !*noEscape {
+		gateFindings, err := analysis.EscapeGate("", pkgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftlint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, gateFindings...)
+	}
+
+	analysis.SortFindings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ftlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "ftlint: clean (%d packages)\n", len(pkgs))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/lanczos"
 	"repro/internal/matrix"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -71,7 +72,7 @@ func main() {
 	}
 	fmt.Printf("finished in %v with %d death(s) and %d recovery epoch(s)\n",
 		time.Since(start).Round(time.Millisecond), deaths,
-		job.Recorders[0].Counter("fd.recoveries"))
+		job.Recorders[0].Counter(trace.KFDRecoveries))
 
 	var got []float64
 	mu.Lock()

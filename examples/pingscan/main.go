@@ -116,7 +116,7 @@ func main() {
 			log.Fatalf("rank %d: %v", r.Rank, r.Err)
 		}
 	}
-	scans := rec.Counter("fd.scans")
+	scans := rec.Counter(trace.KFDScans)
 	fmt.Printf("\nFD performed %d scans (%d pings); 2 simultaneous failures recovered in %d epoch(s)\n",
-		scans, rec.Counter("fd.pings"), rec.Counter("fd.recoveries"))
+		scans, rec.Counter(trace.KFDPings), rec.Counter(trace.KFDRecoveries))
 }

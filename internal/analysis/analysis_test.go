@@ -1,0 +1,158 @@
+package analysis_test
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The golden fixtures under testdata/src/<pass> carry `// want "substr"`
+// assertions on every line that must produce a finding; every other line
+// must stay clean. Both directions are checked: an unexpected finding and
+// a missing finding are each failures.
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+func loadFixture(t *testing.T, name string) *analysis.Pkg {
+	t.Helper()
+	pkgs, err := analysis.NewLoader().Load("", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	if len(pkgs[0].TypeErrs) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkgs[0].TypeErrs)
+	}
+	return pkgs[0]
+}
+
+// wants parses the `// want` assertions of every .go file in a fixture
+// directory, keyed by line number.
+func wants(t *testing.T, name string) map[int]string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	out := map[int]string{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("reading fixture file: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				out[i+1] = m[1]
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("fixture %s has no // want assertions", name)
+	}
+	return out
+}
+
+func checkFindings(t *testing.T, findings []analysis.Finding, want map[int]string) {
+	t.Helper()
+	matched := map[int]bool{}
+	for _, f := range findings {
+		w, ok := want[f.Pos.Line]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Msg, w) {
+			t.Errorf("finding at line %d: got %q, want substring %q", f.Pos.Line, f.Msg, w)
+			continue
+		}
+		matched[f.Pos.Line] = true
+	}
+	for line, w := range want {
+		if !matched[line] {
+			t.Errorf("missing finding at line %d: want substring %q", line, w)
+		}
+	}
+}
+
+func passByName(t *testing.T, name string) analysis.Pass {
+	t.Helper()
+	for _, p := range analysis.Passes() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	t.Fatalf("no pass named %s", name)
+	return nil
+}
+
+func testASTPass(t *testing.T, pass string) {
+	pkg := loadFixture(t, pass)
+	findings := analysis.Run(pkg, []analysis.Pass{passByName(t, pass)})
+	checkFindings(t, findings, wants(t, pass))
+}
+
+func TestBorrowcheckFixture(t *testing.T) { testASTPass(t, "borrowcheck") }
+func TestLockblockFixture(t *testing.T)   { testASTPass(t, "lockblock") }
+func TestCowpublishFixture(t *testing.T)  { testASTPass(t, "cowpublish") }
+func TestTracekeyFixture(t *testing.T)    { testASTPass(t, "tracekey") }
+
+func TestHotpathEscapeGateFixture(t *testing.T) {
+	pkg := loadFixture(t, "hotpath")
+	modRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.EscapeGate(modRoot, []*analysis.Pkg{pkg})
+	if err != nil {
+		t.Fatalf("escape gate: %v", err)
+	}
+	checkFindings(t, findings, wants(t, "hotpath"))
+}
+
+// TestFtlintFailsOnViolatingFixtures is the end-to-end acceptance check:
+// the ftlint command must exit non-zero (specifically 1: findings, not an
+// operational failure) on each pass's deliberately-violating fixture.
+func TestFtlintFailsOnViolatingFixtures(t *testing.T) {
+	modRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "ftlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ftlint")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ftlint: %v\n%s", err, out)
+	}
+	for _, pass := range []string{"borrowcheck", "lockblock", "cowpublish", "tracekey", "hotpath"} {
+		t.Run(pass, func(t *testing.T) {
+			cmd := exec.Command(bin, "-passes", pass, "./internal/analysis/testdata/src/"+pass)
+			cmd.Dir = modRoot
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("ftlint -passes %s exited 0 on the violating fixture; output:\n%s", pass, out)
+			}
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
+				t.Fatalf("running ftlint: %v\n%s", err, out)
+			}
+			if ee.ExitCode() != 1 {
+				t.Fatalf("ftlint -passes %s: exit code %d, want 1 (findings); output:\n%s", pass, ee.ExitCode(), out)
+			}
+			if !strings.Contains(string(out), pass) {
+				t.Errorf("ftlint output does not mention pass %s:\n%s", pass, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// cowpublish enforces the copy-on-write snapshot discipline of the fabric
+// link/partition state (and any other atomically-published value): once a
+// value has been published through an atomic.Pointer Store/Swap/
+// CompareAndSwap, lock-free readers may already hold it, so mutating it
+// afterwards in the publishing function is a data race. Build the next
+// snapshot fully, then publish it as the last step.
+//
+// Like borrowcheck, the scan is statement-ordered and intraprocedural,
+// with loop bodies scanned twice for wrap-around mutations. Rebinding the
+// published variable to a fresh value releases the track.
+type cowpublish struct{}
+
+func (cowpublish) Name() string { return "cowpublish" }
+
+func (cowpublish) Run(p *Pkg) []Finding {
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		t := &cowTracker{pkg: p, tracked: map[trackKey]string{}, seen: map[string]bool{}}
+		t.walkStmts(fd.Body.List)
+		out = append(out, t.findings...)
+	}
+	return out
+}
+
+type cowTracker struct {
+	pkg      *Pkg
+	tracked  map[trackKey]string
+	findings []Finding
+	seen     map[string]bool
+}
+
+func (t *cowTracker) emit(pos token.Pos, msg string) {
+	position := t.pkg.Fset.Position(pos)
+	key := position.String() + msg
+	if t.seen[key] {
+		return
+	}
+	t.seen[key] = true
+	t.findings = append(t.findings, Finding{Pos: position, Pass: "cowpublish", Msg: msg})
+}
+
+func (t *cowTracker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		t.walkStmt(s)
+	}
+}
+
+func (t *cowTracker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			t.scan(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			t.write(lhs, s.Tok == token.ASSIGN || s.Tok == token.DEFINE)
+		}
+	case *ast.IncDecStmt:
+		t.write(s.X, false)
+	case *ast.ExprStmt:
+		t.scan(s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			t.walkStmt(s.Init)
+		}
+		t.scan(s.Cond)
+		t.walkStmts(s.Body.List)
+		if s.Else != nil {
+			t.walkStmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		t.walkStmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			t.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			t.scan(s.Cond)
+		}
+		for i := 0; i < 2; i++ {
+			t.walkStmts(s.Body.List)
+			if s.Post != nil {
+				t.walkStmt(s.Post)
+			}
+		}
+	case *ast.RangeStmt:
+		t.scan(s.X)
+		for i := 0; i < 2; i++ {
+			t.walkStmts(s.Body.List)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			t.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			t.scan(s.Tag)
+		}
+		t.walkStmts(s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			t.scan(e)
+		}
+		t.walkStmts(s.Body)
+	case *ast.SelectStmt:
+		t.walkStmts(s.Body.List)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			t.walkStmt(s.Comm)
+		}
+		t.walkStmts(s.Body)
+	case *ast.SendStmt:
+		t.scan(s.Chan)
+		t.scan(s.Value)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			t.scan(e)
+		}
+	case *ast.DeferStmt:
+		t.scan(s.Call)
+	case *ast.LabeledStmt:
+		t.walkStmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						t.scan(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// write flags stores through a published value and releases rebinds.
+func (t *cowTracker) write(lhs ast.Expr, rebindable bool) {
+	key, ok := exprKey(t.pkg.Info, lhs)
+	if !ok {
+		return
+	}
+	// A store through the published value: the written path strictly
+	// extends a tracked path (next.field = v, next.slice[i] = v).
+	for k, pub := range t.tracked {
+		if k.obj == key.obj && key.path != k.path &&
+			(strings.HasPrefix(key.path, k.path+".") || strings.HasPrefix(key.path, k.path+"[")) {
+			t.emit(lhs.Pos(), fmt.Sprintf("mutation of %s after it was published by %s; copy-on-write values are immutable once stored", key.path, pub))
+			return
+		}
+	}
+	if rebindable {
+		// Rebinding the variable to a fresh value ends the published
+		// lifetime of the old one.
+		delete(t.tracked, key)
+	}
+}
+
+// scan looks for atomic publishes inside an expression.
+func (t *cowTracker) scan(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var argIdx int
+		switch sel.Sel.Name {
+		case "Store", "Swap":
+			argIdx = 0
+		case "CompareAndSwap":
+			argIdx = 1
+		default:
+			return true
+		}
+		// Only atomic.Pointer publishes carry the COW contract; Bool/
+		// Int64/value stores are fine. Unresolvable receivers are skipped.
+		if recvTypeName(t.pkg.Info, sel.X) != "Pointer" || recvTypePkgPath(t.pkg.Info, sel.X) != "sync/atomic" {
+			return true
+		}
+		if len(call.Args) <= argIdx {
+			return true
+		}
+		if key, ok := exprKey(t.pkg.Info, call.Args[argIdx]); ok {
+			pos := t.pkg.Fset.Position(call.Pos())
+			t.tracked[key] = fmt.Sprintf("the atomic %s at line %d", sel.Sel.Name, pos.Line)
+		}
+		return true
+	})
+}

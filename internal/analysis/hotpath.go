@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The hotpath gate promotes the 0 allocs/op discipline from
+// benchmark-sampled to build-time-total: every function annotated
+// //ftlint:hotpath is checked against the compiler's escape analysis
+// (`go build -gcflags=-m`), and any heap allocation inside its body is a
+// finding — whether or not a benchmark happens to execute that line.
+// Cold paths inside a hot function (lazy pool init, amortized buffer
+// growth, error construction) opt out line-by-line with
+// `//ftlint:ignore hotpath: <reason>`, so every waiver is explicit.
+//
+// Escape-output parsing caveats (also documented in DESIGN.md):
+//   - Only diagnostics positioned inside an annotated function's body
+//     range count. Allocations in helpers called from a hot function are
+//     invisible unless the helper is annotated too — annotate the leaf
+//     helpers of a hot loop.
+//   - `"..." escapes to heap` on a string literal is static data (the
+//     compiler materializes constant strings in rodata); these are
+//     filtered, they never allocate at run time.
+//   - `leaking param` / `does not escape` lines are ownership facts, not
+//     allocations, and are ignored.
+//   - Generic functions repeat diagnostics once per shape; they are
+//     deduplicated by position.
+
+// HotFunc is one //ftlint:hotpath-annotated function.
+type HotFunc struct {
+	Pkg       *Pkg
+	Name      string
+	File      string // absolute path
+	StartLine int
+	EndLine   int
+}
+
+// CollectHotFuncs returns the annotated functions of a package.
+func CollectHotFuncs(p *Pkg) []HotFunc {
+	var out []HotFunc
+	for _, fd := range funcDecls(p) {
+		if !hasHotpathMarker(fd) {
+			continue
+		}
+		start := p.Fset.Position(fd.Pos())
+		end := p.Fset.Position(fd.End())
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			name = recvString(fd) + "." + name
+		}
+		out = append(out, HotFunc{
+			Pkg:       p,
+			Name:      name,
+			File:      abs(start.Filename),
+			StartLine: start.Line,
+			EndLine:   end.Line,
+		})
+	}
+	return out
+}
+
+// recvString renders a method's receiver type for diagnostics, e.g.
+// "(*Engine)" for func (e *Engine) SpMV.
+func recvString(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		return "(*" + exprString(st.X) + ")"
+	}
+	return "(" + exprString(t) + ")"
+}
+
+// diagRe matches one compiler diagnostic: path.go:line:col: message.
+var diagRe = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.*)$`)
+
+// staticStringRe matches the escape of a string literal (static data).
+var staticStringRe = regexp.MustCompile(`^".*" escapes to heap$`)
+
+// EscapeGate runs the compiler's escape analysis over every package that
+// contains hot functions and returns a finding for each heap allocation
+// inside an annotated body that is not waived by an ignore directive.
+// modRoot is the directory to run `go build` from (the module root).
+func EscapeGate(modRoot string, pkgs []*Pkg) ([]Finding, error) {
+	var hot []HotFunc
+	pkgPaths := map[string]*Pkg{}
+	for _, p := range pkgs {
+		fns := CollectHotFuncs(p)
+		if len(fns) == 0 {
+			continue
+		}
+		hot = append(hot, fns...)
+		pkgPaths[p.ImportPath] = p
+	}
+	if len(hot) == 0 {
+		return nil, nil
+	}
+	paths := make([]string, 0, len(pkgPaths))
+	for ip := range pkgPaths {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+
+	args := append([]string{"build", "-gcflags=-m=1"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escape gate: go build %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+	}
+
+	// Index hot functions by file for position lookup.
+	byFile := map[string][]HotFunc{}
+	for _, h := range hot {
+		byFile[h.File] = append(byFile[h.File], h)
+	}
+
+	var out []Finding
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := diagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") || staticStringRe.MatchString(msg) {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(modRoot, file)
+		}
+		file = abs(file)
+		lineNo, _ := strconv.Atoi(m[2])
+		var owner *HotFunc
+		for i := range byFile[file] {
+			h := &byFile[file][i]
+			if lineNo >= h.StartLine && lineNo <= h.EndLine {
+				owner = h
+				break
+			}
+		}
+		if owner == nil {
+			continue
+		}
+		if owner.Pkg.IgnoredAt(file, lineNo, "hotpath") {
+			continue
+		}
+		key := file + ":" + m[2] + ":" + m[3] + msg
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, Finding{
+			Pos:  token.Position{Filename: file, Line: lineNo, Column: col},
+			Pass: "hotpath",
+			Msg:  fmt.Sprintf("heap allocation in //ftlint:hotpath function %s: %s", owner.Name, msg),
+		})
+	}
+	SortFindings(out)
+	return out, nil
+}
+
+func abs(p string) string {
+	a, err := filepath.Abs(p)
+	if err != nil {
+		return p
+	}
+	return filepath.Clean(a)
+}

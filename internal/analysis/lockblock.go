@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockblock enforces the no-blocking-under-lock rule that keeps the
+// sharded data plane livelock-free: while a sync.Mutex/RWMutex is held,
+// no channel send or receive, no parked select, no time.Sleep, and no
+// Wait* call. A shard or producer that parks while holding a mutex stalls
+// every peer that needs it — the PR 7/PR 8 livelock class that
+// previously only surfaced under race-checked stress runs.
+//
+// The scan is statement-ordered and intraprocedural: it sees direct
+// blocking operations between Lock and Unlock in one function (including
+// locks released by defer, which stay held to the end). Blocking hidden
+// behind a helper call is out of scope and remains the race tests'
+// business. sync.Cond.Wait is exempt (it must hold the mutex by design),
+// as is any select with a default clause (non-blocking poll).
+type lockblock struct{}
+
+func (lockblock) Name() string { return "lockblock" }
+
+func (lockblock) Run(p *Pkg) []Finding {
+	var out []Finding
+	for _, fd := range funcDecls(p) {
+		t := &lbTracker{pkg: p, seen: map[string]bool{}}
+		t.stmts(fd.Body.List)
+		out = append(out, t.findings...)
+	}
+	return out
+}
+
+type heldLock struct {
+	recv string // canonical receiver spelling, e.g. "s.mu"
+}
+
+type lbTracker struct {
+	pkg      *Pkg
+	held     []heldLock
+	findings []Finding
+	seen     map[string]bool
+}
+
+func (t *lbTracker) emit(pos token.Pos, msg string) {
+	position := t.pkg.Fset.Position(pos)
+	key := position.String() + msg
+	if t.seen[key] {
+		return
+	}
+	t.seen[key] = true
+	t.findings = append(t.findings, Finding{Pos: position, Pass: "lockblock", Msg: msg})
+}
+
+func (t *lbTracker) heldDesc() string {
+	names := make([]string, len(t.held))
+	for i, h := range t.held {
+		names[i] = h.recv
+	}
+	return strings.Join(names, ", ")
+}
+
+func (t *lbTracker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		t.stmt(s)
+	}
+}
+
+func (t *lbTracker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		t.expr(s.X)
+	case *ast.SendStmt:
+		if len(t.held) > 0 {
+			t.emit(s.Pos(), fmt.Sprintf("channel send while %s is held", t.heldDesc()))
+		}
+		t.expr(s.Chan)
+		t.expr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			t.expr(e)
+		}
+		for _, e := range s.Lhs {
+			t.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		t.expr(s.Cond)
+		t.stmts(s.Body.List)
+		if s.Else != nil {
+			t.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		t.stmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			t.expr(s.Cond)
+		}
+		t.stmts(s.Body.List)
+		if s.Post != nil {
+			t.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		t.expr(s.X)
+		if len(t.held) > 0 {
+			if tv, ok := typeOf(t.pkg.Info, s.X); ok {
+				if _, isChan := types.Unalias(tv).Underlying().(*types.Chan); isChan {
+					t.emit(s.Pos(), fmt.Sprintf("range over channel while %s is held", t.heldDesc()))
+				}
+			}
+		}
+		t.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			t.expr(s.Tag)
+		}
+		t.stmts(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			t.stmt(s.Init)
+		}
+		t.stmt(s.Assign)
+		t.stmts(s.Body.List)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			t.expr(e)
+		}
+		t.stmts(s.Body)
+	case *ast.SelectStmt:
+		if t.selectHasDefault(s) {
+			// Non-blocking poll: scan only the clause bodies.
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CommClause); ok {
+					t.stmts(c.Body)
+				}
+			}
+			return
+		}
+		if len(t.held) > 0 {
+			t.emit(s.Pos(), fmt.Sprintf("parked select (no default clause) while %s is held", t.heldDesc()))
+		}
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok {
+				t.stmts(c.Body)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			t.expr(e)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the scan;
+		// any other deferred call is scanned normally (it runs at return,
+		// when locks deferred earlier are still held).
+		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") && t.isMutexRecv(sel.X) {
+				return
+			}
+		}
+		t.expr(s.Call)
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks; its
+		// body is deliberately not scanned against the held set.
+	case *ast.IncDecStmt:
+		t.expr(s.X)
+	case *ast.LabeledStmt:
+		t.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						t.expr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (t *lbTracker) selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if c, ok := cc.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *lbTracker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure's body only blocks when it runs; scanning it
+			// against the current held set would double-count closures
+			// stored for later. Closures invoked inline are rare enough
+			// to leave to the race tests.
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(t.held) > 0 {
+				t.emit(n.Pos(), fmt.Sprintf("channel receive while %s is held", t.heldDesc()))
+			}
+		case *ast.CallExpr:
+			t.call(n)
+		}
+		return true
+	})
+}
+
+func (t *lbTracker) call(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock":
+		if t.isMutexRecv(sel.X) {
+			t.held = append(t.held, heldLock{recv: exprString(sel.X)})
+		}
+		return
+	case "Unlock", "RUnlock":
+		if t.isMutexRecv(sel.X) {
+			recv := exprString(sel.X)
+			for i := len(t.held) - 1; i >= 0; i-- {
+				if t.held[i].recv == recv {
+					t.held = append(t.held[:i], t.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	if len(t.held) == 0 {
+		return
+	}
+	if name == "Sleep" {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+			t.emit(call.Pos(), fmt.Sprintf("time.Sleep while %s is held", t.heldDesc()))
+		}
+		return
+	}
+	if strings.HasPrefix(name, "Wait") || name == "NotifyWaitsome" {
+		// sync.Cond.Wait must be called with its mutex held; exempt.
+		if recvTypeName(t.pkg.Info, sel.X) == "Cond" {
+			return
+		}
+		t.emit(call.Pos(), fmt.Sprintf("blocking %s call while %s is held", name, t.heldDesc()))
+	}
+}
+
+// isMutexRecv reports whether the expression is a sync.Mutex/RWMutex (or
+// a named type wrapping one). Without type information it falls back to
+// the repo's naming convention (mu / *Mu / *mutex suffix).
+func (t *lbTracker) isMutexRecv(recv ast.Expr) bool {
+	if tv, ok := typeOf(t.pkg.Info, recv); ok {
+		t := types.Unalias(tv)
+		if p, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(p.Elem())
+		}
+		if n, ok := t.(*types.Named); ok {
+			obj := n.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				return true
+			}
+			// Named wrapper around a sync mutex.
+			if s := n.Underlying().String(); s == "sync.Mutex" || s == "sync.RWMutex" {
+				return true
+			}
+			return false
+		}
+		return false
+	}
+	s := exprString(recv)
+	ls := strings.ToLower(s)
+	return ls == "mu" || strings.HasSuffix(ls, ".mu") || strings.HasSuffix(ls, "mutex")
+}
+
+func typeOf(info *types.Info, e ast.Expr) (types.Type, bool) {
+	if info == nil {
+		return nil, false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// exprString renders a canonical spelling for simple receiver expressions.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	}
+	return "?"
+}

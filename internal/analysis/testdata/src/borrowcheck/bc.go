@@ -1,0 +1,128 @@
+// Package bc is the borrowcheck golden fixture: self-contained stand-ins
+// for the gaspi/ft types (matched by method and receiver-type name), with
+// positive cases asserted by // want comments and negative cases proving
+// the release idioms are respected.
+package bc
+
+type Rank int32
+type SegmentID int32
+type QueueID uint8
+type NotificationID int
+
+type Proc struct{}
+
+func (p *Proc) WriteFrom(rank Rank, seg SegmentID, off int64, data []byte, q QueueID) error {
+	return nil
+}
+func (p *Proc) WriteNotifyFrom(rank Rank, seg SegmentID, off int64, data []byte, id NotificationID, val int64, q QueueID) error {
+	return nil
+}
+func (p *Proc) Write(rank Rank, seg SegmentID, off int64, data []byte, q QueueID) error {
+	return nil
+}
+func (p *Proc) WaitQueue(q QueueID) error { return nil }
+
+type CPStream struct {
+	p *Proc
+}
+
+func (s *CPStream) Push(to Rank, key string, blob []byte) error { return nil }
+
+type frame struct {
+	data []byte
+}
+
+// reuseAfterPost is the bug class TestWriteFromBufferReuseAfterFlush can
+// only catch when the race fires.
+func reuseAfterPost(p *Proc, buf []byte) {
+	_ = p.WriteFrom(0, 1, 0, buf, 0)
+	buf[0] = 1 // want "write to buf"
+}
+
+func reuseAfterNotifyPost(p *Proc, buf []byte) {
+	_ = p.WriteNotifyFrom(0, 1, 0, buf, 3, 7, 0)
+	copy(buf, []byte("x")) // want "copy into buf"
+}
+
+func sliceArgTracksRoot(p *Proc, buf []byte, n int) {
+	_ = p.WriteFrom(0, 1, 0, buf[:n], 0)
+	buf[1] = 2 // want "write to buf"
+}
+
+func appendAfterPost(p *Proc, buf []byte) []byte {
+	_ = p.WriteFrom(0, 1, 0, buf, 0)
+	return append(buf, 0) // want "append to buf"
+}
+
+func reuseAfterFlushIsFine(p *Proc, buf []byte) {
+	_ = p.WriteFrom(0, 1, 0, buf, 0)
+	_ = p.WaitQueue(0)
+	buf[0] = 1 // released by the queue flush
+}
+
+func rebindReleases(p *Proc, buf []byte) {
+	_ = p.WriteFrom(0, 1, 0, buf, 0)
+	buf = make([]byte, 8)
+	buf[0] = 1 // fresh buffer, not the borrowed one
+	_ = buf
+}
+
+func copyingWriteIsNotBorrowed(p *Proc, buf []byte) {
+	_ = p.Write(0, 1, 0, buf, 0) // Write copies; no borrow
+	buf[0] = 1
+}
+
+func pushThenReuse(s *CPStream, f *frame) {
+	_ = s.Push(0, "k", f.data)
+	f.data[0] = 1 // want "write to f.data"
+}
+
+func pushThenAbandon(s *CPStream, f *frame) {
+	if err := s.Push(0, "k", f.data); err != nil {
+		f.data = nil // the abandon idiom releases the borrow
+	}
+	f.data = make([]byte, 8)
+	f.data[0] = 1
+}
+
+// unrelatedPush has a receiver that is not a CPStream/Transport, so the
+// pass must not track it.
+type stack struct{ items []int }
+
+func (s *stack) Push(a Rank, b string, c []byte) error { return nil }
+
+func unrelatedPushIsFine(s *stack, buf []byte) {
+	_ = s.Push(0, "k", buf)
+	buf[0] = 1
+}
+
+// loopWrapAround: the post at the bottom of iteration i is still
+// outstanding when the refill at the top of iteration i+1 writes the
+// buffer.
+func loopWrapAround(p *Proc, buf []byte, n int) {
+	for i := 0; i < n; i++ {
+		buf[0] = byte(i) // want "write to buf"
+		_ = p.WriteFrom(0, 1, 0, buf, 0)
+	}
+}
+
+func loopWithFlushIsFine(p *Proc, buf []byte, n int) {
+	for i := 0; i < n; i++ {
+		buf[0] = byte(i)
+		_ = p.WriteFrom(0, 1, 0, buf, 0)
+		_ = p.WaitQueue(0)
+	}
+}
+
+// methodValuePost: the cpstream idiom `post := s.p.WriteFrom` keeps the
+// borrow contract through the bound method value.
+func methodValuePost(p *Proc, buf []byte) {
+	post := p.WriteFrom
+	_ = post(0, 1, 0, buf, 0)
+	buf[0] = 1 // want "write to buf"
+}
+
+func ignoredWithReason(p *Proc, buf []byte) {
+	_ = p.WriteFrom(0, 1, 0, buf, 0)
+	buf[0] = 1 //ftlint:ignore borrowcheck: fixture proves waivers suppress findings
+}

@@ -1,0 +1,90 @@
+// Package cow is the cowpublish golden fixture: a value published via an
+// atomic snapshot pointer must not be mutated afterwards.
+package cow
+
+import "sync/atomic"
+
+type snapshot struct {
+	allUp bool
+	flags []bool
+	m     map[int]bool
+}
+
+type holder struct {
+	cur atomic.Pointer[snapshot]
+	n   atomic.Int64
+}
+
+func mutateAfterStore(h *holder) {
+	next := &snapshot{flags: make([]bool, 4)}
+	h.cur.Store(next)
+	next.allUp = true // want "mutation of next.allUp after it was published"
+}
+
+func mutateSliceAfterStore(h *holder, i int) {
+	next := &snapshot{flags: make([]bool, 8)}
+	h.cur.Store(next)
+	next.flags[i] = true // want "mutation of next.flags"
+}
+
+func mutateAfterCompareAndSwap(h *holder, old *snapshot) {
+	next := &snapshot{}
+	if h.cur.CompareAndSwap(old, next) {
+		next.allUp = true // want "mutation of next.allUp after it was published"
+	}
+}
+
+func mutateAfterSwap(h *holder) {
+	next := &snapshot{}
+	_ = h.cur.Swap(next)
+	next.allUp = true // want "mutation of next.allUp after it was published"
+}
+
+func publishInLoopWrapAround(h *holder, n int) {
+	next := &snapshot{}
+	for i := 0; i < n; i++ {
+		next.allUp = true // want "mutation of next.allUp after it was published"
+		h.cur.Store(next)
+	}
+}
+
+// --- negative cases ---------------------------------------------------------
+
+func buildThenPublish(h *holder) {
+	next := &snapshot{flags: make([]bool, 4), m: map[int]bool{}}
+	next.allUp = true
+	next.flags[0] = true
+	next.m[1] = true
+	h.cur.Store(next)
+}
+
+func rebindReleases(h *holder) {
+	next := &snapshot{}
+	h.cur.Store(next)
+	next = &snapshot{} // fresh snapshot, the published one is untouched
+	next.allUp = true
+	h.cur.Store(next)
+}
+
+func rebindInLoopIsFine(h *holder, n int) {
+	for i := 0; i < n; i++ {
+		next := &snapshot{allUp: i == 0}
+		h.cur.Store(next)
+	}
+}
+
+func valueStoresAreNotCOW(h *holder) {
+	h.n.Store(42) // atomic.Int64: no snapshot contract
+}
+
+func readingPublishedIsFine(h *holder) bool {
+	next := &snapshot{}
+	h.cur.Store(next)
+	return next.allUp // read, not write
+}
+
+func ignoredWithReason(h *holder) {
+	next := &snapshot{}
+	h.cur.Store(next)
+	next.allUp = true //ftlint:ignore cowpublish: fixture proves waivers suppress findings
+}

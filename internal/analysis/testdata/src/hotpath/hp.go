@@ -1,0 +1,37 @@
+// Package hp is the hotpath golden fixture: annotated functions are
+// checked against the compiler's escape analysis; un-annotated ones are
+// not, and ignore directives waive individual cold-path lines.
+package hp
+
+var boxSink interface{}
+
+//ftlint:hotpath
+func allocatingHot(n int) []byte {
+	return make([]byte, n) // want "heap allocation in //ftlint:hotpath function allocatingHot"
+}
+
+//ftlint:hotpath
+func boxingHot(n int) {
+	boxSink = n // want "heap allocation in //ftlint:hotpath function boxingHot"
+}
+
+//ftlint:hotpath
+func cleanHot(dst []byte, x byte) int {
+	for i := range dst {
+		dst[i] = x
+	}
+	return len(dst)
+}
+
+//ftlint:hotpath
+func coldPathWaived(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n) //ftlint:ignore hotpath: amortized growth, cold after warmup
+	}
+	return dst[:n]
+}
+
+// allocatingCold is NOT annotated: the gate must stay silent about it.
+func allocatingCold(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,110 @@
+// Package lb is the lockblock golden fixture: blocking operations under
+// a held sync.Mutex/RWMutex are findings; non-blocking polls, unlocked
+// regions, and sync.Cond waits are not.
+package lb
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	wg   sync.WaitGroup
+}
+
+func sendUnderLock(s *server) {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func recvUnderLock(s *server) int {
+	s.mu.Lock()
+	v := <-s.ch // want "channel receive while s.mu is held"
+	s.mu.Unlock()
+	return v
+}
+
+func sleepUnderLock(s *server) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func sleepUnderDeferredUnlock(s *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+}
+
+func waitUnderRLock(s *server) {
+	s.rw.RLock()
+	s.wg.Wait() // want "blocking Wait call while s.rw is held"
+	s.rw.RUnlock()
+}
+
+func parkedSelectUnderLock(s *server) {
+	s.mu.Lock()
+	select { // want "parked select"
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 2:
+	}
+	s.mu.Unlock()
+}
+
+func rangeChanUnderLock(s *server) {
+	s.mu.Lock()
+	for v := range s.ch { // want "range over channel while s.mu is held"
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+// --- negative cases ---------------------------------------------------------
+
+func sendAfterUnlock(s *server) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+func nonBlockingPollUnderLock(s *server) {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func condWaitIsExempt(s *server) {
+	s.mu.Lock()
+	s.cond.Wait() // sync.Cond.Wait holds the mutex by design
+	s.mu.Unlock()
+}
+
+func goroutineBodyNotScanned(s *server) {
+	s.mu.Lock()
+	go func() {
+		s.ch <- 1 // runs without this goroutine's locks
+	}()
+	s.mu.Unlock()
+}
+
+func sleepOutsideLock(s *server) {
+	time.Sleep(time.Millisecond)
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func ignoredWithReason(s *server) {
+	s.mu.Lock()
+	s.ch <- 1 //ftlint:ignore lockblock: fixture proves waivers suppress findings
+	s.mu.Unlock()
+}

@@ -1,0 +1,94 @@
+// Package tk is the tracekey golden fixture. The Recorder/Summary
+// stand-ins are matched by type and field name; key values are validated
+// against the real internal/trace registry, so the "known" constants here
+// use real registered keys.
+package tk
+
+type Recorder struct{}
+
+func (r *Recorder) Inc(name string, v int64)    {}
+func (r *Recorder) Counter(name string) int64   { return 0 }
+func (r *Recorder) Event(name string)           {}
+func (r *Recorder) FirstEvent(name string) bool { return false }
+
+type Summary struct {
+	SumCounter map[string]int64
+	MaxCounter map[string]int64
+}
+
+const (
+	kKnown   = "fd.scans" // registered in internal/trace
+	kUnknown = "fd.scanz" // typo: not registered
+	kEvent   = "fd:ack"   // registered event
+	kBadEv   = "fd:ackk"  // typo'd event
+)
+
+func RestoreFromKey(s string) string { return "core.restore_from_" + s }
+
+func rawLiteral(r *Recorder) {
+	r.Inc("fd.scans", 1) // want "raw string counter key"
+}
+
+func rawLiteralCounter(r *Recorder) int64 {
+	return r.Counter("fd.scans") // want "raw string counter key"
+}
+
+func typoConstant(r *Recorder) {
+	r.Inc(kUnknown, 1) // want "unknown counter key"
+}
+
+func rawEvent(r *Recorder) {
+	r.Event("fd:ack") // want "raw string event key"
+}
+
+func typoEventConstant(r *Recorder) {
+	r.Event(kBadEv) // want "unknown event key"
+}
+
+func dynamicConcat(r *Recorder, src string) {
+	r.Inc("core.restore_from_"+src, 1) // want "dynamically built counter key"
+}
+
+func rawMapIndex(s Summary) int64 {
+	return s.SumCounter["fd.scans"] // want "raw string counter key"
+}
+
+func typoMapIndex(s Summary) int64 {
+	return s.MaxCounter[kUnknown] // want "unknown counter key"
+}
+
+// --- negative cases ---------------------------------------------------------
+
+func registryConstant(r *Recorder) {
+	r.Inc(kKnown, 1)
+}
+
+func registryEvent(r *Recorder) {
+	r.Event(kEvent)
+	_ = r.FirstEvent(kEvent)
+}
+
+func blessedDynamicKey(r *Recorder, src string) {
+	r.Inc(RestoreFromKey(src), 1)
+}
+
+func constantMapIndex(s Summary) int64 {
+	return s.SumCounter[kKnown]
+}
+
+// otherInc is not a Recorder; its keys are not ours to police.
+type metrics struct{}
+
+func (m *metrics) Inc(name string, v int64) {}
+
+func unrelatedInc(m *metrics) {
+	m.Inc("whatever.key", 1)
+}
+
+func ignoredWithReason(r *Recorder) {
+	r.Inc("legacy.key", 1) //ftlint:ignore tracekey: fixture proves waivers suppress findings
+}
+
+func malformedDirective(r *Recorder) {
+	r.Inc(kKnown, 1) //ftlint:ignore tracekey missing-colon-and-reason // want "malformed ignore directive"
+}

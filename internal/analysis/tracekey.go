@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/trace"
+)
+
+// tracekey enforces the trace-key registry: every counter key reaching
+// Recorder.Inc/Counter or a Summary.SumCounter/MaxCounter lookup, and
+// every event key reaching Recorder.Event/FirstEvent, must be a named
+// constant whose value is registered in internal/trace (keys.go). Raw
+// string literals, unknown keys, and ad-hoc string building are findings;
+// trace.RestoreFromKey is the one blessed dynamic constructor. This turns
+// the former stringly-typed fleet of counter names — where a typo'd key
+// silently recorded into a parallel universe — into a build-time error.
+type tracekey struct{}
+
+func (tracekey) Name() string { return "tracekey" }
+
+func (tracekey) Run(p *Pkg) []Finding {
+	var out []Finding
+	t := &tkChecker{pkg: p}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				t.call(n)
+			case *ast.IndexExpr:
+				t.index(n)
+			}
+			return true
+		})
+	}
+	out = append(out, t.findings...)
+	return out
+}
+
+type tkChecker struct {
+	pkg      *Pkg
+	findings []Finding
+}
+
+func (t *tkChecker) emit(e ast.Expr, msg string) {
+	t.findings = append(t.findings, Finding{
+		Pos:  t.pkg.Fset.Position(e.Pos()),
+		Pass: "tracekey",
+		Msg:  msg,
+	})
+}
+
+func (t *tkChecker) call(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	var event bool
+	switch sel.Sel.Name {
+	case "Inc", "Counter":
+	case "Event", "FirstEvent":
+		event = true
+	default:
+		return
+	}
+	// Only Recorder keys carry the registry contract; other types' Inc /
+	// Event methods (or unresolvable receivers) are not ours to police.
+	if recvTypeName(t.pkg.Info, sel.X) != "Recorder" {
+		return
+	}
+	t.checkKey(call.Args[0], event)
+}
+
+// index checks Summary.SumCounter["..."] / MaxCounter["..."] lookups.
+func (t *tkChecker) index(ie *ast.IndexExpr) {
+	sel, ok := ie.X.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if sel.Sel.Name != "SumCounter" && sel.Sel.Name != "MaxCounter" {
+		return
+	}
+	t.checkKey(ie.Index, false)
+}
+
+func (t *tkChecker) checkKey(arg ast.Expr, event bool) {
+	kind := "counter"
+	known := trace.KnownKey
+	if event {
+		kind = "event"
+		known = trace.KnownEventKey
+	}
+	if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok {
+		t.emit(arg, fmt.Sprintf("raw string %s key %s: use an internal/trace registry constant", kind, lit.Value))
+		return
+	}
+	if t.pkg.Info != nil {
+		if tv, ok := t.pkg.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			if v := constant.StringVal(tv.Value); !known(v) {
+				t.emit(arg, fmt.Sprintf("unknown %s key %q: not in the internal/trace registry", kind, v))
+			}
+			return
+		}
+	}
+	// Non-constant key: only the registered dynamic constructor is
+	// allowed (trace.RestoreFromKey builds the restore-source family).
+	if call, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fn.Sel.Name == "RestoreFromKey" {
+				return
+			}
+		case *ast.Ident:
+			if fn.Name == "RestoreFromKey" {
+				return
+			}
+		}
+	}
+	t.emit(arg, fmt.Sprintf("dynamically built %s key: use a registry constant or trace.RestoreFromKey", kind))
+}

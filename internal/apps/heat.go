@@ -10,6 +10,7 @@ import (
 	"repro/internal/gaspi"
 	"repro/internal/matrix"
 	"repro/internal/spmvm"
+	"repro/internal/trace"
 )
 
 // HeatConfig parameterizes the 1-D heat-equation application.
@@ -77,7 +78,7 @@ func (h *Heat) Init(ctx *core.Ctx, restore bool) error {
 		if err != nil {
 			return err
 		}
-		ctx.Rec.Inc("core.restore_from_"+src.String(), 1)
+		ctx.Rec.Inc(trace.RestoreFromKey(src.String()), 1)
 		plan, err := spmvm.DecodePlan(blob)
 		if err != nil {
 			return err

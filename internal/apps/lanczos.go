@@ -15,6 +15,7 @@ import (
 	"repro/internal/lanczos"
 	"repro/internal/matrix"
 	"repro/internal/spmvm"
+	"repro/internal/trace"
 )
 
 // HaloSeg is the segment id used for the spMVM halo exchange (the notice
@@ -79,7 +80,7 @@ func (a *Lanczos) Init(ctx *core.Ctx, restore bool) error {
 		if err != nil {
 			return fmt.Errorf("apps: plan checkpoint: %w", err)
 		}
-		ctx.Rec.Inc("core.restore_from_"+src.String(), 1)
+		ctx.Rec.Inc(trace.RestoreFromKey(src.String()), 1)
 		plan, err := spmvm.DecodePlan(blob)
 		if err != nil {
 			return err

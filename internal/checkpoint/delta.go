@@ -86,6 +86,8 @@ var crcFull = crc32.MakeTable(crc32.Castagnoli)
 // is on the checkpoint visible-cost path, so a byte-wise FNV would eat the
 // delta savings). Not cryptographic, but 64 bits of well-mixed state make
 // an accidental clean/dirty misclassification practically impossible.
+//
+//ftlint:hotpath
 func chunkHash(b []byte) uint64 {
 	const m1 = 0x9E3779B185EBCA87
 	const m2 = 0xC2B2AE3D27D4EB4F
@@ -165,6 +167,8 @@ func (l *Library) resetDeltaState() {
 // otherwise a tagged full base or a dirty-chunk delta per the FullEvery
 // cadence. It updates the chunk-hash table, so generations follow staging
 // order (the async writer stages strictly in Write order).
+//
+//ftlint:hotpath
 func (l *Library) encodeNext(dst []byte, name string, logical int, version int64, payload []byte) ([]byte, error) {
 	if !l.deltaEnabled() {
 		return encodeInto(dst, logical, version, payload, l.cfg.Compress)
@@ -172,18 +176,18 @@ func (l *Library) encodeNext(dst []byte, name string, logical int, version int64
 	l.deltaMu.Lock()
 	defer l.deltaMu.Unlock()
 	if l.deltas == nil {
-		l.deltas = make(map[deltaKey]*deltaState)
+		l.deltas = make(map[deltaKey]*deltaState) //ftlint:ignore hotpath: lazy one-time table init
 	}
 	k := deltaKey{name: name, logical: logical}
 	st := l.deltas[k]
 	if st == nil {
-		st = &deltaState{}
+		st = &deltaState{} //ftlint:ignore hotpath: one-time per checkpoint family
 		l.deltas[k] = st
 	}
 	chunk := l.cfg.ChunkSize()
 	n := (len(payload) + chunk - 1) / chunk
 	if cap(st.scratch) < n {
-		st.scratch = make([]uint64, n)
+		st.scratch = make([]uint64, n) //ftlint:ignore hotpath: amortized growth, swapped across generations
 	}
 	cur := st.scratch[:n]
 	for i := 0; i < n; i++ {
@@ -235,6 +239,8 @@ const (
 
 // stampFrame writes the shared 28-byte header (magic, identity, body
 // length) into blob and stamps the CRC over header+body.
+//
+//ftlint:hotpath
 func stampFrame(blob []byte, m uint32, logical int, version int64) {
 	binary.LittleEndian.PutUint32(blob[0:], m)
 	binary.LittleEndian.PutUint32(blob[4:], uint32(logical))
@@ -247,16 +253,20 @@ func stampFrame(blob []byte, m uint32, logical int, version int64) {
 
 // grow returns dst resized to need, reusing its backing array when large
 // enough (the async writer's buffers must be reusable across epochs).
+//
+//ftlint:hotpath
 func grow(dst []byte, need int) []byte {
 	if cap(dst) >= need {
 		return dst[:need]
 	}
-	return make([]byte, need)
+	return make([]byte, need) //ftlint:ignore hotpath: amortized growth, backing array reused across epochs
 }
 
 // encodeFullInto frames a generation-tagged full base (GCP4).
+//
+//ftlint:hotpath
 func encodeFullInto(dst []byte, logical int, version int64, gen uint64, payload []byte) ([]byte, error) {
-	blob := grow(dst, headerLen+fullBodyHeader+len(payload))
+	blob := grow(dst, headerLen+fullBodyHeader+len(payload)) //ftlint:ignore hotpath: inlined grow; amortized growth
 	binary.LittleEndian.PutUint64(blob[headerLen:], gen)
 	copy(blob[headerLen+fullBodyHeader:], payload)
 	stampFrame(blob, magicFull, logical, version)
@@ -266,6 +276,8 @@ func encodeFullInto(dst []byte, logical int, version int64, gen uint64, payload 
 // encodeDeltaInto frames the dirty chunks of payload (those whose hash
 // differs from prev, plus any chunk beyond prev's table) as a delta
 // generation (GCP3).
+//
+//ftlint:hotpath
 func encodeDeltaInto(dst []byte, logical int, version int64, ci chainInfo, payload []byte, chunk int, prev, cur []uint64, ds *DeltaStats) []byte {
 	// Size the frame: one header per dirty chunk plus its bytes.
 	need := headerLen + deltaBodyHeader
@@ -278,7 +290,7 @@ func encodeDeltaInto(dst []byte, logical int, version int64, ci chainInfo, paylo
 		need += deltaChunkHeader + (end - i*chunk)
 		dirty++
 	}
-	blob := grow(dst, need)
+	blob := grow(dst, need) //ftlint:ignore hotpath: inlined grow; amortized growth
 	b := blob[headerLen:]
 	binary.LittleEndian.PutUint64(b[0:], ci.gen)
 	binary.LittleEndian.PutUint64(b[8:], ci.prevGen)

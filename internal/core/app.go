@@ -142,4 +142,4 @@ const noCheckpoint int64 = -1
 // fetch success, so a violation means the reduce itself lied). Must stay
 // zero on every rank in every run; the chaos fuzzer asserts it per
 // episode.
-const CounterAgreementViolations = "core.agreement_violations"
+const CounterAgreementViolations = trace.KCoreAgreementViolations

@@ -312,7 +312,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 			if err != nil {
 				return err
 			}
-			rec.Inc("core.checkpoints", 1)
+			rec.Inc(trace.KCoreCheckpoints, 1)
 			lastCP = iter
 		}
 
@@ -328,7 +328,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 			// worker's epoch sat on the board: an iteration computed during
 			// another rank's repair window — the survivor-throughput signal
 			// the localized-repair benchmark reports.
-			rec.Inc("core.iters_during_repair", 1)
+			rec.Inc(trace.KCoreItersDuringRepair, 1)
 		}
 		if err != nil {
 			var fde *ft.FailureDetectedError
@@ -365,7 +365,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 			// handled by the FD/shutdown machinery.
 			_ = w.Barrier()
 		}
-		rec.Inc("core.cp_flush_errors", ctx.CP.ErrCount())
+		rec.Inc(trace.KCoreCPFlushErrors, ctx.CP.ErrCount())
 	}
 
 	// The logical root reports completion: FD and idle spares shut down.
@@ -402,23 +402,23 @@ func recoverAndReload(ctx *Ctx, app App, n *ft.Notice) (int64, error) {
 		if err := w.Recover(n); err != nil {
 			return 0, err
 		}
-		ctx.Rec.Inc("core.ttr.rebuild_ns", int64(time.Since(t0)))
+		ctx.Rec.Inc(trace.KCoreTTRRebuildNS, int64(time.Since(t0)))
 		t1 := time.Now()
 		it, err := reload(ctx, app)
 		if err == nil {
-			ctx.Rec.Inc("core.ttr.restore_ns", int64(time.Since(t1)))
+			ctx.Rec.Inc(trace.KCoreTTRRestoreNS, int64(time.Since(t1)))
 			t2 := time.Now()
 			err = w.Machine().Resume()
-			ctx.Rec.Inc("core.ttr.resume_ns", int64(time.Since(t2)))
-			ctx.Rec.Inc("core.ttr.total_ns", int64(time.Since(start)))
+			ctx.Rec.Inc(trace.KCoreTTRResumeNS, int64(time.Since(t2)))
+			ctx.Rec.Inc(trace.KCoreTTRTotalNS, int64(time.Since(start)))
 			return it, err
 		}
 		var fde *ft.FailureDetectedError
 		if !errors.As(err, &fde) {
 			return 0, err
 		}
-		ctx.Rec.Inc("core.ttr.restore_ns", int64(time.Since(t1)))
-		ctx.Rec.Inc("core.recovery_restarts", 1)
+		ctx.Rec.Inc(trace.KCoreTTRRestoreNS, int64(time.Since(t1)))
+		ctx.Rec.Inc(trace.KCoreRecoveryRestarts, 1)
 		n = fde.Notice
 		t0 = time.Now()
 	}
@@ -470,7 +470,7 @@ func reload(ctx *Ctx, app App) (int64, error) {
 			if err := app.Restore(ctx, nil, 0); err != nil {
 				return 0, err
 			}
-			ctx.Rec.Inc("core.restarts_from_scratch", 1)
+			ctx.Rec.Inc(trace.KCoreRestartsFromScratch, 1)
 			return 0, nil
 		}
 		payload, src, ferr := ctx.CP.FetchFrom(ctx.Cfg.StateName, ctx.Logical, version)
@@ -495,15 +495,15 @@ func reload(ctx *Ctx, app App) (int64, error) {
 			if err := app.Restore(ctx, payload, version); err != nil {
 				return 0, err
 			}
-			ctx.Rec.Inc("core.restores", 1)
+			ctx.Rec.Inc(trace.KCoreRestores, 1)
 			// Where the replica came from (local / neighbor / remote / pfs):
 			// the node-down scenarios assert the fallback actually exercised.
-			ctx.Rec.Inc("core.restore_from_"+src.String(), 1)
+			ctx.Rec.Inc(trace.RestoreFromKey(src.String()), 1)
 			return version, nil
 		}
 		// Some member could not reassemble the agreed version: retreat to
 		// this member's newest restorable version below it and re-agree.
-		ctx.Rec.Inc("core.restore_retreats", 1)
+		ctx.Rec.Inc(trace.KCoreRestoreRetreats, 1)
 		mine = noCheckpoint
 		if v, ok := ctx.CP.FindLatestBelow(ctx.Cfg.StateName, ctx.Logical, version); ok {
 			mine = v

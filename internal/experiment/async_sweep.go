@@ -129,7 +129,7 @@ func RunAsyncSweep(c AsyncSweepConfig) (*AsyncSweepResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("async sweep period %d %s: %w", period, m.name, err)
 			}
-			if n := sum.SumCounter["core.cp_flush_errors"]; n > 0 {
+			if n := sum.SumCounter[trace.KCoreCPFlushErrors]; n > 0 {
 				return nil, fmt.Errorf("async sweep period %d %s: %d replication errors on a failure-free run", period, m.name, n)
 			}
 			cp := sum.Max[trace.PhaseCheckpoint]
@@ -139,7 +139,7 @@ func RunAsyncSweep(c AsyncSweepConfig) (*AsyncSweepResult, error) {
 				Wall:        wall,
 				CPVisible:   cp,
 				PerIter:     cp / time.Duration(c.Iters),
-				Checkpoints: sum.MaxCounter["core.checkpoints"],
+				Checkpoints: sum.MaxCounter[trace.KCoreCheckpoints],
 			})
 		}
 	}
@@ -154,7 +154,7 @@ func RunAsyncSweep(c AsyncSweepConfig) (*AsyncSweepResult, error) {
 			Mode:     m.name,
 			Wall:     wall,
 			Redo:     sum.Max[trace.PhaseRedoWork],
-			Restores: sum.SumCounter["core.restores"],
+			Restores: sum.SumCounter[trace.KCoreRestores],
 		})
 	}
 	return res, nil

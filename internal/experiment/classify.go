@@ -44,7 +44,7 @@ func EigMatches(got, want float64, dim int64) bool {
 
 // ttrPhases are the core-side time-to-recover decomposition counters;
 // every one of them measures a sub-span of core.ttr.total_ns.
-var ttrPhases = []string{"core.ttr.rebuild_ns", "core.ttr.restore_ns", "core.ttr.resume_ns"}
+var ttrPhases = []string{trace.KCoreTTRRebuildNS, trace.KCoreTTRRestoreNS, trace.KCoreTTRResumeNS}
 
 // scenarioInvariants sweeps the per-rank recorders for violations of the
 // episode-level invariants the fault-tolerance stack must uphold in
@@ -79,10 +79,10 @@ func scenarioInvariants(recs []*trace.Recorder, outcome ScenarioOutcome, victims
 		if victims[gaspi.Rank(rank)] {
 			continue
 		}
-		total := rec.Counter("core.ttr.total_ns")
+		total := rec.Counter(trace.KCoreTTRTotalNS)
 		var phases int64
 		for _, c := range ttrPhases {
-			v := rec.Counter(c)
+			v := rec.Counter(c) //ftlint:ignore tracekey: c ranges over ttrPhases, a list of registry constants
 			if v < 0 {
 				out = append(out, fmt.Sprintf("rank %d: %s negative (%d)", rank, c, v))
 			}

@@ -189,7 +189,7 @@ func runFig4Scenario(c Fig4Config, cal Calibration, name string, hc, cp bool, fa
 		Name:       name,
 		Wall:       wall,
 		Model:      Model(wall, c.TimeScale),
-		Recoveries: job.Recorders[0].Counter("fd.recoveries"),
+		Recoveries: job.Recorders[0].Counter(trace.KFDRecoveries),
 		Eigs:       collect.eigs(),
 	}
 	sc.Phases = sum.Max

@@ -467,7 +467,7 @@ func RunScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 	}
 
 	sum := trace.Aggregate(job.Recorders)
-	out.Recoveries = sum.SumCounter["fd.recoveries"]
+	out.Recoveries = sum.SumCounter[trace.KFDRecoveries]
 	out.EpochRestarts = sum.SumCounter[ft.CounterEpochRestarts]
 	out.DetectNS = sum.MaxCounter[ft.CounterDetectNS]
 	out.AckNS = sum.MaxCounter[ft.CounterAckNS]
@@ -482,10 +482,10 @@ func RunScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 			out.TTRNS = t
 		}
 	}
-	out.RestoreLocal = sum.SumCounter["core.restore_from_local"]
-	out.RestoreNeighbor = sum.SumCounter["core.restore_from_neighbor"]
-	out.RestoreRemote = sum.SumCounter["core.restore_from_remote"]
-	out.RestorePFS = sum.SumCounter["core.restore_from_pfs"]
+	out.RestoreLocal = sum.SumCounter[trace.KCoreRestoreFromLocal]
+	out.RestoreNeighbor = sum.SumCounter[trace.KCoreRestoreFromNeighbor]
+	out.RestoreRemote = sum.SumCounter[trace.KCoreRestoreFromRemote]
+	out.RestorePFS = sum.SumCounter[trace.KCoreRestoreFromPFS]
 
 	// Classify. Victims (ranks hit by fired events, including every rank
 	// of a downed node) may die — or, when a fault lands between a

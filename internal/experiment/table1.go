@@ -179,8 +179,8 @@ func runTable1Size(c Table1Config, nodes int, rng *rand.Rand) (*Table1Row, error
 		detectTimes = append(detectTimes, last.Sub(injected).Seconds())
 
 		rec := recs[0]
-		if s := rec.Counter("fd.clean_scans"); s > 0 {
-			scanTimes = append(scanTimes, float64(rec.Counter("fd.clean_scan_ns"))/float64(s)/1e9)
+		if s := rec.Counter(trace.KFDCleanScans); s > 0 {
+			scanTimes = append(scanTimes, float64(rec.Counter(trace.KFDCleanScanNS))/float64(s)/1e9)
 		}
 		cl.Shutdown()
 	}

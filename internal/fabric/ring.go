@@ -75,6 +75,8 @@ func newPostRing() *postRing {
 // immediately if the ring is full (the caller diverts to the spill queue).
 // Races with other producers (a lost tail CAS, a slot freed mid-look) are
 // retried; only the genuine full state fails. Never blocks, never yields.
+//
+//ftlint:hotpath
 func (r *postRing) tryPush(e postEntry) bool {
 	for {
 		pos := r.tail.Load()
@@ -95,6 +97,8 @@ func (r *postRing) tryPush(e postEntry) bool {
 }
 
 // pop takes the next published entry, in claim order. Consumer-only.
+//
+//ftlint:hotpath
 func (r *postRing) pop() (postEntry, bool) {
 	s := &r.slots[r.head&r.mask]
 	if s.seq.Load() != r.head+1 {
@@ -109,6 +113,8 @@ func (r *postRing) pop() (postEntry, bool) {
 
 // empty reports whether the next slot in claim order is unpublished.
 // Consumer-only (it reads the consumer cursor).
+//
+//ftlint:hotpath
 func (r *postRing) empty() bool {
 	return r.slots[r.head&r.mask].seq.Load() != r.head+1
 }

@@ -3,7 +3,6 @@ package fabric
 import (
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -247,6 +246,8 @@ const fullSleep = 10 * time.Microsecond
 // cold full-ring path. Returns false only when the transport is shutting
 // down and the intake is congested — the one case in which the consumer
 // may never drain again.
+//
+//ftlint:hotpath
 func (s *shard) enqueue(e postEntry) bool {
 	shardCtx := -1 // lazily resolved: 1 = delivery goroutine, 0 = producer
 	for fulls := 0; ; {
@@ -324,6 +325,8 @@ func (t *Transport) onShardGoroutine() bool {
 // the ring directly, so the common back-to-back-post case performs no
 // channel operation — that is the wakeup coalescing the
 // one-channel-send-per-message design lacked.
+//
+//ftlint:hotpath
 func (s *shard) doorbell() {
 	if s.sleeping.Load() && s.sleeping.CompareAndSwap(true, false) {
 		s.t.wakes.Add(1)
@@ -342,6 +345,8 @@ func (s *shard) stop() { s.once.Do(func() { close(s.done) }) }
 // destination), and the due time is clamped to the pair's previous due
 // time so per-(source, destination) delivery order survives both jitter
 // and sharding.
+//
+//ftlint:hotpath
 func (s *shard) admit(e postEntry) {
 	d := e.d
 	if !e.mgmt && s.t.cfg.Latency.Jitter > 0 {
@@ -358,6 +363,8 @@ func (s *shard) admit(e postEntry) {
 }
 
 // drain admits every published ring entry.
+//
+//ftlint:hotpath
 func (s *shard) drain() {
 	for {
 		e, ok := s.ring.pop()
@@ -378,6 +385,8 @@ func (s *shard) drain() {
 // the swept spill, or was ring-pushed before the sweep began and is
 // therefore still in the ring when the post-sweep drain runs — either
 // way it lands in the same batch, and the sort puts it first.
+//
+//ftlint:hotpath
 func (s *shard) gather() {
 	if !s.spillOn.Load() {
 		s.drain()
@@ -395,9 +404,55 @@ func (s *shard) gather() {
 		}
 		batch = append(batch, e)
 	}
-	sort.Slice(batch, func(i, j int) bool { return batch[i].ps < batch[j].ps })
+	sortByPS(batch)
 	for _, e := range batch {
 		s.admit(e)
+	}
+}
+
+// sortByPS orders a gathered batch by post sequence without the interface
+// boxing of sort.Slice (whose closure forced the batch header to escape on
+// a path the shard loop hits on every spill sweep): insertion sort for
+// small batches, in-place heapsort above that. Both allocate nothing.
+//
+//ftlint:hotpath
+func sortByPS(b []postEntry) {
+	if len(b) <= 32 {
+		for i := 1; i < len(b); i++ {
+			e := b[i]
+			j := i - 1
+			for j >= 0 && b[j].ps > e.ps {
+				b[j+1] = b[j]
+				j--
+			}
+			b[j+1] = e
+		}
+		return
+	}
+	for i := len(b)/2 - 1; i >= 0; i-- {
+		siftDownPS(b, i, len(b))
+	}
+	for end := len(b) - 1; end > 0; end-- {
+		b[0], b[end] = b[end], b[0]
+		siftDownPS(b, 0, end)
+	}
+}
+
+//ftlint:hotpath
+func siftDownPS(b []postEntry, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && b[child+1].ps > b[child].ps {
+			child++
+		}
+		if b[root].ps >= b[child].ps {
+			return
+		}
+		b[root], b[child] = b[child], b[root]
+		root = child
 	}
 }
 
@@ -406,6 +461,8 @@ func (s *shard) gather() {
 // the shard (which serves other destinations too). A destination with
 // queued overflow keeps strict FIFO: new due messages for it join the
 // queue behind the parked ones.
+//
+//ftlint:hotpath
 func (s *shard) deliverOrDefer(it heapItem) {
 	dst := it.msg.To
 	if q, ok := s.deferred[dst]; ok && q.len() > 0 {
@@ -417,7 +474,7 @@ func (s *shard) deliverOrDefer(it heapItem) {
 	}
 	q, ok := s.deferred[dst]
 	if !ok {
-		q = &overflowQueue{}
+		q = &overflowQueue{} //ftlint:ignore hotpath: one-time per destination, only after a full inbox
 		s.deferred[dst] = q
 	}
 	q.push(it)
@@ -426,6 +483,8 @@ func (s *shard) deliverOrDefer(it heapItem) {
 
 // flushDeferred retries the overflow queues in arrival order per
 // destination, compacting the pending-destination list in place.
+//
+//ftlint:hotpath
 func (s *shard) flushDeferred() {
 	if len(s.deferDsts) == 0 {
 		return
@@ -452,8 +511,10 @@ func (s *shard) flushDeferred() {
 // linger: the shard is the group's single time-keeper, re-draining the
 // ring while it waits) or park on the doorbell/timer. Steady state
 // performs no heap allocation.
+//
+//ftlint:hotpath
 func (s *shard) run() {
-	s.t.shardGoids.Store(goid(), struct{}{})
+	s.t.shardGoids.Store(goid(), struct{}{}) //ftlint:ignore hotpath: one-time registration at shard startup
 	for {
 		s.gather()
 		s.flushDeferred()

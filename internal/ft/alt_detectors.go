@@ -146,7 +146,7 @@ func (b *Prober) allToAllRound() {
 	b.stats.Scans++
 	b.mu.Unlock()
 	if newSuspects {
-		b.rec.Event("prober:suspect")
+		b.rec.Event(trace.KEvProberSuspect)
 	}
 }
 
@@ -168,7 +168,7 @@ func (b *Prober) neighborRound() {
 		// Neighbor failure suspected: escalate to one all-to-all scan for
 		// the global health view, as the paper describes.
 		b.suspect(next)
-		b.rec.Event("prober:suspect")
+		b.rec.Event(trace.KEvProberSuspect)
 		b.allToAllRound()
 	}
 }
@@ -177,7 +177,7 @@ func (b *Prober) pingOnce(r Rank) error {
 	b.mu.Lock()
 	b.stats.Pings++
 	b.mu.Unlock()
-	b.rec.Inc("prober.pings", 1)
+	b.rec.Inc(trace.KProberPings, 1)
 	err := b.p.ProcPing(r, b.cfg.PingTimeout)
 	if err != nil && errors.Is(err, gaspi.ErrInvalid) {
 		return nil

@@ -91,7 +91,7 @@ func (d *Detector) Run() (DetectorOutcome, *Notice, error) {
 		if len(failed) == 0 {
 			continue
 		}
-		d.rec.Event("fd:detect")
+		d.rec.Event(trace.KEvFDDetect)
 		notice := d.handleFailures(failed)
 		// The FD drives its machine through the Acked phase only: it
 		// enforces the deaths and broadcasts the acknowledgment, but has
@@ -102,8 +102,8 @@ func (d *Detector) Run() (DetectorOutcome, *Notice, error) {
 		if err := d.WriteBoards(notice); err != nil {
 			return DetectorShutdown, nil, fmt.Errorf("ft: acknowledging failures: %w", err)
 		}
-		d.rec.Event("fd:ack")
-		d.rec.Inc("fd.recoveries", 1)
+		d.rec.Event(trace.KEvFDAck)
+		d.rec.Inc(trace.KFDRecoveries, 1)
 		if notice.Unrecoverable {
 			// Terminal: the machine stays Acked and the job aborts crisply.
 			return DetectorUnrecoverable, notice, nil
@@ -171,12 +171,12 @@ func (d *Detector) Scan() []Rank {
 		wg.Wait()
 	}
 	elapsed := time.Since(t0)
-	d.rec.Inc("fd.scans", 1)
-	d.rec.Inc("fd.pings", int64(len(targets)))
-	d.rec.Inc("fd.scan_ns", int64(elapsed))
+	d.rec.Inc(trace.KFDScans, 1)
+	d.rec.Inc(trace.KFDPings, int64(len(targets)))
+	d.rec.Inc(trace.KFDScanNS, int64(elapsed))
 	if len(failed) == 0 {
-		d.rec.Inc("fd.clean_scans", 1)
-		d.rec.Inc("fd.clean_scan_ns", int64(elapsed))
+		d.rec.Inc(trace.KFDCleanScans, 1)
+		d.rec.Inc(trace.KFDCleanScanNS, int64(elapsed))
 	}
 	for _, r := range failed {
 		d.avoid[r] = true // protects messaging already discovered failed processes

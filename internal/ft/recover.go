@@ -118,7 +118,7 @@ func (w *Worker) Recover(n *Notice) error {
 			err := w.p.GroupCommit(newGid, w.cfg.CommTimeout)
 			if err == nil {
 				w.gid = newGid
-				w.rec.Inc("ft.recoveries", 1)
+				w.rec.Inc(trace.KFTRecoveries, 1)
 				return w.sm.BeginRestore()
 			}
 			if !errors.Is(err, gaspi.ErrTimeout) && !errors.Is(err, gaspi.ErrConnection) {
@@ -247,7 +247,7 @@ func (w *Worker) recoverLocalized(n *Notice, deadline time.Time) (*Notice, error
 		return nil, err
 	}
 	w.gid = newGid
-	w.rec.Inc("ft.recoveries", 1)
+	w.rec.Inc(trace.KFTRecoveries, 1)
 	return nil, w.sm.BeginRestore()
 }
 
@@ -273,7 +273,7 @@ func (w *Worker) repairWait(deadline time.Time, op func(timeout time.Duration) e
 			return nerr
 		}
 		if n2 != nil {
-			w.rec.Event("ft:ack")
+			w.rec.Event(trace.KEvFTAck)
 			return &FailureDetectedError{Notice: n2}
 		}
 		if !errors.Is(err, gaspi.ErrTimeout) {

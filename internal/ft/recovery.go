@@ -103,31 +103,31 @@ const (
 	// Worker.retry, listed here with the other phases so the time-to-
 	// recover breakdown (detect → ack → rebuild → restore) reads from one
 	// counter family.
-	CounterDetectNS = "ft.phase.detect_ns"
+	CounterDetectNS = trace.KFTPhaseDetectNS
 	// CounterAckNS is time spent in Acked: from acknowledgment to the
 	// start of group reconstruction (suspect kills, queue purge).
-	CounterAckNS = "ft.phase.ack_ns"
+	CounterAckNS = trace.KFTPhaseAckNS
 	// CounterRebuildNS is time spent in GroupRebuild (OHF2).
-	CounterRebuildNS = "ft.phase.rebuild_ns"
+	CounterRebuildNS = trace.KFTPhaseRebuildNS
 	// CounterLocalizedNS is time spent in LocalizedRepair — the localized
 	// path's replacement for the rebuild phase. Bystanders charge only
 	// their local adopt-commit here (microseconds); repair-set members
 	// additionally charge the O(degree) handshake.
-	CounterLocalizedNS = "ft.phase.localized_ns"
+	CounterLocalizedNS = trace.KFTPhaseLocalizedNS
 	// CounterRestoreNS is time spent in Restore (OHF3).
-	CounterRestoreNS = "ft.phase.restore_ns"
+	CounterRestoreNS = trace.KFTPhaseRestoreNS
 	// CounterEpochs counts completed recovery epochs (Resume reached).
-	CounterEpochs = "ft.epochs"
+	CounterEpochs = trace.KFTEpochs
 	// CounterEpochRestarts counts epochs restarted by a further failure
 	// acknowledged while recovery was in flight (the compound-fault path).
-	CounterEpochRestarts = "ft.epoch.restarts"
+	CounterEpochRestarts = trace.KFTEpochRestarts
 	// CounterEpochRegressions counts acknowledgments carrying an epoch
 	// STRICTLY OLDER than one this machine already processed. The board
 	// protocol makes notices monotone, so this must stay zero on every
 	// rank in every run — the chaos fuzzer's episode-level invariant. (A
 	// re-acknowledgment of the current epoch is normal and not counted:
 	// drivers read the board without consuming.)
-	CounterEpochRegressions = "ft.epoch.regressions"
+	CounterEpochRegressions = trace.KFTEpochRegressions
 )
 
 // RecoveryMachine is the shared recovery epoch state machine. All methods
@@ -208,7 +208,7 @@ func phaseCounter(s RecoveryState) string {
 func (m *RecoveryMachine) move(to RecoveryState) Transition {
 	now := time.Now()
 	if c := phaseCounter(m.state); c != "" {
-		m.rec.Inc(c, int64(now.Sub(m.entered)))
+		m.rec.Inc(c, int64(now.Sub(m.entered))) //ftlint:ignore tracekey: phaseCounter dispatches over the registry-constant phase family
 	}
 	tr := Transition{From: m.state, To: to, Epoch: m.epoch, At: now}
 	m.state = to

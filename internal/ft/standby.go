@@ -83,8 +83,8 @@ func WaitStandby(p *gaspi.Proc, lay Layout, cfg Config, rec *trace.Recorder) (St
 		// uses the same retry-tolerant policy as the FD's own scan, so the
 		// standby does not promote itself on a single scheduler stall.
 		if pingDead(p, 0, cfg) {
-			rec.Event("standby:fd-dead")
-			rec.Inc("standby.promotions", 1)
+			rec.Event(trace.KEvStandbyDead)
+			rec.Inc(trace.KStandbyPromotions, 1)
 			d := promoteStandby(p, lay, cfg, rec, lastNotice)
 			return StandbyPromoted, d, nil, 0, nil
 		}

@@ -218,7 +218,7 @@ func (w *Worker) CheckFailure() error {
 		return err
 	}
 	if n != nil {
-		w.rec.Event("ft:ack")
+		w.rec.Event(trace.KEvFTAck)
 		return &FailureDetectedError{Notice: n}
 	}
 	return nil
@@ -256,7 +256,7 @@ func (w *Worker) retry(op func(timeout time.Duration) error) error {
 			d := time.Since(detectStart)
 			w.rec.Add(trace.PhaseDetect, d)
 			w.rec.Inc(CounterDetectNS, int64(d))
-			w.rec.Event("ft:ack")
+			w.rec.Event(trace.KEvFTAck)
 			return &FailureDetectedError{Notice: n}
 		}
 		if !errors.Is(err, gaspi.ErrTimeout) && !errors.Is(err, gaspi.ErrStaleView) {

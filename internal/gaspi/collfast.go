@@ -255,6 +255,8 @@ func (p *Proc) collProbeMembers(g *group) {
 // the staging region, so the borrowed-buffer contract holds with no
 // completion bookkeeping at all. A dead target's NACK still marks it
 // corrupt.
+//
+//ftlint:hotpath
 func (p *Proc) collDataPost(to Rank, f *collFast, dstByteOff int64, data []byte, slot NotificationID, val int64) {
 	m := fabric.Message{
 		Kind:    kWrite,
@@ -269,6 +271,8 @@ func (p *Proc) collDataPost(to Rank, f *collFast, dstByteOff int64, data []byte,
 // target, halving the per-round message count. Nothing is lost — there is
 // no payload buffer to guard, and a dead target's NACK still marks it
 // corrupt (the NACK handler does not need a pending op for that).
+//
+//ftlint:hotpath
 func (p *Proc) collNotifyPost(to Rank, f *collFast, slot NotificationID, val int64) {
 	m := fabric.Message{
 		Kind: kNotify,
@@ -280,6 +284,8 @@ func (p *Proc) collNotifyPost(to Rank, f *collFast, slot NotificationID, val int
 // takeNotif consumes the expected collective value from a notification
 // slot. A stale non-zero value (an abandoned same-parity instance after
 // an unsynchronized same-ID group recreation) is discarded defensively.
+//
+//ftlint:hotpath
 func (s *segment) takeNotif(slot NotificationID, want int64) bool {
 	s.notifMu.Lock()
 	v := s.notifVals[slot]
@@ -339,6 +345,8 @@ func (p *Proc) collPark(g *group, pl *pulse, timeout time.Duration, cond func() 
 // slot: immediate check, bounded user-space spin, then collPark. The
 // closure is only materialized on the cold path, so a steady-state await
 // that succeeds while spinning allocates nothing.
+//
+//ftlint:hotpath
 func (p *Proc) collAwait(g *group, slot NotificationID, want int64, timeout time.Duration) error {
 	s := g.fast.seg
 	if s.takeNotif(slot, want) {
@@ -365,6 +373,8 @@ func (p *Proc) collAwait(g *group, slot NotificationID, want int64, timeout time
 // barrierFast runs the dissemination barrier over the fast path. st.round
 // (plus st.sent, marking a posted-but-unanswered round) is the resume
 // cursor.
+//
+//ftlint:hotpath
 func (p *Proc) barrierFast(g *group, st *inflightColl, timeout time.Duration) error {
 	f := g.fast
 	n := len(g.members)
@@ -390,6 +400,8 @@ func (p *Proc) barrierFast(g *group, st *inflightColl, timeout time.Duration) er
 // collRoundRole determines this rank's part in allreduce round index i
 // (0..2R-1: reduce towards member 0, then binomial broadcast from it).
 // send=false with peer=-1 means the round does not involve this rank.
+//
+//ftlint:hotpath
 func collRoundRole(i, r, myIdx, n int) (send bool, peer int) {
 	if i < r { // reduce phase, mirrored: k = r-1-i
 		dist := 1 << (r - 1 - i)
@@ -414,6 +426,8 @@ func collRoundRole(i, r, myIdx, n int) (send bool, peer int) {
 // collChunks returns the chunk count of a vector (one empty chunk for a
 // zero-length vector, so the round protocol still exchanges its
 // notifications).
+//
+//ftlint:hotpath
 func (f *collFast) collChunks(vecLen int) int {
 	if vecLen == 0 {
 		return 1
@@ -427,6 +441,8 @@ func (f *collFast) collChunks(vecLen int) int {
 // group-cached accumulator already holding this rank's contribution (or
 // the partial state of a resumed call); view aliases the collective
 // segment as []T. The result is copied to out.
+//
+//ftlint:hotpath
 func allreduceFast[T int64 | float64](p *Proc, g *group, st *inflightColl, view, acc, out []T, combine func(dst, src []T, op ReduceOp), op ReduceOp, timeout time.Duration) error {
 	f := g.fast
 	n := len(g.members)

@@ -239,8 +239,11 @@ func notifVal(epoch, it int64) int64 { return epoch<<40 | (it + 1) }
 // SpMV computes y = A·x for iteration `it`: post halo pushes, compute the
 // local part (overlap), collect halo notifications, compute the remote
 // part. x and y are the owned chunks (length LocalRows).
+//
+//ftlint:hotpath
 func (e *Engine) SpMV(x, y []float64, it int64) error {
 	if len(x) != e.LocalRows() || len(y) != e.LocalRows() {
+		//ftlint:ignore hotpath: error path, taken once per misuse, never per iteration
 		return fmt.Errorf("spmvm: vector length %d/%d, want %d", len(x), len(y), e.LocalRows())
 	}
 	if e.Legacy {
@@ -285,7 +288,7 @@ func (e *Engine) SpMV(x, y []float64, it int64) error {
 			sp := &e.plan.SendTo[i]
 			need := 8 * len(sp.LocalIdx)
 			if cap(e.sendBuf) < need {
-				e.sendBuf = make([]byte, need)
+				e.sendBuf = make([]byte, need) //ftlint:ignore hotpath: amortized growth, reused across iterations
 			}
 			buf := e.sendBuf[:need]
 			for k, li := range sp.LocalIdx {
@@ -318,9 +321,9 @@ func (e *Engine) SpMV(x, y []float64, it int64) error {
 	}
 	if e.Rec != nil {
 		if e.segF != nil {
-			e.Rec.Inc("spmvm.fastpath_iters", 1)
+			e.Rec.Inc(trace.KSpMVMFastpathIters, 1)
 		} else {
-			e.Rec.Inc("spmvm.fallback_iters", 1)
+			e.Rec.Inc(trace.KSpMVMFallbackIters, 1)
 		}
 	}
 	return nil
@@ -331,6 +334,8 @@ func (e *Engine) SpMV(x, y []float64, it int64) error {
 // when a zombie's writes arrive after a recovery. Producer slots are
 // checked through the precomputed expectFrom table; the generation counter
 // replaces any per-call reset of the seen-set.
+//
+//ftlint:hotpath
 func (e *Engine) collectHalo(parity int, want int64) error {
 	remaining := len(e.plan.RecvFrom)
 	if remaining == 0 {
@@ -367,6 +372,8 @@ func (e *Engine) collectHalo(parity int, want int64) error {
 // already the in-memory representation); the fallback decodes into the
 // cached buffer. The notification protocol guarantees the producers'
 // writes happened before.
+//
+//ftlint:hotpath
 func (e *Engine) haloVec(parity int) []float64 {
 	n := e.haloN
 	base := parity * n
@@ -382,6 +389,8 @@ func (e *Engine) haloVec(parity int) []float64 {
 // mul computes y = S·x (add=false) or y += S·x (add=true), sharded across
 // the engine's persistent worker pool (started lazily, sized Threads-1;
 // the calling goroutine computes the first shard itself).
+//
+//ftlint:hotpath
 func (e *Engine) mul(s *splitCSR, x, y []float64, add bool) {
 	rows := len(s.rowPtr) - 1
 	if e.Threads <= 1 || rows < 4*e.Threads {
@@ -393,7 +402,7 @@ func (e *Engine) mul(s *splitCSR, x, y []float64, add bool) {
 		return
 	}
 	if e.tasks == nil {
-		e.tasks = make(chan mulTask, e.Threads)
+		e.tasks = make(chan mulTask, e.Threads) //ftlint:ignore hotpath: lazy one-time pool start
 		for i := 0; i < e.Threads-1; i++ {
 			go mulWorker(e.tasks)
 		}
@@ -419,6 +428,7 @@ func mulWorker(tasks <-chan mulTask) {
 	}
 }
 
+//ftlint:hotpath
 func mulRange(s *splitCSR, x, y []float64, add bool, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		var acc float64
@@ -446,6 +456,8 @@ type DotScratch struct {
 // accumulation plus an Allreduce, taking the Into form of the collective
 // when the Comm offers it (the registered-segment fast path runs the
 // single-element reduction without encode/decode).
+//
+//ftlint:hotpath
 func (d *DotScratch) Dot(c Comm, a, b []float64) (float64, error) {
 	var local float64
 	for i := range a {
@@ -458,6 +470,7 @@ func (d *DotScratch) Dot(c Comm, a, b []float64) (float64, error) {
 		}
 		return d.out[0], nil
 	}
+	//ftlint:ignore hotpath: legacy Comm fallback; the CollInto branch above is the fast path
 	out, err := c.AllreduceF64([]float64{local}, gaspi.OpSum)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file is the canonical registry of trace counter and event keys.
+// Counter names used to be stringly-typed across the tree; every
+// Recorder.Inc / Recorder.Counter / Summary.SumCounter lookup now goes
+// through one of these constants (or a registered dynamic-prefix helper
+// like RestoreFromKey), and the ftlint `tracekey` pass fails the build on
+// any raw string literal or unknown key at a call site. Adding a counter
+// means adding it here first — the registry, not the call site, is the
+// source of truth.
+
+// Counter keys.
+const (
+	// Core iteration-loop and recovery counters (internal/core).
+	KCoreCheckpoints         = "core.checkpoints"
+	KCoreItersDuringRepair   = "core.iters_during_repair"
+	KCoreCPFlushErrors       = "core.cp_flush_errors"
+	KCoreRecoveryRestarts    = "core.recovery_restarts"
+	KCoreRestartsFromScratch = "core.restarts_from_scratch"
+	KCoreRestores            = "core.restores"
+	KCoreRestoreRetreats     = "core.restore_retreats"
+	KCoreAgreementViolations = "core.agreement_violations"
+
+	// Per-phase TTR decomposition around core.recoverAndReload.
+	KCoreTTRRebuildNS = "core.ttr.rebuild_ns"
+	KCoreTTRRestoreNS = "core.ttr.restore_ns"
+	KCoreTTRResumeNS  = "core.ttr.resume_ns"
+	KCoreTTRTotalNS   = "core.ttr.total_ns"
+
+	// Restore-source classification (suffix = cluster.RestoreSource.String()).
+	KCoreRestoreFromLocal    = "core.restore_from_local"
+	KCoreRestoreFromNeighbor = "core.restore_from_neighbor"
+	KCoreRestoreFromRemote   = "core.restore_from_remote"
+	KCoreRestoreFromPFS      = "core.restore_from_pfs"
+
+	// Failure-detector scan loop (internal/ft Detector).
+	KFDRecoveries  = "fd.recoveries"
+	KFDScans       = "fd.scans"
+	KFDPings       = "fd.pings"
+	KFDScanNS      = "fd.scan_ns"
+	KFDCleanScans  = "fd.clean_scans"
+	KFDCleanScanNS = "fd.clean_scan_ns"
+
+	// Recovery epoch state machine (internal/ft Worker).
+	KFTRecoveries       = "ft.recoveries"
+	KFTEpochs           = "ft.epochs"
+	KFTEpochRestarts    = "ft.epoch.restarts"
+	KFTEpochRegressions = "ft.epoch.regressions"
+	KFTPhaseDetectNS    = "ft.phase.detect_ns"
+	KFTPhaseAckNS       = "ft.phase.ack_ns"
+	KFTPhaseRebuildNS   = "ft.phase.rebuild_ns"
+	KFTPhaseLocalizedNS = "ft.phase.localized_ns"
+	KFTPhaseRestoreNS   = "ft.phase.restore_ns"
+
+	// Alternative detectors and spares.
+	KProberPings       = "prober.pings"
+	KStandbyPromotions = "standby.promotions"
+
+	// spMVM engine path selection.
+	KSpMVMFastpathIters = "spmvm.fastpath_iters"
+	KSpMVMFallbackIters = "spmvm.fallback_iters"
+)
+
+// restoreFromPrefix is the registered dynamic prefix behind RestoreFromKey.
+const restoreFromPrefix = "core.restore_from_"
+
+// Event keys (Recorder.Event / Recorder.FirstEvent markers).
+const (
+	KEvFDDetect      = "fd:detect"
+	KEvFDAck         = "fd:ack"
+	KEvFTAck         = "ft:ack"
+	KEvProberSuspect = "prober:suspect"
+	KEvStandbyDead   = "standby:fd-dead"
+)
+
+var knownCounters = map[string]bool{
+	KCoreCheckpoints:         true,
+	KCoreItersDuringRepair:   true,
+	KCoreCPFlushErrors:       true,
+	KCoreRecoveryRestarts:    true,
+	KCoreRestartsFromScratch: true,
+	KCoreRestores:            true,
+	KCoreRestoreRetreats:     true,
+	KCoreAgreementViolations: true,
+	KCoreTTRRebuildNS:        true,
+	KCoreTTRRestoreNS:        true,
+	KCoreTTRResumeNS:         true,
+	KCoreTTRTotalNS:          true,
+	KCoreRestoreFromLocal:    true,
+	KCoreRestoreFromNeighbor: true,
+	KCoreRestoreFromRemote:   true,
+	KCoreRestoreFromPFS:      true,
+	KFDRecoveries:            true,
+	KFDScans:                 true,
+	KFDPings:                 true,
+	KFDScanNS:                true,
+	KFDCleanScans:            true,
+	KFDCleanScanNS:           true,
+	KFTRecoveries:            true,
+	KFTEpochs:                true,
+	KFTEpochRestarts:         true,
+	KFTEpochRegressions:      true,
+	KFTPhaseDetectNS:         true,
+	KFTPhaseAckNS:            true,
+	KFTPhaseRebuildNS:        true,
+	KFTPhaseLocalizedNS:      true,
+	KFTPhaseRestoreNS:        true,
+	KProberPings:             true,
+	KStandbyPromotions:       true,
+	KSpMVMFastpathIters:      true,
+	KSpMVMFallbackIters:      true,
+}
+
+var knownEvents = map[string]bool{
+	KEvFDDetect:      true,
+	KEvFDAck:         true,
+	KEvFTAck:         true,
+	KEvProberSuspect: true,
+	KEvStandbyDead:   true,
+}
+
+// RestoreFromKey builds the per-source restore counter key from a restore
+// source's String() form (local / neighbor / remote / pfs). It is the one
+// registered way to build a counter key dynamically; the tracekey pass
+// rejects ad-hoc string concatenation at call sites.
+func RestoreFromKey(source string) string {
+	return restoreFromPrefix + source
+}
+
+// KnownKey reports whether k is a registered counter key. Keys produced by
+// RestoreFromKey are accepted by prefix, so novel restore-source names do
+// not invalidate old recordings.
+func KnownKey(k string) bool {
+	if knownCounters[k] {
+		return true
+	}
+	return strings.HasPrefix(k, restoreFromPrefix) && len(k) > len(restoreFromPrefix)
+}
+
+// KnownEventKey reports whether k is a registered event key.
+func KnownEventKey(k string) bool { return knownEvents[k] }
+
+// KnownKeys returns the registered counter keys, sorted. Used by the
+// registry self-test and by tooling that wants to enumerate the schema.
+func KnownKeys() []string {
+	out := make([]string, 0, len(knownCounters))
+	for k := range knownCounters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownEventKeys returns the registered event keys, sorted.
+func KnownEventKeys() []string {
+	out := make([]string, 0, len(knownEvents))
+	for k := range knownEvents {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// The registry is the schema other packages and the ftlint tracekey pass
+// trust; these tests pin its basic hygiene.
+
+func TestKnownKeysWellFormed(t *testing.T) {
+	for _, k := range KnownKeys() {
+		if k == "" {
+			t.Fatal("empty counter key in registry")
+		}
+		if strings.ContainsAny(k, " \t\n") {
+			t.Fatalf("counter key %q contains whitespace", k)
+		}
+		if !KnownKey(k) {
+			t.Fatalf("KnownKey(%q) = false for a registered key", k)
+		}
+		if KnownEventKey(k) {
+			t.Fatalf("counter key %q is also registered as an event", k)
+		}
+	}
+	for _, k := range KnownEventKeys() {
+		if !KnownEventKey(k) {
+			t.Fatalf("KnownEventKey(%q) = false for a registered key", k)
+		}
+		if KnownKey(k) {
+			t.Fatalf("event key %q is also registered as a counter", k)
+		}
+	}
+}
+
+func TestRestoreFromKey(t *testing.T) {
+	for _, src := range []string{"local", "neighbor", "remote", "pfs"} {
+		k := RestoreFromKey(src)
+		if !KnownKey(k) {
+			t.Fatalf("RestoreFromKey(%q) = %q not known", src, k)
+		}
+	}
+	// Prefix acceptance: a new restore tier keys cleanly without a
+	// registry change...
+	if !KnownKey(RestoreFromKey("tape")) {
+		t.Fatal("dynamic restore-source key rejected")
+	}
+	// ...but the bare prefix (empty suffix) is not a key.
+	if KnownKey(restoreFromPrefix) {
+		t.Fatal("bare restore_from_ prefix accepted as a key")
+	}
+}
+
+func TestUnknownKeysRejected(t *testing.T) {
+	for _, k := range []string{"", "core.checkpoint", "fd.recoveries ", "made.up"} {
+		if KnownKey(k) {
+			t.Fatalf("KnownKey(%q) = true", k)
+		}
+	}
+}
