@@ -42,6 +42,10 @@ type output struct {
 	// TTRLocalized is the same kill measured under the localized
 	// O(degree) repair instead of the global recommit.
 	TTRLocalized experiment.TTRRow `json:"ttr_localized"`
+	// TTRFailover is the same kill with the victim carrying a hot shadow:
+	// localized repair plus zero-restore takeover (no restore phase, no
+	// recomputed iterations).
+	TTRFailover experiment.TTRRow `json:"ttr_failover"`
 }
 
 func main() {
@@ -100,6 +104,13 @@ func main() {
 	}
 	fmt.Printf("  localized: outcome %s in %.2f s wall; detect %.2f + ack %.2f + localized %.2f + restore %.2f = ttr %.2f ms (restores l/n/r/p %s)\n",
 		ttrLoc.Outcome, ttrLoc.WallS, ttrLoc.DetectMs, ttrLoc.AckMs, ttrLoc.LocalizedMs, ttrLoc.RestoreMs, ttrLoc.TTRMs, ttrLoc.RestoreSources)
+	ttrFo, err := experiment.RunTTRBenchMode(cfg, experiment.TTRFailover)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttr failover arm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  failover:  outcome %s in %.2f s wall; detect %.2f + ack %.2f + localized %.2f + failover %.2f + restore %.2f = ttr %.2f ms (iters lost %d)\n",
+		ttrFo.Outcome, ttrFo.WallS, ttrFo.DetectMs, ttrFo.AckMs, ttrFo.LocalizedMs, ttrFo.FailoverMs, ttrFo.RestoreMs, ttrFo.TTRMs, ttrFo.ItersLost)
 
 	res := output{
 		Benchmark:  "recovery",
@@ -110,6 +121,7 @@ func main() {
 		Restore:      restore,
 		TTR:          ttr,
 		TTRLocalized: ttrLoc,
+		TTRFailover:  ttrFo,
 	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -196,6 +196,18 @@ func (a *Lanczos) Restore(ctx *core.Ctx, payload []byte, iter int64) error {
 	return nil
 }
 
+// LiveIteration reports the solver's current durable iteration — the
+// candidate a survivor contributes to the hot-shadow failover agreement.
+// The solver mutates durable state only after its last collective, so a
+// step aborted by a peer's failure leaves It exactly at the iteration to
+// resume from. Not valid before the first Rebuild.
+func (a *Lanczos) LiveIteration(*core.Ctx) (int64, bool) {
+	if a.solver == nil {
+		return 0, false
+	}
+	return a.solver.It, true
+}
+
 // Step implements core.App.
 func (a *Lanczos) Step(ctx *core.Ctx, iter int64) error {
 	if a.solver.It != iter {

@@ -44,7 +44,8 @@ func TestGenerateWellFormed(t *testing.T) {
 		if ep.Spec.Spares < 1 {
 			t.Fatalf("seed %d: %d spares", seed, ep.Spec.Spares)
 		}
-		want, strict := OracleExpect(n, ep.Spec.Spares)
+		workerKills, shadowKills := splitKills(ep.Spec.Scenario.Events)
+		want, strict := OracleExpect(workerKills, shadowKills, ep.Spec.Spares)
 		if !strict {
 			t.Fatalf("seed %d: generator produced a boundary episode (%d events, %d spares)",
 				seed, n, ep.Spec.Spares)
@@ -59,6 +60,20 @@ func TestGenerateWellFormed(t *testing.T) {
 			}
 			if e.Trigger.Kind == cluster.DuringFlush && !ep.Spec.Async {
 				t.Fatalf("seed %d: during-flush trigger without the async engine", seed)
+			}
+			if e.Trigger.Kind == cluster.DuringShadowApply {
+				// A shadow-apply trigger can only fire if the targeted
+				// logical actually carries a hot shadow: the replication
+				// degree must cover it, the spare pool must hold the
+				// shadow band, and the mirror stream needs the async
+				// engine plus localized repair.
+				if !ep.Spec.Async || !ep.Spec.Localized {
+					t.Fatalf("seed %d: shadow-apply trigger without async+localized", seed)
+				}
+				if ep.Spec.Replication <= e.Logical || ep.Spec.Spares < ep.Spec.Replication {
+					t.Fatalf("seed %d: shadow-apply trigger on logical %d not covered (replication %d, spares %d)",
+						seed, e.Logical, ep.Spec.Replication, ep.Spec.Spares)
+				}
 			}
 			if e.Trigger.Kind == cluster.AtIteration {
 				iter := e.Trigger.Iter
@@ -84,6 +99,8 @@ func TestGenerateWellFormed(t *testing.T) {
 		"single/at-iteration", "single/during-flush", "single/during-collective",
 		"compound/kill-during-recovery", "compound/double-death", "compound/flush-racing-collective",
 		"compound/kill-during-localized-repair", "compound/kill-repair-set-member",
+		"compound/kill-shadowed-primary", "compound/kill-the-shadow",
+		"compound/kill-primary-and-shadow-same-interval", "compound/kill-during-failover",
 		"exhaustion",
 	} {
 		if shapes[want] == 0 {
@@ -93,23 +110,30 @@ func TestGenerateWellFormed(t *testing.T) {
 }
 
 // TestOracleExpect pins the oracle's outcome prediction including the
-// non-strict detector-joins-workers boundary.
+// non-strict detector-joins-workers boundary and the consumed-shadow
+// pool accounting (a shadow kill costs a spare but not an iteration).
 func TestOracleExpect(t *testing.T) {
 	for _, tc := range []struct {
-		events, spares int
-		want           experiment.ScenarioOutcome
-		strict         bool
+		workers, shadows, spares int
+		want                     experiment.ScenarioOutcome
+		strict                   bool
 	}{
-		{0, 1, experiment.OutcomeRecovered, true},
-		{2, 2, experiment.OutcomeRecovered, true},
-		{3, 2, experiment.OutcomeRecovered, false}, // boundary: FD may join
-		{4, 2, experiment.OutcomeUnrecoverable, true},
-		{3, 1, experiment.OutcomeUnrecoverable, true},
+		{0, 0, 1, experiment.OutcomeRecovered, true},
+		{2, 0, 2, experiment.OutcomeRecovered, true},
+		{3, 0, 2, experiment.OutcomeRecovered, false}, // boundary: FD may join
+		{4, 0, 2, experiment.OutcomeUnrecoverable, true},
+		{3, 0, 1, experiment.OutcomeUnrecoverable, true},
+		{1, 1, 2, experiment.OutcomeRecovered, true},     // shadow consumed, one spare left
+		{2, 1, 2, experiment.OutcomeRecovered, false},    // pool 1, boundary again
+		{3, 1, 2, experiment.OutcomeUnrecoverable, true}, // pool 1, two over
+		{0, 3, 2, experiment.OutcomeRecovered, true},     // dead shadows alone lose no work
+		{1, 2, 2, experiment.OutcomeRecovered, false},    // pool clamps to 0, boundary
+		{2, 2, 2, experiment.OutcomeUnrecoverable, true},
 	} {
-		got, strict := OracleExpect(tc.events, tc.spares)
+		got, strict := OracleExpect(tc.workers, tc.shadows, tc.spares)
 		if got != tc.want || strict != tc.strict {
-			t.Errorf("OracleExpect(%d, %d) = %v/%v, want %v/%v",
-				tc.events, tc.spares, got, strict, tc.want, tc.strict)
+			t.Errorf("OracleExpect(%d, %d, %d) = %v/%v, want %v/%v",
+				tc.workers, tc.shadows, tc.spares, got, strict, tc.want, tc.strict)
 		}
 	}
 }

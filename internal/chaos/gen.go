@@ -58,27 +58,54 @@ type Episode struct {
 }
 
 // OracleExpect predicts an episode's outcome from its gross shape: with
-// enough spares for every scheduled fault the run must recover; with at
-// least two more faults than spares it must abort crisply. The
-// in-between boundary (faults == spares+1) is intentionally non-strict:
-// the detector can join the workers as the last rescue, so either
-// recovered or a crisp abort is acceptable there. The generator never
-// emits boundary episodes, but shrinking can reduce into one.
+// enough spares for every scheduled worker fault the run must recover;
+// with at least two more worker faults than the remaining pool it must
+// abort crisply. The in-between boundary (workerKills == pool+1) is
+// intentionally non-strict: the detector can join the workers as the
+// last rescue, so either recovered or a crisp abort is acceptable
+// there. The generator never emits boundary episodes, but shrinking can
+// reduce into one.
+//
+// shadowKills counts faults landing on hot shadows (during-shadow-apply
+// triggers). A dead shadow never loses an iteration of work — its
+// primary keeps computing — but it CONSUMES a spare: a consumed shadow
+// is not an available spare, so the pool left for worker deaths shrinks
+// by one per shadow kill.
 //
 // The prediction is deliberately blind to the repair MODE. A localized
-// episode may legally complete through the O(degree) path, restart the
-// epoch localized after a mid-repair death, or fall back to the global
-// recommit (a fresher notice naming several victims routes every
-// survivor to the collective path) — all are correct executions and all
-// must end in the same outcome, which is the only thing the oracle pins.
-func OracleExpect(events, spares int) (want experiment.ScenarioOutcome, strict bool) {
-	if events <= spares {
+// episode may legally complete through the O(degree) path, take the
+// zero-restore failover onto a hot shadow, restart the epoch localized
+// after a mid-repair death, or fall back to the global recommit (a
+// fresher notice naming several victims routes every survivor to the
+// collective path) — all are correct executions and all must end in the
+// same outcome, which is the only thing the oracle pins.
+func OracleExpect(workerKills, shadowKills, spares int) (want experiment.ScenarioOutcome, strict bool) {
+	pool := spares - shadowKills
+	if pool < 0 {
+		pool = 0
+	}
+	if workerKills <= pool {
 		return experiment.OutcomeRecovered, true
 	}
-	if events >= spares+2 {
+	if workerKills >= pool+2 {
 		return experiment.OutcomeUnrecoverable, true
 	}
 	return experiment.OutcomeRecovered, false
+}
+
+// splitKills partitions a schedule by what each fault consumes: a
+// during-shadow-apply trigger lands on the victim's hot shadow (a
+// spare), every other trigger kills the worker holding the targeted
+// logical rank.
+func splitKills(events []cluster.FaultEvent) (workerKills, shadowKills int) {
+	for _, e := range events {
+		if e.Trigger.Kind == cluster.DuringShadowApply {
+			shadowKills++
+		} else {
+			workerKills++
+		}
+	}
+	return
 }
 
 // Generate derives an episode from a seed. Pure: the same seed always
@@ -140,7 +167,7 @@ func Generate(seed int64) Episode {
 	case shape < 85:
 		// A compound schedule: the shapes the recovery epoch state
 		// machine exists for.
-		switch rng.Intn(5) {
+		switch rng.Intn(9) {
 		case 0:
 			// A second rank dies while the first victim's recovery is in
 			// flight (kill during another rank's restore).
@@ -190,7 +217,7 @@ func Generate(seed int64) Episode {
 					Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: safeIter(rng, cp)}},
 				cluster.FaultEvent{Kind: kill(rng), Logical: spoke,
 					Trigger: cluster.Trigger{Kind: cluster.DuringRecovery, Epoch: 1}})
-		default:
+		case 4:
 			// A death racing the background flush plus a death at a
 			// collective's entry — the flusher and the fault-aware
 			// collective path failing in the same run.
@@ -201,6 +228,65 @@ func Generate(seed int64) Episode {
 					Trigger: cluster.Trigger{Kind: cluster.DuringFlush, Version: flushVersion(rng, cp)}},
 				cluster.FaultEvent{Kind: kill(rng), Logical: victims[1],
 					Trigger: cluster.Trigger{Kind: cluster.DuringCollective, Count: collectiveCount(rng)}})
+		case 5:
+			// Kill a shadowed primary mid-interval: the canonical hot-
+			// shadow failover. The oracle stays outcome-blind to the
+			// route — a torn mirror legally falls back to the checkpoint
+			// ladder — but either way the run must recover.
+			ep.Shape = "compound/kill-shadowed-primary"
+			ep.Spec.Async = true
+			ep.Spec.Localized = true
+			ep.Spec.Replication = victims[0] + 1
+			ep.Spec.Spares = victims[0] + 1
+			events = append(events,
+				cluster.FaultEvent{Kind: kill(rng), Logical: victims[0],
+					Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: safeIter(rng, cp)}})
+		case 6:
+			// Kill the shadow itself mid-mirror-apply: the primary keeps
+			// computing, retires its mirror encoder once the notice marks
+			// the shadow dead, and the episode must still complete — a
+			// dead shadow only shrinks the spare pool.
+			ep.Shape = "compound/kill-the-shadow"
+			ep.Spec.Async = true
+			ep.Spec.Localized = true
+			ep.Spec.Replication = victims[0] + 1
+			ep.Spec.Spares = victims[0] + 1
+			events = append(events,
+				cluster.FaultEvent{Kind: kill(rng), Logical: victims[0],
+					Trigger: cluster.Trigger{Kind: cluster.DuringShadowApply, Version: safeIter(rng, cp)}})
+		case 7:
+			// Primary and its shadow die in the same checkpoint interval:
+			// the shadow is consumed mid-mirror just as the primary falls,
+			// so the repair must route around the dead shadow to a plain
+			// spare and the checkpoint ladder.
+			ep.Shape = "compound/kill-primary-and-shadow-same-interval"
+			ep.Spec.Async = true
+			ep.Spec.Localized = true
+			ep.Spec.Replication = victims[0] + 1
+			ep.Spec.Spares = victims[0] + 2
+			iter := safeIter(rng, cp)
+			events = append(events,
+				cluster.FaultEvent{Kind: kill(rng), Logical: victims[0],
+					Trigger: cluster.Trigger{Kind: cluster.DuringShadowApply, Version: iter}},
+				cluster.FaultEvent{Kind: kill(rng), Logical: victims[0],
+					Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: iter}})
+		default:
+			// A second worker dies while the first victim's shadow
+			// takeover is in flight — kill-during-recovery with the
+			// recovery being the zero-restore failover epoch.
+			ep.Shape = "compound/kill-during-failover"
+			ep.Spec.Async = true
+			ep.Spec.Localized = true
+			ep.Spec.Replication = victims[0] + 1
+			ep.Spec.Spares = victims[0] + 1
+			if ep.Spec.Spares < 3 {
+				ep.Spec.Spares = 3
+			}
+			events = append(events,
+				cluster.FaultEvent{Kind: kill(rng), Logical: victims[0],
+					Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: safeIter(rng, cp)}},
+				cluster.FaultEvent{Kind: kill(rng), Logical: victims[1],
+					Trigger: cluster.Trigger{Kind: cluster.DuringRecovery, Epoch: 1}})
 		}
 
 	default:
@@ -252,7 +338,8 @@ func Generate(seed int64) Episode {
 		Name:   fmt.Sprintf("chaos seed %d (%s)", seed, ep.Shape),
 		Events: events,
 	}
-	ep.Spec.Expect, _ = OracleExpect(len(events), ep.Spec.Spares)
+	workerKills, shadowKills := splitKills(events)
+	ep.Spec.Expect, _ = OracleExpect(workerKills, shadowKills, ep.Spec.Spares)
 	return ep
 }
 

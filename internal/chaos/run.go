@@ -107,7 +107,8 @@ func failures(ep Episode, row experiment.ScenarioResult) []string {
 	case experiment.OutcomeHung, experiment.OutcomeWrongAnswer, experiment.OutcomeFailed:
 		out = append(out, fmt.Sprintf("forbidden-outcome: %v (%s)", row.Outcome, row.Detail))
 	default:
-		want, strict := OracleExpect(len(ep.Spec.Scenario.Events), ep.Spec.Spares)
+		workerKills, shadowKills := splitKills(ep.Spec.Scenario.Events)
+		want, strict := OracleExpect(workerKills, shadowKills, ep.Spec.Spares)
 		if strict && row.Outcome != want {
 			out = append(out, fmt.Sprintf("oracle-mismatch: classified %v, oracle expects %v (%s)",
 				row.Outcome, want, row.Detail))

@@ -21,7 +21,8 @@ func Shrink(r *Runner, failing EpisodeResult) (EpisodeResult, int) {
 	runs := 0
 
 	try := func(ep Episode) bool {
-		ep.Spec.Expect, _ = OracleExpect(len(ep.Spec.Scenario.Events), ep.Spec.Spares)
+		workerKills, shadowKills := splitKills(ep.Spec.Scenario.Events)
+		ep.Spec.Expect, _ = OracleExpect(workerKills, shadowKills, ep.Spec.Spares)
 		res := r.Run(ep)
 		runs++
 		if len(res.Failures) > 0 && res.Signature() == sig {
@@ -60,11 +61,20 @@ func Shrink(r *Runner, failing EpisodeResult) (EpisodeResult, int) {
 		ep.Spec.FullEvery = 0
 		try(ep)
 	}
-	if best.Episode.Spec.Localized {
+	if best.Episode.Spec.Localized && !needsShadow(best.Episode) {
 		// A failure that reproduces under the global recommit is not a
 		// localized-repair bug; drop the mode when the signature survives.
+		// Hot shadows ride the localized path, so the mode stays while a
+		// shadow-apply trigger remains.
 		ep := best.Episode
 		ep.Spec.Localized = false
+		try(ep)
+	}
+	if best.Episode.Spec.Replication != 0 && !needsShadow(best.Episode) {
+		// A failure that reproduces without hot shadows is not a failover
+		// bug; only a remaining shadow-apply trigger pins the knob.
+		ep := best.Episode
+		ep.Spec.Replication = 0
 		try(ep)
 	}
 	if best.Episode.Spec.PFSEvery != 0 {
@@ -77,7 +87,19 @@ func Shrink(r *Runner, failing EpisodeResult) (EpisodeResult, int) {
 
 func needsAsync(ep Episode) bool {
 	for _, e := range ep.Spec.Scenario.Events {
-		if e.Trigger.Kind == cluster.DuringFlush {
+		if e.Trigger.Kind == cluster.DuringFlush || e.Trigger.Kind == cluster.DuringShadowApply {
+			return true
+		}
+	}
+	return false
+}
+
+// needsShadow reports whether the schedule still carries a trigger that
+// can only fire on a hot shadow's mirror-apply loop — such a trigger
+// pins the async engine, the localized mode and the replication degree.
+func needsShadow(ep Episode) bool {
+	for _, e := range ep.Spec.Scenario.Events {
+		if e.Trigger.Kind == cluster.DuringShadowApply {
 			return true
 		}
 	}

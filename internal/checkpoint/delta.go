@@ -341,84 +341,95 @@ type deltaChunk struct {
 // decodeFrame validates any checkpoint frame (CRC over header and body)
 // and returns its decoded form.
 func decodeFrame(blob []byte) (*frame, error) {
+	f := &frame{}
+	if err := decodeFrameInto(f, blob); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// decodeFrameInto validates a checkpoint frame into a caller-owned frame,
+// reusing f.dirty's backing array across calls. The live-mirror apply loop
+// decodes one frame per iteration, so the allocating decodeFrame would put
+// a make on the shadow's steady-state path.
+//
+//ftlint:hotpath
+func decodeFrameInto(f *frame, blob []byte) error {
+	*f = frame{dirty: f.dirty[:0]}
 	if len(blob) < headerLen {
-		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		return fmt.Errorf("%w: truncated header", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 	}
 	m := binary.LittleEndian.Uint32(blob[0:])
 	switch m {
 	case magic, magicGzip:
-		payload, logical, version, err := decode(blob)
+		payload, logical, version, err := decode(blob) //ftlint:ignore hotpath: legacy frames are off the mirror path
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return &frame{chain: chainInfo{kind: KindLegacy}, logical: logical, version: version, payload: payload}, nil
+		f.chain = chainInfo{kind: KindLegacy}
+		f.logical, f.version, f.payload = logical, version, payload
+		return nil
 	case magicFull, magicDelta:
 	default:
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return fmt.Errorf("%w: bad magic", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 	}
 	logical := int(int32(binary.LittleEndian.Uint32(blob[4:])))
 	version := int64(binary.LittleEndian.Uint64(blob[8:]))
 	n := binary.LittleEndian.Uint64(blob[16:])
 	if uint64(len(blob)-headerLen) != n {
-		return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
+		return fmt.Errorf("%w: truncated body", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 	}
 	body := blob[headerLen:]
 	crc := crc32.ChecksumIEEE(blob[:24])
 	crc = crc32.Update(crc, crc32.IEEETable, body)
 	if crc != binary.LittleEndian.Uint32(blob[24:]) {
-		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+		return fmt.Errorf("%w: CRC mismatch", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 	}
+	f.logical = logical
+	f.version = version
 	if m == magicFull {
 		if len(body) < fullBodyHeader {
-			return nil, fmt.Errorf("%w: truncated full body", ErrCorrupt)
+			return fmt.Errorf("%w: truncated full body", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 		}
-		return &frame{
-			chain:   chainInfo{kind: KindFull, gen: binary.LittleEndian.Uint64(body[0:])},
-			logical: logical,
-			version: version,
-			payload: body[fullBodyHeader:],
-		}, nil
+		f.chain = chainInfo{kind: KindFull, gen: binary.LittleEndian.Uint64(body[0:])}
+		f.payload = body[fullBodyHeader:]
+		return nil
 	}
 	if len(body) < deltaBodyHeader {
-		return nil, fmt.Errorf("%w: truncated delta body", ErrCorrupt)
+		return fmt.Errorf("%w: truncated delta body", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 	}
-	f := &frame{
-		chain: chainInfo{
-			kind:    KindDelta,
-			gen:     binary.LittleEndian.Uint64(body[0:]),
-			prevGen: binary.LittleEndian.Uint64(body[8:]),
-			prevVer: int64(binary.LittleEndian.Uint64(body[16:])),
-		},
-		logical:   logical,
-		version:   version,
-		fullLen:   int(binary.LittleEndian.Uint64(body[24:])),
-		fullCRC:   binary.LittleEndian.Uint32(body[32:]),
-		chunkSize: int(binary.LittleEndian.Uint32(body[36:])),
+	f.chain = chainInfo{
+		kind:    KindDelta,
+		gen:     binary.LittleEndian.Uint64(body[0:]),
+		prevGen: binary.LittleEndian.Uint64(body[8:]),
+		prevVer: int64(binary.LittleEndian.Uint64(body[16:])),
 	}
+	f.fullLen = int(binary.LittleEndian.Uint64(body[24:]))
+	f.fullCRC = binary.LittleEndian.Uint32(body[32:])
+	f.chunkSize = int(binary.LittleEndian.Uint32(body[36:]))
 	nDirty := int(binary.LittleEndian.Uint32(body[40:]))
 	if f.chunkSize <= 0 || nDirty < 0 || f.fullLen < 0 {
-		return nil, fmt.Errorf("%w: bad delta geometry", ErrCorrupt)
+		return fmt.Errorf("%w: bad delta geometry", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 	}
 	off := deltaBodyHeader
-	f.dirty = make([]deltaChunk, 0, nDirty)
 	for i := 0; i < nDirty; i++ {
 		if off+deltaChunkHeader > len(body) {
-			return nil, fmt.Errorf("%w: truncated delta chunk table", ErrCorrupt)
+			return fmt.Errorf("%w: truncated delta chunk table", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 		}
 		idx := int(binary.LittleEndian.Uint32(body[off:]))
 		cl := int(binary.LittleEndian.Uint32(body[off+4:]))
 		off += deltaChunkHeader
 		if cl < 0 || off+cl > len(body) ||
 			idx < 0 || idx*f.chunkSize >= f.fullLen || idx*f.chunkSize+cl > f.fullLen {
-			return nil, fmt.Errorf("%w: delta chunk out of range", ErrCorrupt)
+			return fmt.Errorf("%w: delta chunk out of range", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 		}
-		f.dirty = append(f.dirty, deltaChunk{idx: idx, data: body[off : off+cl]})
+		f.dirty = append(f.dirty, deltaChunk{idx: idx, data: body[off : off+cl]}) //ftlint:ignore hotpath: amortized growth, backing array reused across frames
 		off += cl
 	}
 	if off != len(body) {
-		return nil, fmt.Errorf("%w: trailing delta bytes", ErrCorrupt)
+		return fmt.Errorf("%w: trailing delta bytes", ErrCorrupt) //ftlint:ignore hotpath: corruption path only
 	}
-	return f, nil
+	return nil
 }
 
 // frameChain reads a frame's chain identity without the full CRC pass

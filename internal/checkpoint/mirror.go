@@ -1,0 +1,198 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Hot-shadow mirroring. A shadowed primary encodes its state every
+// iteration as a chain of generation-tagged full/delta frames (the same
+// GCP4/GCP3 wire formats the incremental store path uses) and pushes them
+// over the checkpoint stream to its shadow, which applies them into live,
+// plan-shaped memory — not into the store. On takeover the shadow's
+// mirror IS the restore image: no fetch, no chain resolution, no
+// recompute. The chain tags and per-frame CRCs give the same torn-tail
+// detection the store path gets from seals: a skipped generation (lost
+// frame), a forked chain (frames from before a takeover) or damaged bytes
+// mark the mirror torn, and the shadow falls back to the global restore
+// ladder instead of resuming on corrupt state.
+
+// MirrorEncoder encodes the per-iteration frame chain a primary streams to
+// its hot shadow. It is independent of the Library's store-bound delta
+// chains (different cadence, different consumer) but shares the wire
+// format, so the shadow's apply loop and the torn-tail defenses are the
+// same code the restore path trusts. Not safe for concurrent use: it
+// belongs to the primary's iteration loop.
+type MirrorEncoder struct {
+	chunk     int
+	fullEvery int
+	buf       []byte
+	hashes    []uint64
+	scratch   []uint64
+	lastVer   int64
+	lastGen   uint64
+	sinceFull int
+}
+
+// NewMirrorEncoder returns an encoder chunking payloads at chunkBytes and
+// emitting a self-contained full base every fullEvery frames (minimum 1:
+// every frame full).
+func NewMirrorEncoder(chunkBytes, fullEvery int) *MirrorEncoder {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if fullEvery < 1 {
+		fullEvery = 1
+	}
+	return &MirrorEncoder{chunk: chunkBytes, fullEvery: fullEvery}
+}
+
+// Rebase forces the next frame to be a full base, discarding the chunk-hash
+// table. Called after a takeover or a push failure: the shadow's chain
+// position is unknown, and a delta chained onto an unreceived generation
+// would only be detected (and dropped) as torn.
+func (e *MirrorEncoder) Rebase() {
+	e.lastGen = 0
+	e.sinceFull = 0
+}
+
+// Abandon releases the frame buffer to the GC. Called after a failed push:
+// the fabric may still reference the last EncodeNext's frame, so reusing
+// its backing array could corrupt an in-flight send.
+func (e *MirrorEncoder) Abandon() { e.buf = nil }
+
+// EncodeNext encodes payload as the next frame of the mirror chain into the
+// encoder's reused buffer, returning the frame and its kind. The returned
+// slice is borrowed: it is overwritten by the next EncodeNext.
+//
+//ftlint:hotpath
+func (e *MirrorEncoder) EncodeNext(logical int, version int64, payload []byte) ([]byte, FrameKind) {
+	n := (len(payload) + e.chunk - 1) / e.chunk
+	if cap(e.scratch) < n {
+		e.scratch = make([]uint64, n) //ftlint:ignore hotpath: amortized growth, swapped across generations
+	}
+	cur := e.scratch[:n]
+	for i := 0; i < n; i++ {
+		end := min((i+1)*e.chunk, len(payload))
+		cur[i] = chunkHash(payload[i*e.chunk : end])
+	}
+	gen := nextGen()
+	var blob []byte
+	var kind FrameKind
+	if e.lastGen == 0 || e.sinceFull+1 >= e.fullEvery {
+		blob, _ = encodeFullInto(e.buf, logical, version, gen, payload)
+		e.sinceFull = 0
+		kind = KindFull
+	} else {
+		blob = encodeDeltaInto(e.buf, logical, version, chainInfo{
+			kind: KindDelta, gen: gen, prevGen: e.lastGen, prevVer: e.lastVer,
+		}, payload, e.chunk, e.hashes, cur, nil)
+		e.sinceFull++
+		kind = KindDelta
+	}
+	e.buf = blob[:0]
+	e.hashes, e.scratch = cur, e.hashes
+	e.lastVer = version
+	e.lastGen = gen
+	return blob, kind
+}
+
+// ErrMirrorTorn marks a mirror whose chain broke: a delta arrived whose
+// predecessor tag does not match the last applied generation (skipped or
+// forked chain), or a frame failed its CRC. The mirror stays torn until
+// the next full base.
+var ErrMirrorTorn = fmt.Errorf("checkpoint: mirror chain torn")
+
+// LiveMirror is the shadow side: it applies a primary's mirror frames into
+// a live payload image and answers, at takeover time, "what is the
+// primary's state and through which version is it valid?". Apply runs on
+// the checkpoint-stream serve goroutine while Snapshot/Torn are read from
+// the standby's control loop, so the mirror carries its own lock.
+type LiveMirror struct {
+	mu      sync.Mutex
+	scratch frame  // reused decode target (alloc-free steady state)
+	base    []byte // reassembled payload image
+	version int64
+	gen     uint64
+	valid   bool
+	torn    bool
+	applied int64
+}
+
+// NewLiveMirror returns an empty (invalid) mirror.
+func NewLiveMirror() *LiveMirror { return &LiveMirror{} }
+
+// Apply validates one mirror frame (CRC + chain tags) and folds it into
+// the live image. A full base always repairs the mirror; a delta must
+// chain exactly onto the last applied generation, otherwise the mirror is
+// marked torn (ErrMirrorTorn) and stays invalid until the next full base.
+// Corrupt bytes surface the decoder's ErrCorrupt.
+//
+//ftlint:hotpath
+func (m *LiveMirror) Apply(blob []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := decodeFrameInto(&m.scratch, blob); err != nil {
+		m.valid = false
+		m.torn = true
+		return err
+	}
+	f := &m.scratch
+	switch f.chain.kind {
+	case KindFull, KindLegacy:
+		if cap(m.base) < len(f.payload) {
+			m.base = make([]byte, len(f.payload)) //ftlint:ignore hotpath: amortized growth, image reused across frames
+		}
+		m.base = m.base[:len(f.payload)]
+		copy(m.base, f.payload)
+		m.gen = f.chain.gen
+	case KindDelta:
+		if !m.valid || f.chain.prevGen != m.gen {
+			m.valid = false
+			m.torn = true
+			return fmt.Errorf("%w: delta v%d chains onto gen %d, have gen %d", //ftlint:ignore hotpath: torn path only
+				ErrMirrorTorn, f.version, f.chain.prevGen, m.gen)
+		}
+		out, err := applyDelta(m.base, f)
+		if err != nil {
+			m.valid = false
+			m.torn = true
+			return err
+		}
+		m.base = out
+		m.gen = f.chain.gen
+	}
+	m.version = f.version
+	m.valid = true
+	m.torn = false
+	m.applied++
+	return nil
+}
+
+// Snapshot returns the live image and the version it reflects. The payload
+// is borrowed — valid until the next Apply — so callers restoring from it
+// must do so before releasing the stream. ok is false when the mirror
+// never completed a base or is torn.
+func (m *LiveMirror) Snapshot() (payload []byte, version int64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.valid {
+		return nil, 0, false
+	}
+	return m.base, m.version, true
+}
+
+// Applied returns the number of successfully applied frames.
+func (m *LiveMirror) Applied() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applied
+}
+
+// Torn reports whether the chain is currently broken (a fallback signal;
+// cleared by the next full base).
+func (m *LiveMirror) Torn() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.torn
+}

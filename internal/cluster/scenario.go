@@ -83,6 +83,12 @@ const (
 	// that exercises the fault-aware collective path (prompt
 	// ErrConnBroken instead of a hung round).
 	DuringCollective
+	// DuringShadowApply fires when the HOT SHADOW of the victim logical
+	// rank applies a mirror frame of version Trigger.Version or newer —
+	// the fault lands on the shadow itself, mid-mirror, so a subsequent
+	// primary death finds its shadow consumed. Event.Logical names the
+	// shadowed primary; the reporting rank (the shadow) is what gets hit.
+	DuringShadowApply
 )
 
 func (k TriggerKind) String() string {
@@ -95,6 +101,8 @@ func (k TriggerKind) String() string {
 		return "during-recovery"
 	case DuringCollective:
 		return "during-collective"
+	case DuringShadowApply:
+		return "during-shadow-apply"
 	default:
 		return fmt.Sprintf("trigger(%d)", int(k))
 	}
@@ -124,6 +132,8 @@ func (t Trigger) String() string {
 		return fmt.Sprintf("during-recovery-epoch %d", t.Epoch)
 	case DuringCollective:
 		return fmt.Sprintf("during-collective %d", t.Count)
+	case DuringShadowApply:
+		return fmt.Sprintf("during-shadow-apply v>=%d", t.Version)
 	default:
 		return t.Kind.String()
 	}
@@ -314,6 +324,23 @@ func (inj *Injector) NoteFlush(rank gaspi.Rank, logical int, version int64) {
 	}
 	for _, e := range inj.take(func(e FaultEvent) bool {
 		return e.Trigger.Kind == DuringFlush && e.Logical == logical && version >= e.Trigger.Version
+	}) {
+		inj.fire(e, rank, true)
+	}
+}
+
+// NoteShadowFrame is the hot shadow's hook: the shadow of logical rank
+// `logical`, running on physical rank `rank`, just applied a mirror frame
+// of version `version`. Like NoteFlush it is a background hook — the
+// apply loop runs on the checkpoint-stream serve goroutine — so a matched
+// ProcExit degrades to an external kill of the reporting rank: the shadow
+// dies mid-mirror while its primary keeps computing.
+func (inj *Injector) NoteShadowFrame(rank gaspi.Rank, logical int, version int64) {
+	if inj == nil {
+		return
+	}
+	for _, e := range inj.take(func(e FaultEvent) bool {
+		return e.Trigger.Kind == DuringShadowApply && e.Logical == logical && version >= e.Trigger.Version
 	}) {
 		inj.fire(e, rank, true)
 	}

@@ -120,6 +120,31 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 50
 	}
+	// Clamp the hot-shadow replication degrees to the spares actually
+	// available for shadowing: the FD-redundancy standby (the highest
+	// spare) is never a shadow, and ft.ShadowOf derives the effective
+	// degree from this map — clamping here keeps detector, workers and
+	// spares agreeing on one mapping.
+	if len(c.FT.Replication) > 0 {
+		avail := c.Spares
+		if c.FDRedundancy {
+			avail--
+		}
+		if avail < 0 {
+			avail = 0
+		}
+		clamped := make(map[string]int, len(c.FT.Replication))
+		for fam, d := range c.FT.Replication {
+			if d > avail {
+				d = avail
+			}
+			if d < 0 {
+				d = 0
+			}
+			clamped[fam] = d
+		}
+		c.FT.Replication = clamped
+	}
 	return c
 }
 

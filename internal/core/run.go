@@ -76,7 +76,7 @@ func Main(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, r
 		}
 		logical := int(p.Rank()) - 1 - lay.Spares
 		w := ft.NewWorker(p, lay, cfg.FT, logical, cfg.EnableHC, rec)
-		return workerMain(cctx, cfg, lay, newApp, rec, w, nil)
+		return workerMain(cctx, cfg, lay, newApp, rec, w, nil, nil)
 	}
 }
 
@@ -111,14 +111,17 @@ func runDetector(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func()
 			return errors.New("core: FD joined the workers without an identity")
 		}
 		w := ft.AdoptIdentity(p, lay, cfg.FT, notice, logical, rec)
-		return workerMain(cctx, cfg, lay, newApp, rec, w, notice)
+		return workerMain(cctx, cfg, lay, newApp, rec, w, notice, nil)
 	}
 }
 
 // spareMain waits idle until the FD activates this spare as a rescue (or
 // the application completes). With FDRedundancy enabled, the highest spare
 // additionally stands by for the FD itself and takes over detection when
-// the FD dies — the paper's future-work redundancy approach.
+// the FD dies — the paper's future-work redundancy approach. With a
+// replication policy, the lowest spares instead run as hot shadows of the
+// first logical ranks, continuously applying their primary's mirrored
+// checkpoint stream into live memory so a takeover needs no restore phase.
 func spareMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder) error {
 	p := cctx.Proc
 	if cfg.EnableHC && cfg.FDRedundancy && p.Rank() == lay.StandbyRank() {
@@ -133,8 +136,20 @@ func spareMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() A
 			return runDetector(cctx, cfg, lay, newApp, rec, d)
 		default: // StandbyActivated: proceed as an ordinary rescue
 			w := ft.AdoptIdentity(p, lay, cfg.FT, notice, logical, rec)
-			return workerMain(cctx, cfg, lay, newApp, rec, w, notice)
+			return workerMain(cctx, cfg, lay, newApp, rec, w, notice, nil)
 		}
+	}
+	// Hot shadow: spare rank 1+L mirrors logical L. The mirror rides the
+	// async checkpoint stream, so shadowing is effective only under the
+	// same conditions the stream itself runs (async mode, one process per
+	// node); otherwise the spare idles like any other and replication
+	// silently degrades to the plain rescue path.
+	if deg := ft.ReplicationDegree(lay, cfg.FT); deg > 0 &&
+		cfg.EnableHC && cfg.FT.LocalizedRepair && cfg.EnableCP &&
+		cfg.CP.CheckpointMode == checkpoint.Async &&
+		p.NumProcs() == cctx.Cluster.NumNodes() &&
+		int(p.Rank()) >= 1 && int(p.Rank()) <= deg {
+		return shadowMain(cctx, cfg, lay, newApp, rec)
 	}
 	notice, logical, shutdown, err := ft.WaitActivation(p, lay, cfg.FT)
 	if err != nil {
@@ -144,7 +159,64 @@ func spareMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() A
 		return nil
 	}
 	w := ft.AdoptIdentity(p, lay, cfg.FT, notice, logical, rec)
-	return workerMain(cctx, cfg, lay, newApp, rec, w, notice)
+	return workerMain(cctx, cfg, lay, newApp, rec, w, notice, nil)
+}
+
+// shadowMain is the hot-shadow idle loop: receive the shadowed primary's
+// mirror frames over the checkpoint stream and apply them into a live,
+// plan-shaped image, so that on activation for that primary the worker
+// path can skip the restore phase entirely and resume at the mirrored
+// step. Activated for any OTHER logical (the detector consumed this
+// shadow as a plain spare), the mirror is discarded and the cold rescue
+// path runs unchanged.
+func shadowMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder) error {
+	p := cctx.Proc
+	primary := int(p.Rank()) - 1 // inverse of ft.ShadowOf
+	cps, err := ft.NewCPStream(p, cfg.CP.StreamBytes, cfg.CP.ChunkSize(), cfg.FT.CommTimeout)
+	if err != nil {
+		return err
+	}
+	mirror := checkpoint.NewLiveMirror()
+	inj := cctx.Cluster.Injector()
+	apply := func(key string, blob []byte) error {
+		// A torn or corrupt frame is acked anyway (dropping the ack would
+		// stall the primary's compute loop for the full push timeout); the
+		// mirror marks itself torn and self-heals at the next full base.
+		if aerr := mirror.Apply(blob); aerr != nil {
+			rec.Inc(trace.KFTShadowTornTails, 1)
+			return nil
+		}
+		rec.Inc(trace.KFTShadowAppliedFrames, 1)
+		if inj != nil {
+			if _, v, ok := mirror.Snapshot(); ok {
+				inj.NoteShadowFrame(p.Rank(), primary, v)
+			}
+		}
+		return nil
+	}
+	go cps.Serve(apply)
+	notice, logical, shutdown, werr := ft.WaitActivation(p, lay, cfg.FT)
+	cps.Stop()
+	if werr != nil {
+		return werr
+	}
+	if shutdown {
+		return nil
+	}
+	// The primary may have died between committing its last frame and this
+	// shadow's applier serving it; fold that tail in before judging the
+	// mirror, then free the stream segment for the worker path's own
+	// stream.
+	cps.DrainPending(apply)
+	_ = p.SegmentDelete(ft.SegCP)
+	w := ft.AdoptIdentity(p, lay, cfg.FT, notice, logical, rec)
+	var fo *failoverState
+	if logical == primary && !mirror.Torn() {
+		if payload, version, ok := mirror.Snapshot(); ok {
+			fo = &failoverState{version: version, payload: payload}
+		}
+	}
+	return workerMain(cctx, cfg, lay, newApp, rec, w, notice, fo)
 }
 
 // workerMain is the worker flow. For a rescue process (activation non-nil)
@@ -155,7 +227,7 @@ func spareMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() A
 // shutdown signal before returning: the job is lost, and without the
 // broadcast the FD and the idle spares would wait forever — the role a
 // batch system's job teardown plays on a real cluster.
-func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder, w *ft.Worker, activation *ft.Notice) (err error) {
+func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() App, rec *trace.Recorder, w *ft.Worker, activation *ft.Notice, fo *failoverState) (err error) {
 	p := cctx.Proc
 	defer func() {
 		if err != nil {
@@ -190,7 +262,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		// cannot name ft's states.
 		w.Machine().SetObserver(func(tr ft.Transition) {
 			entry := tr.To == ft.StateAcked || tr.To == ft.StateGroupRebuild ||
-				tr.To == ft.StateLocalizedRepair
+				tr.To == ft.StateLocalizedRepair || tr.To == ft.StateFailover
 			inj.NoteRecovery(p.Rank(), ctx.Logical, tr.Epoch, entry)
 		})
 		// During-collective triggers observe every collective the worker
@@ -245,7 +317,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		if err := app.Init(ctx, true); err != nil {
 			return fmt.Errorf("core: rescue init (logical %d): %w", ctx.Logical, err)
 		}
-		it, err := recoverAndReload(ctx, app, activation)
+		it, err := recoverAndReload(ctx, app, activation, fo)
 		if err != nil {
 			return err
 		}
@@ -275,13 +347,28 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 			if !errors.As(serr, &fde) {
 				return serr
 			}
-			it, rerr := recoverAndReload(ctx, app, fde.Notice)
+			it, rerr := recoverAndReload(ctx, app, fde.Notice, nil)
 			if rerr != nil {
 				return rerr
 			}
 			iter = it
 			lastCP = it
 		}
+	}
+
+	// Shadowed primaries mirror their state to the hot shadow after every
+	// completed iteration: one delta frame over the checkpoint stream,
+	// ack-blocked, so on return the shadow's live image includes it. The
+	// shadow that took over its own rank has no shadow of its own anymore.
+	var mirrorEnc *checkpoint.MirrorEncoder
+	var mirrorTo ft.Rank
+	var mirrorKey string
+	mirrorFails := 0
+	if shadow, ok := ft.ShadowOf(lay, cfg.FT, ctx.Logical); ok &&
+		w.CPStream() != nil && p.Rank() != shadow {
+		mirrorEnc = checkpoint.NewMirrorEncoder(cfg.CP.ChunkSize(), cfg.CP.FullEvery)
+		mirrorTo = shadow
+		mirrorKey = "mirror/" + cfg.StateName
 	}
 
 	maxIterSeen := iter
@@ -319,6 +406,9 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		phase := trace.PhaseCompute
 		if iter < maxIterSeen {
 			phase = trace.PhaseRedoWork
+			// Recomputed iterations after a recovery. The hot-shadow
+			// failover path's acceptance criterion is that this stays zero.
+			rec.Inc(trace.KCoreRedoIters, 1)
 		}
 		stop := rec.Start(phase)
 		err := app.Step(ctx, iter)
@@ -335,7 +425,7 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 			if !errors.As(err, &fde) {
 				return fmt.Errorf("core: step %d (logical %d): %w", iter, ctx.Logical, err)
 			}
-			it, rerr := recoverAndReload(ctx, app, fde.Notice)
+			it, rerr := recoverAndReload(ctx, app, fde.Notice, nil)
 			if rerr != nil {
 				return rerr
 			}
@@ -346,6 +436,29 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 		iter++
 		if iter > maxIterSeen {
 			maxIterSeen = iter
+		}
+		if mirrorEnc != nil {
+			pushed, err := pushMirror(ctx, app, w, mirrorEnc, mirrorTo, mirrorKey, iter)
+			switch {
+			case err != nil:
+				// The shadow is gone (consumed as a rescue, or named dead
+				// by a notice): stop mirroring for good.
+				mirrorEnc = nil
+			case !pushed:
+				// Unexplained push failure: the board never names a dead
+				// spare ("a dead spare only shrinks the pool"), so a dead
+				// shadow looks exactly like a transient. Each failed push
+				// costs an ack-wait timeout inline in the iteration loop;
+				// retrying forever would throttle this rank until its
+				// collective partners hit their stall limit. Tolerate a
+				// short burst, then retire the mirror — degraded to the
+				// checkpoint ladder, but computing at full speed.
+				if mirrorFails++; mirrorFails >= maxMirrorPushFails {
+					mirrorEnc = nil
+				}
+			default:
+				mirrorFails = 0
+			}
 		}
 	}
 
@@ -377,24 +490,37 @@ func workerMain(cctx *cluster.ProcCtx, cfg Config, lay ft.Layout, newApp func() 
 	return nil
 }
 
+// failoverState is a hot shadow's pending mirror adoption, threaded into
+// the recovery reload: the mirrored application image and the logical step
+// it reflects. It is nil on every rank except a freshly activated shadow
+// taking over the rank it mirrored, and stays pending across compound
+// epoch restarts until the mirror is either adopted (failover agreement
+// succeeds) or superseded by a checkpoint restore.
+type failoverState struct {
+	version int64
+	payload []byte
+}
+
 // recoverAndReload drives the recovery epoch state machine to completion:
 // group reconstruction (Worker.Recover: Acked → GroupRebuild), data
-// re-initialization (reload, in StateRestore), and Resume. A FURTHER
-// failure acknowledged during the restore phase — the compound-fault case
-// the state machine exists for — restarts the epoch with the fresher
-// notice instead of aborting the job: the machine's Ack from StateRestore
-// re-enters Acked, and the loop rebuilds against the newer group view.
-// It returns the iteration to resume from.
+// re-initialization (reload, in StateRestore — or failoverReload, in
+// StateFailover when the victim's hot shadow took over), and Resume. A
+// FURTHER failure acknowledged during the restore phase — the
+// compound-fault case the state machine exists for — restarts the epoch
+// with the fresher notice instead of aborting the job: the machine's Ack
+// from StateRestore re-enters Acked, and the loop rebuilds against the
+// newer group view. It returns the iteration to resume from.
 //
 // Alongside the state machine's own phase accounting (ft.phase.*), the
 // wall time of the complete recovery is decomposed into core.ttr.* trace
 // counters (rebuild = group reconstruction, restore = data
-// re-initialization, resume = the machine's epoch completion, total =
-// everything from the acknowledged notice to the worker re-entering the
-// loop) — the per-phase time-to-recover breakdown the recovery benchmark
-// trajectory tracks. Fault detection itself (OHF1) is recorded upstream
-// as ft.phase.detect_ns the moment the acknowledgment arrives.
-func recoverAndReload(ctx *Ctx, app App, n *ft.Notice) (int64, error) {
+// re-initialization, failover = the shadow agreement + mirror adoption,
+// resume = the machine's epoch completion, total = everything from the
+// acknowledged notice to the worker re-entering the loop) — the per-phase
+// time-to-recover breakdown the recovery benchmark trajectory tracks.
+// Fault detection itself (OHF1) is recorded upstream as
+// ft.phase.detect_ns the moment the acknowledgment arrives.
+func recoverAndReload(ctx *Ctx, app App, n *ft.Notice, fo *failoverState) (int64, error) {
 	w := ctx.Worker
 	start := time.Now()
 	t0 := start
@@ -404,9 +530,17 @@ func recoverAndReload(ctx *Ctx, app App, n *ft.Notice) (int64, error) {
 		}
 		ctx.Rec.Inc(trace.KCoreTTRRebuildNS, int64(time.Since(t0)))
 		t1 := time.Now()
-		it, err := reload(ctx, app)
-		if err == nil {
+		var it int64
+		var err error
+		if w.Machine().State() == ft.StateFailover {
+			// failoverReload does its own fine-grained ttr accounting
+			// (rebuild vs failover vs fallback-restore).
+			it, err = failoverReload(ctx, app, fo)
+		} else {
+			it, err = reload(ctx, app)
 			ctx.Rec.Inc(trace.KCoreTTRRestoreNS, int64(time.Since(t1)))
+		}
+		if err == nil {
 			t2 := time.Now()
 			err = w.Machine().Resume()
 			ctx.Rec.Inc(trace.KCoreTTRResumeNS, int64(time.Since(t2)))
@@ -417,11 +551,128 @@ func recoverAndReload(ctx *Ctx, app App, n *ft.Notice) (int64, error) {
 		if !errors.As(err, &fde) {
 			return 0, err
 		}
-		ctx.Rec.Inc(trace.KCoreTTRRestoreNS, int64(time.Since(t1)))
 		ctx.Rec.Inc(trace.KCoreRecoveryRestarts, 1)
 		n = fde.Notice
 		t0 = time.Now()
 	}
+}
+
+// failoverReload is the zero-restore path: the victim's hot shadow has
+// adopted the rank carrying a live mirror of its state, so nobody needs
+// the checkpoint store. After the shared communication rebuild, one
+// agreement collective settles whether the takeover is sound: every
+// member contributes its candidate resume step — survivors their live
+// iteration, the shadow its mirror version, anyone without trustworthy
+// live state -1 — folded as [cand, -cand] under a min-reduce, which
+// yields the minimum and (negated) maximum in a single collective. All
+// candidates equal and non-negative: survivors keep their live state
+// untouched, the shadow installs the mirror locally, and the group
+// resumes at that step with zero recomputed iterations. A torn mirror, a
+// missing candidate, or divergence (a frame lost in the victim's final
+// push window) makes every member take the identical fallback branch —
+// the decision reads only the allreduce result — through BeginRestore
+// into the ordinary checkpoint ladder.
+func failoverReload(ctx *Ctx, app App, fo *failoverState) (int64, error) {
+	w := ctx.Worker
+	stop := ctx.Rec.Start(trace.PhaseReinit)
+	stopped := false
+	end := func() {
+		if !stopped {
+			stopped = true
+			stop()
+		}
+	}
+	defer end()
+
+	if ctx.CP != nil {
+		ctx.CP.SetWorkerNodes(workerNodes(ctx.Cluster.Cluster, w.RankMap().Snapshot()))
+	}
+	// The communication rebuild is shared with every recovery mode;
+	// account it with the rebuild phase so ttr.failover isolates what the
+	// shadow path adds.
+	tb := time.Now()
+	if err := app.Rebuild(ctx); err != nil {
+		return 0, err
+	}
+	installHaloPartners(ctx, app)
+	ctx.Rec.Inc(trace.KCoreTTRRebuildNS, int64(time.Since(tb)))
+
+	tf := time.Now()
+	cand := noCheckpoint
+	if fo != nil {
+		cand = fo.version
+	} else if li, ok := app.(interface{ LiveIteration(*Ctx) (int64, bool) }); ok {
+		if v, valid := li.LiveIteration(ctx); valid {
+			cand = v
+		}
+	}
+	agreed, err := w.AllreduceI64([]int64{cand, -cand}, gaspi.OpMin)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := agreed[0], -agreed[1]
+	if lo < 0 || lo != hi {
+		end()
+		ctx.Rec.Inc(trace.KFTShadowFallbacks, 1)
+		if err := w.Machine().BeginRestore(); err != nil {
+			return 0, err
+		}
+		tr := time.Now()
+		it, err := reload(ctx, app)
+		ctx.Rec.Inc(trace.KCoreTTRRestoreNS, int64(time.Since(tr)))
+		return it, err
+	}
+	if fo != nil {
+		if err := app.Restore(ctx, fo.payload, lo); err != nil {
+			return 0, err
+		}
+		ctx.Rec.Inc(trace.KFTShadowFailovers, 1)
+		ctx.Rec.Event(trace.KEvShadowTakeover)
+	}
+	ctx.Rec.Inc(trace.KCoreTTRFailoverNS, int64(time.Since(tf)))
+	return lo, nil
+}
+
+// maxMirrorPushFails is how many consecutive unexplained mirror-push
+// failures a primary tolerates before retiring its encoder. A dead
+// shadow is indistinguishable from a slow one here (the board never
+// names dead spares), so the cap bounds the inline ack-timeout cost at
+// a couple of intervals instead of throttling the rank for the rest of
+// the run.
+const maxMirrorPushFails = 2
+
+// pushMirror streams one end-of-iteration state frame to the hot shadow.
+// iter is the iteration about to start — the step the shadow would resume
+// at, and the mirror version by the same convention the checkpoint store
+// uses. pushed reports whether the frame landed (on a failure the encoder
+// is rebased so the next frame is a full base); a non-nil err means the
+// shadow is known-gone (consumed as a rescue, or named dead by a notice)
+// and the caller must retire the encoder immediately.
+func pushMirror(ctx *Ctx, app App, w *ft.Worker, enc *checkpoint.MirrorEncoder, to ft.Rank, key string, iter int64) (pushed bool, err error) {
+	payload, err := app.Checkpoint(ctx)
+	if err != nil {
+		// Serialization failure is app-fatal elsewhere; for the mirror it
+		// only means this frame is skipped — rebase so the chain restarts.
+		enc.Rebase()
+		return true, nil
+	}
+	blob, kind := enc.EncodeNext(ctx.Logical, iter, payload)
+	fkind := ft.CPFrameFull
+	if kind == checkpoint.KindDelta {
+		fkind = ft.CPFrameDelta
+	}
+	if perr := w.CPStream().PushTyped(to, key, blob, fkind); perr != nil {
+		// The fabric may still reference the frame buffer after a timeout;
+		// hand it to the GC rather than reusing it.
+		enc.Abandon()
+		enc.Rebase()
+		if n := w.Machine().Notice(); n != nil &&
+			int(to) < len(n.Status) && n.Status[to] != ft.StatusIdle {
+			return false, perr
+		}
+		return false, nil
+	}
+	return true, nil
 }
 
 // reload is the data re-initialization step (OHF3): refresh the

@@ -371,17 +371,50 @@ type TTRRow struct {
 	// path's replacement for the global rebuild phase; zero on the
 	// global-recommit arm).
 	LocalizedMs float64 `json:"localized_ms,omitempty"`
-	RestoreMs   float64 `json:"restore_ms"`
-	TTRMs       float64 `json:"ttr_ms"`
+	// FailoverMs is the hot-shadow takeover phase time (mirror agreement
+	// plus the shadow's local install; replaces the restore phase on the
+	// failover arm, zero elsewhere).
+	FailoverMs float64 `json:"failover_ms,omitempty"`
+	RestoreMs  float64 `json:"restore_ms"`
+	TTRMs      float64 `json:"ttr_ms"`
+	// ItersLost is the number of iterations re-executed after the
+	// recovery, summed across ranks (the failover arm requires zero).
+	ItersLost int64 `json:"iters_lost"`
 	// Restores by replica source (local/neighbor/remote/pfs).
 	RestoreSources string `json:"restore_sources"`
 }
 
+// TTRMode selects the repair/restore path of the time-to-recover arm.
+type TTRMode int
+
+// TTR arm modes.
+const (
+	// TTRGlobal: collective group recommit + checkpoint restore.
+	TTRGlobal TTRMode = iota
+	// TTRLocalized: O(degree) localized repair + checkpoint restore.
+	TTRLocalized
+	// TTRFailover: localized repair + hot-shadow takeover — no restore
+	// phase, no recomputed iterations.
+	TTRFailover
+)
+
 // RunTTRBench runs the kill-mid-iteration scenario under the delta engine
-// and decomposes its time-to-recover. With localized set the repair runs
-// the non-collective O(degree) path (survivors outside the repair set
-// keep computing); otherwise the global recommit.
+// and decomposes its time-to-recover; kept for the two original arms.
 func RunTTRBench(c RecoveryBenchConfig, localized bool) (TTRRow, error) {
+	mode := TTRGlobal
+	if localized {
+		mode = TTRLocalized
+	}
+	return RunTTRBenchMode(c, mode)
+}
+
+// RunTTRBenchMode runs one time-to-recover arm: the scenario engine's
+// mid-iteration kill -9 of logical 1 with the delta engine enabled, under
+// the selected repair/restore path. The localized arm must charge the
+// localized phase; the failover arm must complete a zero-restore takeover
+// (failover phase charged, restore phase under a millisecond, and not a
+// single iteration recomputed anywhere in the group).
+func RunTTRBenchMode(c RecoveryBenchConfig, mode TTRMode) (TTRRow, error) {
 	sc := ScenarioMatrixConfig{Seed: 7}.WithDefaults()
 	gen := matrix.DefaultGraphene(sc.Nx, sc.Ny, uint64(sc.Seed))
 	ref, err := lanczos.SerialLowestEigs(gen, sc.Iters, 2, uint64(sc.Seed))
@@ -390,16 +423,23 @@ func RunTTRBench(c RecoveryBenchConfig, localized bool) (TTRRow, error) {
 	}
 	mid := 2*sc.CheckpointEvery + sc.CheckpointEvery/2
 	name := "kill -9 mid-iteration, delta engine, global recommit"
-	if localized {
+	switch mode {
+	case TTRLocalized:
 		name = "kill -9 mid-iteration, delta engine, localized repair"
+	case TTRFailover:
+		name = "kill -9 mid-iteration, delta engine, hot shadow failover"
 	}
 	spec := ScenarioSpec{
 		Scenario: cluster.Scenario{Name: name,
 			Events: []cluster.FaultEvent{{Kind: cluster.ProcKill, Logical: 1,
 				Trigger: cluster.Trigger{Kind: cluster.AtIteration, Iter: mid}}}},
 		Spares: 2, Async: true, FullEvery: c.WithDefaults().FullEvery,
-		Localized: localized,
+		Localized: mode != TTRGlobal,
 		Expect:    OutcomeRecovered,
+	}
+	if mode == TTRFailover {
+		spec.Replication = 2
+		spec.WantZeroRedo = true
 	}
 	res := RunScenario(sc, gen, spec, ref[0])
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
@@ -411,8 +451,10 @@ func RunTTRBench(c RecoveryBenchConfig, localized bool) (TTRRow, error) {
 		AckMs:       ms(res.AckNS),
 		RebuildMs:   ms(res.RebuildNS),
 		LocalizedMs: ms(res.LocalizedNS),
+		FailoverMs:  ms(res.FailoverNS),
 		RestoreMs:   ms(res.RestoreNS),
 		TTRMs:       ms(int64(res.TTR())),
+		ItersLost:   res.RedoIters,
 		RestoreSources: fmt.Sprintf("%d/%d/%d/%d",
 			res.RestoreLocal, res.RestoreNeighbor, res.RestoreRemote, res.RestorePFS),
 	}
@@ -420,8 +462,22 @@ func RunTTRBench(c RecoveryBenchConfig, localized bool) (TTRRow, error) {
 		return row, fmt.Errorf("recovery bench: scenario %q ended %v (want %v): %s",
 			spec.Scenario.Name, res.Outcome, spec.Expect, res.Detail)
 	}
-	if localized && res.LocalizedNS == 0 {
+	if mode != TTRGlobal && res.LocalizedNS == 0 {
 		return row, fmt.Errorf("recovery bench: scenario %q never charged the localized phase", spec.Scenario.Name)
+	}
+	if mode == TTRFailover {
+		if res.ShadowFailovers == 0 || res.FailoverNS == 0 {
+			return row, fmt.Errorf("recovery bench: scenario %q never completed a hot-shadow takeover (failovers %d, fallbacks %d)",
+				spec.Scenario.Name, res.ShadowFailovers, res.ShadowFallbacks)
+		}
+		if row.RestoreMs >= 1 {
+			return row, fmt.Errorf("recovery bench: scenario %q restore phase %.3f ms, want < 1 ms on the failover path",
+				spec.Scenario.Name, row.RestoreMs)
+		}
+		if row.ItersLost != 0 {
+			return row, fmt.Errorf("recovery bench: scenario %q recomputed %d iteration(s), want zero on the failover path",
+				spec.Scenario.Name, row.ItersLost)
+		}
 	}
 	return row, nil
 }

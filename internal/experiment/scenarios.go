@@ -86,11 +86,19 @@ type ScenarioSpec struct {
 	// Localized enables the non-collective O(degree) group repair
 	// (ft.Config.LocalizedRepair) for this row.
 	Localized bool
+	// Replication assigns hot shadows to the first k logical ranks (the
+	// ft.Config.Replication degree for the state family). Requires
+	// Localized and Async (the mirror rides the checkpoint stream).
+	Replication int
 	// Expect is the required outcome.
 	Expect ScenarioOutcome
 	// WantPFSRestore additionally requires at least one restore served
 	// from the PFS (the double-node-loss fallback proof).
 	WantPFSRestore bool
+	// WantZeroRedo additionally requires that no iteration was
+	// re-executed after recovery — the hot-shadow failover acceptance
+	// criterion (iters_lost == 0).
+	WantZeroRedo bool
 }
 
 // ScenarioMatrixConfig parameterizes a matrix run. Timing is NOT taken
@@ -145,7 +153,7 @@ func (c ScenarioMatrixConfig) WithDefaults() ScenarioMatrixConfig {
 	if c.Seed == 0 {
 		c.Seed = 7
 	}
-	if c.FT == (ft.Config{}) {
+	if c.FT.ScanInterval == 0 && c.FT.PingTimeout == 0 && c.FT.CommTimeout == 0 {
 		c.FT = ft.Config{
 			ScanInterval: 5 * time.Millisecond,
 			PingTimeout:  10 * time.Millisecond,
@@ -274,6 +282,17 @@ func (c ScenarioMatrixConfig) Specs() []ScenarioSpec {
 			Spares: 2, Localized: true, Expect: OutcomeRecovered,
 		},
 		{
+			// Hot shadow failover: logical 1 carries a shadow (Replication
+			// 2 covers logicals 0 and 1) continuously applying its mirror
+			// stream. The kill must route through the localized repair into
+			// the zero-restore takeover — recovered with not a single
+			// iteration recomputed anywhere in the group.
+			Scenario: cluster.Scenario{Name: "kill shadowed primary",
+				Events: []cluster.FaultEvent{at(cluster.ProcKill, 1, mid)}},
+			Spares: 2, Async: true, FullEvery: 4, Localized: true,
+			Replication: 2, Expect: OutcomeRecovered, WantZeroRedo: true,
+		},
+		{
 			// Three simultaneous kills against one spare (plus the FD
 			// joining): restriction 1 — must abort crisply, never hang.
 			Scenario: cluster.Scenario{Name: "spares exhausted",
@@ -300,13 +319,23 @@ type ScenarioResult struct {
 	// DetectNS is the worst-case fault-detection time (OHF1): a worker
 	// first stalling on the failure to the acknowledgment arriving.
 	DetectNS int64
-	// AckNS/RebuildNS/LocalizedNS/RestoreNS decompose recovery time by
-	// machine phase (max across ranks — the critical path). LocalizedNS is
-	// the localized path's replacement for the rebuild phase; at most one
-	// of the two is non-zero per epoch on a given rank.
-	AckNS, RebuildNS, LocalizedNS, RestoreNS int64
+	// AckNS/RebuildNS/LocalizedNS/FailoverNS/RestoreNS decompose recovery
+	// time by machine phase (max across ranks — the critical path).
+	// LocalizedNS is the localized path's replacement for the rebuild
+	// phase; FailoverNS is the hot-shadow takeover phase that replaces the
+	// restore phase; at most one of each pair is non-zero per epoch on a
+	// given rank.
+	AckNS, RebuildNS, LocalizedNS, FailoverNS, RestoreNS int64
 	// Restores by replica source, summed across ranks.
 	RestoreLocal, RestoreNeighbor, RestoreRemote, RestorePFS int64
+	// RedoIters is the total number of iterations re-executed after
+	// recoveries, summed across ranks (zero on a clean hot-shadow
+	// failover).
+	RedoIters int64
+	// ShadowFailovers/ShadowFallbacks count completed zero-restore
+	// takeovers and failover epochs that fell back to the checkpoint
+	// ladder, summed across ranks.
+	ShadowFailovers, ShadowFallbacks int64
 	// TTRNS is the scenario's time-to-recover: the per-rank sum of the
 	// detect/ack/rebuild/restore phases, maximized over ranks — the
 	// worst rank's total recovery time (cumulative over epochs when a
@@ -339,6 +368,9 @@ func (r ScenarioResult) Ok() bool {
 		return false
 	}
 	if r.Spec.WantPFSRestore && r.RestorePFS == 0 {
+		return false
+	}
+	if r.Spec.WantZeroRedo && (r.RedoIters != 0 || r.ShadowFailovers == 0) {
 		return false
 	}
 	return true
@@ -425,6 +457,9 @@ func RunScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 	}
 	ftCfg := c.FT
 	ftCfg.LocalizedRepair = spec.Localized
+	if spec.Replication > 0 {
+		ftCfg.Replication = map[string]int{"state": spec.Replication}
+	}
 	cfg := core.Config{
 		Spares:          spec.Spares,
 		FT:              ftCfg,
@@ -473,11 +508,15 @@ func RunScenario(c ScenarioMatrixConfig, gen matrix.Generator, spec ScenarioSpec
 	out.AckNS = sum.MaxCounter[ft.CounterAckNS]
 	out.RebuildNS = sum.MaxCounter[ft.CounterRebuildNS]
 	out.LocalizedNS = sum.MaxCounter[ft.CounterLocalizedNS]
+	out.FailoverNS = sum.MaxCounter[ft.CounterFailoverNS]
 	out.RestoreNS = sum.MaxCounter[ft.CounterRestoreNS]
+	out.RedoIters = sum.SumCounter[trace.KCoreRedoIters]
+	out.ShadowFailovers = sum.SumCounter[trace.KFTShadowFailovers]
+	out.ShadowFallbacks = sum.SumCounter[trace.KFTShadowFallbacks]
 	for _, r := range job.Recorders {
 		t := r.Counter(ft.CounterDetectNS) + r.Counter(ft.CounterAckNS) +
 			r.Counter(ft.CounterRebuildNS) + r.Counter(ft.CounterLocalizedNS) +
-			r.Counter(ft.CounterRestoreNS)
+			r.Counter(ft.CounterFailoverNS) + r.Counter(ft.CounterRestoreNS)
 		if t > out.TTRNS {
 			out.TTRNS = t
 		}
@@ -564,7 +603,8 @@ func (r *ScenarioMatrixResult) Render() string {
 			fmt.Sprintf("%.2f", row.Wall.Seconds()),
 			fmt.Sprintf("%d", row.Recoveries),
 			fmt.Sprintf("%d", row.EpochRestarts),
-			ms(row.DetectNS), ms(row.AckNS), ms(row.RebuildNS), ms(row.LocalizedNS), ms(row.RestoreNS),
+			ms(row.DetectNS), ms(row.AckNS), ms(row.RebuildNS), ms(row.LocalizedNS),
+			ms(row.FailoverNS), ms(row.RestoreNS),
 			ms(int64(row.TTR())),
 			src,
 			row.Detail,
@@ -572,7 +612,7 @@ func (r *ScenarioMatrixResult) Render() string {
 	}
 	b.WriteString(trace.Table([]string{
 		"scenario", "outcome", "spec", "wall[s]", "recov", "restart",
-		"detect[ms]", "ack[ms]", "rebuild[ms]", "localized[ms]", "restore[ms]", "ttr[ms]", "src l/n/r/p", "detail"},
+		"detect[ms]", "ack[ms]", "rebuild[ms]", "localized[ms]", "failover[ms]", "restore[ms]", "ttr[ms]", "src l/n/r/p", "detail"},
 		rows))
 	return b.String()
 }

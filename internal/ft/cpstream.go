@@ -297,38 +297,70 @@ func (s *CPStream) Serve(store func(key string, blob []byte) error) {
 			if seq == 0 {
 				continue
 			}
-			hdr, err := s.p.SegmentCopyOut(SegCP, 0, cpFrameHeader)
-			if err != nil {
+			if !s.serveOne(seq, store) {
 				return
 			}
-			sender := gaspi.Rank(int32(binary.LittleEndian.Uint32(hdr[0:])))
-			keyLen := int(binary.LittleEndian.Uint32(hdr[4:]))
-			blobLen := int(binary.LittleEndian.Uint32(hdr[8:]))
-			kind := CPFrameKind(binary.LittleEndian.Uint32(hdr[12:]))
-			if keyLen <= 0 || blobLen < 0 || keyLen+blobLen > s.segSize {
-				continue // mangled frame (e.g. two transient senders): drop, no ack
-			}
-			body, err := s.p.SegmentCopyOut(SegCP, cpFrameHeader, keyLen+blobLen)
-			if err != nil {
-				return
-			}
-			key := string(body[:keyLen])
-			blob := body[keyLen:] // SegmentCopyOut already returned a private copy
-			if store(key, blob) != nil {
-				continue // corrupt frame: drop without ack, sender times out
-			}
-			s.statsMu.Lock()
-			if kind == CPFrameDelta {
-				s.stats.ServedDelta++
-			} else {
-				s.stats.ServedFull++
-			}
-			s.statsMu.Unlock()
-			if err := s.p.Notify(sender, SegCP, NotifCPAck, seq, CPAckQueue); err != nil {
-				continue
-			}
-			_ = s.p.WaitQueue(CPAckQueue, s.timeout) // best effort
 		}
+	})
+}
+
+// serveOne consumes the frame committed under seq out of the staging
+// segment: validate, hand to store, acknowledge. It returns false only on
+// a segment-level error (the process is going away); a mangled or
+// corrupt frame is dropped without an acknowledgment so the sender times
+// out rather than trusting a bad replica.
+func (s *CPStream) serveOne(seq int64, store func(key string, blob []byte) error) bool {
+	hdr, err := s.p.SegmentCopyOut(SegCP, 0, cpFrameHeader)
+	if err != nil {
+		return false
+	}
+	sender := gaspi.Rank(int32(binary.LittleEndian.Uint32(hdr[0:])))
+	keyLen := int(binary.LittleEndian.Uint32(hdr[4:]))
+	blobLen := int(binary.LittleEndian.Uint32(hdr[8:]))
+	kind := CPFrameKind(binary.LittleEndian.Uint32(hdr[12:]))
+	if keyLen <= 0 || blobLen < 0 || keyLen+blobLen > s.segSize {
+		return true // mangled frame (e.g. two transient senders): drop, no ack
+	}
+	body, err := s.p.SegmentCopyOut(SegCP, cpFrameHeader, keyLen+blobLen)
+	if err != nil {
+		return false
+	}
+	key := string(body[:keyLen])
+	blob := body[keyLen:] // SegmentCopyOut already returned a private copy
+	if store(key, blob) != nil {
+		return true // corrupt frame: drop without ack, sender times out
+	}
+	s.statsMu.Lock()
+	if kind == CPFrameDelta {
+		s.stats.ServedDelta++
+	} else {
+		s.stats.ServedFull++
+	}
+	s.statsMu.Unlock()
+	if err := s.p.Notify(sender, SegCP, NotifCPAck, seq, CPAckQueue); err != nil {
+		return true
+	}
+	_ = s.p.WaitQueue(CPAckQueue, s.timeout) // best effort
+	return true
+}
+
+// DrainPending consumes a frame that was committed into the segment but
+// not yet picked up by Serve — the shadow's takeover path calls it after
+// Stop: the primary's final push may have landed (commit notification set)
+// in the window between Serve's last poll and its exit, and that tail
+// frame is exactly the iteration the failover must not lose. Non-blocking:
+// when no commit is pending it returns immediately.
+func (s *CPStream) DrainPending(store func(key string, blob []byte) error) {
+	gaspi.Protect(func() {
+		v, err := s.p.NotifyPeek(SegCP, NotifCPCommit)
+		if err != nil || v == 0 {
+			return
+		}
+		seq, err := s.p.NotifyReset(SegCP, NotifCPCommit)
+		if err != nil || seq == 0 {
+			return
+		}
+		s.serveOne(seq, store)
 	})
 }
 

@@ -238,7 +238,7 @@ func (d *Detector) handleFailures(failed []Rank) *Notice {
 			continue // already replaced in this epoch
 		}
 		failedLogicals = append(failedLogicals, int32(logical))
-		if spare, ok := d.pickSpare(); ok {
+		if spare, ok := d.pickRescue(logical); ok {
 			d.status[spare] = StatusWorking
 			d.actPhys[logical] = spare
 		} else if !d.joined {
@@ -267,7 +267,28 @@ func (d *Detector) handleFailures(failed []Rank) *Notice {
 	}
 }
 
+// pickRescue selects the rescue rank for a failed logical. A victim whose
+// hot shadow is still idle gets that shadow — the rank already holding a
+// live mirror of its state, enabling the zero-restore failover. Everyone
+// else draws from the idle pool via pickSpare, which prefers non-shadow
+// spares so an unshadowed victim does not consume another primary's
+// shadow while a plain spare is available.
+func (d *Detector) pickRescue(logical int) (Rank, bool) {
+	if shadow, ok := ShadowOf(d.lay, d.cfg, logical); ok && d.status[shadow] == StatusIdle {
+		return shadow, true
+	}
+	return d.pickSpare()
+}
+
 func (d *Detector) pickSpare() (Rank, bool) {
+	degree := ReplicationDegree(d.lay, d.cfg)
+	for r := 0; r < d.lay.Procs; r++ {
+		// First pass: idle spares outside the shadow band (ranks 1..degree
+		// are some primary's shadow).
+		if d.status[r] == StatusIdle && (r < 1 || r > degree) {
+			return Rank(r), true
+		}
+	}
 	for r := 0; r < d.lay.Procs; r++ {
 		if d.status[r] == StatusIdle {
 			return Rank(r), true

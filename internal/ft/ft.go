@@ -218,6 +218,47 @@ type Config struct {
 	// losing one of its own members, which restarts the epoch with a fresh
 	// notice — fall back to the global recommit path on every rank alike.
 	LocalizedRepair bool
+	// Replication is the per-checkpoint-family hot-shadow policy: family
+	// name → replication degree. Degree d assigns the first d logical
+	// ranks a dedicated hot shadow (spare rank 1+logical) that
+	// continuously applies the primary's checkpoint-stream mirror frames
+	// into live memory, so a detector NACK for a shadowed primary is
+	// absorbed with no restore phase and no recomputed iterations
+	// (StateFailover). The effective degree is the maximum over all
+	// families and is capped by the number of spares; shadows consumed by
+	// a takeover (or assigned to other duties, like the FD-redundancy
+	// standby) do not return to the idle pool. Nil or empty disables
+	// shadowing. Requires LocalizedRepair: failover rides the localized
+	// path.
+	Replication map[string]int
+}
+
+// ReplicationDegree returns the effective shadow count: the maximum degree
+// over all families, clamped to the spare pool.
+func ReplicationDegree(lay Layout, cfg Config) int {
+	d := 0
+	for _, v := range cfg.Replication {
+		if v > d {
+			d = v
+		}
+	}
+	if d > lay.Spares {
+		d = lay.Spares
+	}
+	return d
+}
+
+// ShadowOf returns the spare rank acting as hot shadow for a logical
+// worker rank, if the replication policy assigns one. The mapping is a
+// pure function of layout and config — logical L shadows to spare rank
+// 1+L while L is within the effective replication degree — so the
+// detector, every worker and the shadow itself agree on it without
+// communication.
+func ShadowOf(lay Layout, cfg Config, logical int) (Rank, bool) {
+	if logical < 0 || logical >= ReplicationDegree(lay, cfg) {
+		return 0, false
+	}
+	return Rank(1 + logical), true
 }
 
 func (c Config) withDefaults() Config {

@@ -928,6 +928,73 @@ func TestStandbyPromotionSeedsFromLastNotice(t *testing.T) {
 	}
 }
 
+// TestPromoteStandbySelfEntrySurvivesNoticeSeed is the unit regression
+// for the promotion seeding order: the last notice records the standby
+// rank as the FD saw it — an idle spare — so a blanket status copy would
+// clobber the promoted detector's own entry, leaving a window where the
+// new detector is unmonitored and assignable as a rescue by its own
+// bookkeeping. The self entry must be re-armed before the seed is
+// applied and survive it.
+func TestPromoteStandbySelfEntrySurvivesNoticeSeed(t *testing.T) {
+	lay := Layout{Procs: 6, Spares: 2}
+	cfg := testFTCfg()
+	job := gaspi.Launch(testGaspiCfg(lay.Procs), func(p *gaspi.Proc) error {
+		if err := CreateBoard(p, lay); err != nil {
+			return err
+		}
+		self := p.Rank()
+		if self != lay.StandbyRank() {
+			// Park on the board until the standby signals shutdown; the
+			// old FD (rank 0) instead absorbs the enforcement kill.
+			for {
+				if v, err := p.NotifyPeek(SegBoard, NotifShutdown); err != nil || v != 0 {
+					return err
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		// The FD's last notice before dying: epoch 2, spare 1 already
+		// consumed rescuing logical 0 — and THIS rank recorded idle.
+		last := &Notice{
+			Epoch: 2,
+			Status: []ProcStatus{StatusDetector, StatusWorking, StatusIdle,
+				StatusFailed, StatusWorking, StatusWorking},
+			ActPhys: []Rank{1, 4, 5},
+		}
+		d := promoteStandby(p, lay, cfg, trace.NewRecorder(), last)
+		st := d.Status()
+		if st[self] != StatusDetector {
+			return fmt.Errorf("self entry clobbered by the notice seed: %v", st[self])
+		}
+		if st[0] != StatusFailed || !d.avoid[0] {
+			return fmt.Errorf("old FD not failed+avoided: %v avoid=%v", st[0], d.avoid[0])
+		}
+		if st[3] != StatusFailed || !d.avoid[3] {
+			return fmt.Errorf("seeded failure lost: %v", st[3])
+		}
+		if st[1] != StatusWorking || d.actPhys[0] != 1 {
+			return fmt.Errorf("earlier rescue lost: status %v actPhys %v", st[1], d.actPhys)
+		}
+		if d.Epoch() != 2 {
+			return fmt.Errorf("epoch = %d, want 2 (carried forward)", d.Epoch())
+		}
+		// The clobbered-entry failure mode: the promoted detector assigns
+		// ITSELF as a rescue. With every other spare consumed there must
+		// be nothing left to pick.
+		if r, ok := d.pickSpare(); ok {
+			return fmt.Errorf("promoted detector assignable as a rescue: pickSpare = %d", r)
+		}
+		return SignalShutdown(p, lay)
+	})
+	t.Cleanup(job.Close)
+	res := job.Shutdown()
+	for _, r := range res {
+		if r.Err != nil && r.Death == nil {
+			t.Fatalf("rank %d: %v", r.Rank, r.Err)
+		}
+	}
+}
+
 func TestWriteBoardsContent(t *testing.T) {
 	// The notice written by the FD must arrive intact on a healthy process
 	// and decode to the same content.

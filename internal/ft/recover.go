@@ -62,6 +62,7 @@ func (w *Worker) Recover(n *Notice) error {
 		}
 		w.rm.Set(n.ActPhys)
 		w.epoch = n.Epoch
+		w.commEpoch = n.Epoch
 		// Publish the membership view version. Usually a no-op after
 		// checkNotice, but it covers the rescue path (AdoptIdentity joins
 		// the epoch without ever passing through checkNotice).
@@ -161,6 +162,25 @@ func (w *Worker) useLocalized(n *Notice) bool {
 		!n.Unrecoverable && len(n.FailedLogicals) == 1
 }
 
+// useFailover reports whether a localized epoch is a hot-shadow failover:
+// the single victim had a shadow under the replication policy AND the
+// detector actually promoted that shadow as the rescue. Like useLocalized
+// it reads only the notice and static config, so every member derives the
+// same mode. A dead or already-consumed shadow shows up as a different
+// rescue rank in ActPhys and routes the epoch to the plain localized (or
+// global) ladder.
+func (w *Worker) useFailover(n *Notice) bool {
+	if !w.useLocalized(n) {
+		return false
+	}
+	victim := int(n.FailedLogicals[0])
+	if victim < 0 || victim >= len(n.ActPhys) {
+		return false
+	}
+	shadow, ok := ShadowOf(w.lay, w.cfg, victim)
+	return ok && n.ActPhys[victim] == shadow
+}
+
 // chainNeighbors returns the logical ranks of a victim's checkpoint-chain
 // neighbors — computable by every rank from the worker count alone, which
 // is what lets the hub know its join set without knowing the victim's
@@ -248,6 +268,13 @@ func (w *Worker) recoverLocalized(n *Notice, deadline time.Time) (*Notice, error
 	}
 	w.gid = newGid
 	w.rec.Inc(trace.KFTRecoveries, 1)
+	if w.useFailover(n) {
+		// The rescue is the victim's hot shadow: skip the restore phase and
+		// enter failover — the mirror-tail agreement and live-image adoption
+		// happen in the framework's reload step, which falls back to
+		// BeginRestore if the mirror turns out torn.
+		return nil, w.sm.BeginFailover()
+	}
 	return nil, w.sm.BeginRestore()
 }
 
@@ -395,6 +422,7 @@ func AdoptIdentity(p *gaspi.Proc, lay Layout, cfg Config, n *Notice, logical int
 	w := NewWorker(p, lay, cfg, logical, true, rec)
 	w.rm.Set(n.ActPhys)
 	w.epoch = n.Epoch - 1 // Recover applies epoch n
+	w.commEpoch = n.Epoch - 1
 	// The rescue never held the pre-failure group: point the group id at
 	// the previous epoch's id so Recover's delete is a harmless no-op.
 	w.gid = WorkerGroupID(n.Epoch - 1)

@@ -62,6 +62,14 @@ const (
 	// original states keep their values; Ack and BeginRestore treat it
 	// exactly like GroupRebuild.
 	StateLocalizedRepair
+	// StateFailover: the hot-shadow replacement for Restore — the victim's
+	// shadow already holds a live mirror of its state, so after the
+	// localized repair handshake the members agree on the mirror's sealed
+	// step and resume there with no restore phase and no recomputed
+	// iterations. Entered only from LocalizedRepair; a torn mirror or a
+	// disagreement falls back through BeginRestore, and a further failure
+	// mid-failover restarts the epoch like any other in-flight phase.
+	StateFailover
 )
 
 func (s RecoveryState) String() string {
@@ -78,6 +86,8 @@ func (s RecoveryState) String() string {
 		return "Resume"
 	case StateLocalizedRepair:
 		return "LocalizedRepair"
+	case StateFailover:
+		return "Failover"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -114,6 +124,10 @@ const (
 	// their local adopt-commit here (microseconds); repair-set members
 	// additionally charge the O(degree) handshake.
 	CounterLocalizedNS = trace.KFTPhaseLocalizedNS
+	// CounterFailoverNS is time spent in Failover — the hot-shadow
+	// replacement for the restore phase: mirror-tail agreement plus the
+	// shadow's local adoption of its live image.
+	CounterFailoverNS = trace.KFTPhaseFailoverNS
 	// CounterRestoreNS is time spent in Restore (OHF3).
 	CounterRestoreNS = trace.KFTPhaseRestoreNS
 	// CounterEpochs counts completed recovery epochs (Resume reached).
@@ -196,6 +210,8 @@ func phaseCounter(s RecoveryState) string {
 		return CounterRebuildNS
 	case StateLocalizedRepair:
 		return CounterLocalizedNS
+	case StateFailover:
+		return CounterFailoverNS
 	case StateRestore:
 		return CounterRestoreNS
 	default:
@@ -243,7 +259,7 @@ func (m *RecoveryMachine) Ack(n *Notice) error {
 		return nil
 	}
 	switch m.state {
-	case StateGroupRebuild, StateLocalizedRepair, StateRestore:
+	case StateGroupRebuild, StateLocalizedRepair, StateFailover, StateRestore:
 		m.rec.Inc(CounterEpochRestarts, 1)
 	case StateHealthy, StateAcked:
 		// Fresh failure, or a newer notice superseding a pending one.
@@ -272,14 +288,23 @@ func (m *RecoveryMachine) BeginLocalizedRepair() error {
 	return m.step(StateAcked, StateLocalizedRepair)
 }
 
+// BeginFailover enters the hot-shadow failover phase. Legal only from
+// LocalizedRepair: failover rides the localized repair path (the shadow
+// was adopt-committed as the victim's replacement), replacing the restore
+// phase that would normally follow.
+func (m *RecoveryMachine) BeginFailover() error {
+	return m.step(StateLocalizedRepair, StateFailover)
+}
+
 // BeginRestore enters data re-initialization (OHF3). Legal from
-// GroupRebuild (global recommit) or LocalizedRepair (localized path).
+// GroupRebuild (global recommit), LocalizedRepair (localized path) or
+// Failover (torn-mirror / disagreement fallback to the global ladder).
 func (m *RecoveryMachine) BeginRestore() error {
 	m.mu.Lock()
-	if m.state != StateGroupRebuild && m.state != StateLocalizedRepair {
+	if m.state != StateGroupRebuild && m.state != StateLocalizedRepair && m.state != StateFailover {
 		defer m.mu.Unlock()
-		return fmt.Errorf("ft: recovery transition to %v from %v (want %v or %v)",
-			StateRestore, m.state, StateGroupRebuild, StateLocalizedRepair)
+		return fmt.Errorf("ft: recovery transition to %v from %v (want %v, %v or %v)",
+			StateRestore, m.state, StateGroupRebuild, StateLocalizedRepair, StateFailover)
 	}
 	tr := m.move(StateRestore)
 	obs := m.observer
@@ -288,13 +313,14 @@ func (m *RecoveryMachine) BeginRestore() error {
 	return nil
 }
 
-// Resume completes the epoch: from Restore (the worker path) or directly
-// from Acked (participants with nothing to rebuild: the FD after
-// broadcasting the acknowledgment, a worker absorbing a spare-only
-// death). The machine passes through Resume back to Healthy.
+// Resume completes the epoch: from Restore (the worker path), Failover
+// (the hot-shadow path, which has no restore phase) or directly from
+// Acked (participants with nothing to rebuild: the FD after broadcasting
+// the acknowledgment, a worker absorbing a spare-only death). The machine
+// passes through Resume back to Healthy.
 func (m *RecoveryMachine) Resume() error {
 	m.mu.Lock()
-	if m.state != StateRestore && m.state != StateAcked {
+	if m.state != StateRestore && m.state != StateAcked && m.state != StateFailover {
 		defer m.mu.Unlock()
 		return fmt.Errorf("ft: recovery resume from %v", m.state)
 	}

@@ -94,22 +94,34 @@ func WaitStandby(p *gaspi.Proc, lay Layout, cfg Config, rec *trace.Recorder) (St
 // promoteStandby builds a Detector on the standby process, seeded from the
 // last notice (or the initial layout when no failure ever happened), with
 // the old FD marked failed and enforced dead.
+//
+// Order matters: the promoted rank re-arms its own detector entry BEFORE
+// the seed from the last notice is applied, entry by entry, skipping
+// itself. The notice records this rank as the FD saw it — StatusIdle — so
+// a blanket copy would clobber the self entry and leave the new detector
+// believing its own rank is an idle spare until some later write fixed it
+// up: a window where the freshly promoted detector is unmonitored and
+// assignable as a rescue by its own bookkeeping.
 func promoteStandby(p *gaspi.Proc, lay Layout, cfg Config, rec *trace.Recorder, last *Notice) *Detector {
 	d := NewDetector(p, lay, cfg, rec)
+	self := p.Rank()
+	d.status[self] = StatusDetector
 	if last != nil {
-		copy(d.status, last.Status)
-		copy(d.actPhys, last.ActPhys)
-		d.epoch = last.Epoch
 		for r, s := range last.Status {
+			if Rank(r) == self {
+				continue // the self entry is already re-armed above
+			}
+			d.status[r] = s
 			if s == StatusFailed {
 				d.avoid[r] = true
 			}
 		}
+		copy(d.actPhys, last.ActPhys)
+		d.epoch = last.Epoch
 	}
 	// The old FD is gone; this process is the detector now.
 	d.status[0] = StatusFailed
 	d.avoid[0] = true
-	d.status[p.Rank()] = StatusDetector
 	_ = p.ProcKill(0, gaspi.Block) // enforce, in case it was a false positive
 	return d
 }

@@ -49,6 +49,17 @@ type Worker struct {
 	epoch   uint64
 	hc      bool
 
+	// commEpoch tags application communication (the halo notification
+	// protocol reads it through Epoch()). Unlike epoch — the board-notice
+	// ordering counter, which absorbed spare-death notices advance on each
+	// rank whenever it happens to poll — commEpoch moves ONLY through
+	// Recover's synchronized group rebuild, so every member of a working
+	// group always agrees on it. Tagging with the polling-order epoch
+	// deadlocks the group when a spare dies mid-iteration: ranks that
+	// absorbed the notice discard their partners' halos as stale and vice
+	// versa, and no recovery ever comes to resynchronize them.
+	commEpoch uint64
+
 	// haloPartners are the logical ranks this worker exchanges halo data
 	// with (set by the framework from the application's communication
 	// plan). Localized repair derives the repair set from it: this worker
@@ -97,8 +108,10 @@ func (w *Worker) Logical() int { return w.logical }
 // NumWorkers implements spmvm.Comm.
 func (w *Worker) NumWorkers() int { return w.lay.Workers() }
 
-// Epoch implements spmvm.Comm.
-func (w *Worker) Epoch() int64 { return int64(w.epoch) }
+// Epoch implements spmvm.Comm: the communication epoch — the zombie
+// fence for halo tags. It advances only with the group (see commEpoch),
+// never on absorbed bookkeeping notices.
+func (w *Worker) Epoch() int64 { return int64(w.commEpoch) }
 
 // Group returns the current worker group id.
 func (w *Worker) Group() gaspi.GroupID { return w.gid }

@@ -27,10 +27,15 @@ const (
 	KCoreAgreementViolations = "core.agreement_violations"
 
 	// Per-phase TTR decomposition around core.recoverAndReload.
-	KCoreTTRRebuildNS = "core.ttr.rebuild_ns"
-	KCoreTTRRestoreNS = "core.ttr.restore_ns"
-	KCoreTTRResumeNS  = "core.ttr.resume_ns"
-	KCoreTTRTotalNS   = "core.ttr.total_ns"
+	KCoreTTRRebuildNS  = "core.ttr.rebuild_ns"
+	KCoreTTRRestoreNS  = "core.ttr.restore_ns"
+	KCoreTTRResumeNS   = "core.ttr.resume_ns"
+	KCoreTTRFailoverNS = "core.ttr.failover_ns"
+	KCoreTTRTotalNS    = "core.ttr.total_ns"
+
+	// Iterations re-executed after a recovery (redo work). Zero in the
+	// hot-shadow failover path — its acceptance criterion.
+	KCoreRedoIters = "core.redo_iters"
 
 	// Restore-source classification (suffix = cluster.RestoreSource.String()).
 	KCoreRestoreFromLocal    = "core.restore_from_local"
@@ -55,7 +60,14 @@ const (
 	KFTPhaseAckNS       = "ft.phase.ack_ns"
 	KFTPhaseRebuildNS   = "ft.phase.rebuild_ns"
 	KFTPhaseLocalizedNS = "ft.phase.localized_ns"
+	KFTPhaseFailoverNS  = "ft.phase.failover_ns"
 	KFTPhaseRestoreNS   = "ft.phase.restore_ns"
+
+	// Hot shadow ranks (internal/ft standby mirror + failover takeover).
+	KFTShadowAppliedFrames = "ft.shadow.applied_frames"
+	KFTShadowFailovers     = "ft.shadow.failovers"
+	KFTShadowFallbacks     = "ft.shadow.fallbacks"
+	KFTShadowTornTails     = "ft.shadow.torn_tails"
 
 	// Alternative detectors and spares.
 	KProberPings       = "prober.pings"
@@ -71,11 +83,12 @@ const restoreFromPrefix = "core.restore_from_"
 
 // Event keys (Recorder.Event / Recorder.FirstEvent markers).
 const (
-	KEvFDDetect      = "fd:detect"
-	KEvFDAck         = "fd:ack"
-	KEvFTAck         = "ft:ack"
-	KEvProberSuspect = "prober:suspect"
-	KEvStandbyDead   = "standby:fd-dead"
+	KEvFDDetect       = "fd:detect"
+	KEvFDAck          = "fd:ack"
+	KEvFTAck          = "ft:ack"
+	KEvProberSuspect  = "prober:suspect"
+	KEvStandbyDead    = "standby:fd-dead"
+	KEvShadowTakeover = "shadow:takeover"
 )
 
 var knownCounters = map[string]bool{
@@ -90,7 +103,9 @@ var knownCounters = map[string]bool{
 	KCoreTTRRebuildNS:        true,
 	KCoreTTRRestoreNS:        true,
 	KCoreTTRResumeNS:         true,
+	KCoreTTRFailoverNS:       true,
 	KCoreTTRTotalNS:          true,
+	KCoreRedoIters:           true,
 	KCoreRestoreFromLocal:    true,
 	KCoreRestoreFromNeighbor: true,
 	KCoreRestoreFromRemote:   true,
@@ -109,7 +124,12 @@ var knownCounters = map[string]bool{
 	KFTPhaseAckNS:            true,
 	KFTPhaseRebuildNS:        true,
 	KFTPhaseLocalizedNS:      true,
+	KFTPhaseFailoverNS:       true,
 	KFTPhaseRestoreNS:        true,
+	KFTShadowAppliedFrames:   true,
+	KFTShadowFailovers:       true,
+	KFTShadowFallbacks:       true,
+	KFTShadowTornTails:       true,
 	KProberPings:             true,
 	KStandbyPromotions:       true,
 	KSpMVMFastpathIters:      true,
@@ -120,8 +140,9 @@ var knownEvents = map[string]bool{
 	KEvFDDetect:      true,
 	KEvFDAck:         true,
 	KEvFTAck:         true,
-	KEvProberSuspect: true,
-	KEvStandbyDead:   true,
+	KEvProberSuspect:  true,
+	KEvStandbyDead:    true,
+	KEvShadowTakeover: true,
 }
 
 // RestoreFromKey builds the per-source restore counter key from a restore
